@@ -1,0 +1,86 @@
+package dmx
+
+import "fmt"
+
+// ChainBuilder assembles a Pipeline fluently: alternate Kernel and
+// Motion calls describe the chain in order, IO sets the request payload
+// sizes, and Build validates the result.
+//
+//	pipe, err := dmx.NewChain("sound").
+//	    Kernel(fft, audioBytes).
+//	    Motion(melKernel, specBytes, melBytes).
+//	    Kernel(svm, melBytes).
+//	    IO(audioBytes, labelBytes).
+//	    Build()
+type ChainBuilder struct {
+	p   Pipeline
+	err error
+}
+
+// NewChain starts a pipeline with the given name.
+func NewChain(name string) *ChainBuilder {
+	return &ChainBuilder{p: Pipeline{Name: name}}
+}
+
+func (b *ChainBuilder) fail(format string, args ...any) *ChainBuilder {
+	if b.err == nil {
+		b.err = fmt.Errorf("dmx: chain %q: "+format, append([]any{b.p.Name}, args...)...)
+	}
+	return b
+}
+
+// Kernel appends an application kernel stage. The first call opens the
+// chain; later calls must each follow a Motion hop.
+func (b *ChainBuilder) Kernel(spec *AccelSpec, inBytes int64) *ChainBuilder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.p.Stages) != len(b.p.Hops) {
+		return b.fail("Kernel after Kernel; add the Motion between them")
+	}
+	b.p.Stages = append(b.p.Stages, Stage{Accel: spec, InBytes: inBytes})
+	return b
+}
+
+// Motion appends the data restructuring hop between the previous kernel
+// and the next one.
+func (b *ChainBuilder) Motion(k *RestructureKernel, inBytes, outBytes int64) *ChainBuilder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.p.Stages) != len(b.p.Hops)+1 {
+		return b.fail("Motion without a preceding Kernel")
+	}
+	b.p.Hops = append(b.p.Hops, Hop{Kernel: k, InBytes: inBytes, OutBytes: outBytes})
+	return b
+}
+
+// IO sets the request payload shipped to the first kernel and the result
+// returned from the last.
+func (b *ChainBuilder) IO(inputBytes, outputBytes int64) *ChainBuilder {
+	if b.err != nil {
+		return b
+	}
+	b.p.InputBytes = inputBytes
+	b.p.OutputBytes = outputBytes
+	return b
+}
+
+// Build validates and returns the pipeline.
+func (b *ChainBuilder) Build() (*Pipeline, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.p.Stages) == len(b.p.Hops) && len(b.p.Hops) > 0 {
+		return nil, fmt.Errorf("dmx: chain %q ends in a Motion; add the consuming Kernel", b.p.Name)
+	}
+	// Deep-copy so neither the builder nor other Build results can
+	// mutate the returned pipeline.
+	p := b.p
+	p.Stages = append([]Stage(nil), b.p.Stages...)
+	p.Hops = append([]Hop(nil), b.p.Hops...)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,94 @@
+package dmx_test
+
+import (
+	"strings"
+	"testing"
+
+	"dmx"
+	"dmx/internal/accel"
+	"dmx/internal/restructure"
+)
+
+func soundParts(t *testing.T) (*dmx.AccelSpec, *dmx.AccelSpec, *dmx.RestructureKernel) {
+	t.Helper()
+	fft, err := accel.NewFFT(64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svm := accel.NewSVM(64, 8, 4, 1)
+	mel := restructure.MelSpectrogram(64, 64, 8)
+	return fft, svm, mel
+}
+
+func TestNewChainBuildsValidPipeline(t *testing.T) {
+	fft, svm, mel := soundParts(t)
+	pipe, err := dmx.NewChain("sound").
+		Kernel(fft, 64*128*4).
+		Motion(mel, 64*64*8, 64*8*4).
+		Kernel(svm, 64*8*4).
+		IO(64*128*4, 64*4).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pipe.Stages) != 2 || len(pipe.Hops) != 1 {
+		t.Fatalf("built %d stages / %d hops", len(pipe.Stages), len(pipe.Hops))
+	}
+	rep, err := dmx.Simulate(dmx.DefaultConfig(dmx.BumpInTheWire), pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Apps[0].Total <= 0 {
+		t.Error("built pipeline did not simulate")
+	}
+}
+
+func TestNewChainOrderingErrors(t *testing.T) {
+	fft, svm, mel := soundParts(t)
+	if _, err := dmx.NewChain("k-k").Kernel(fft, 1).Kernel(svm, 1).IO(1, 1).Build(); err == nil ||
+		!strings.Contains(err.Error(), "Motion between") {
+		t.Errorf("Kernel-Kernel accepted: %v", err)
+	}
+	if _, err := dmx.NewChain("m-first").Motion(mel, 1, 1).IO(1, 1).Build(); err == nil ||
+		!strings.Contains(err.Error(), "preceding Kernel") {
+		t.Errorf("leading Motion accepted: %v", err)
+	}
+	if _, err := dmx.NewChain("trailing-m").Kernel(fft, 1).Motion(mel, 1, 1).IO(1, 1).Build(); err == nil ||
+		!strings.Contains(err.Error(), "consuming Kernel") {
+		t.Errorf("trailing Motion accepted: %v", err)
+	}
+	// Missing IO fails pipeline validation.
+	if _, err := dmx.NewChain("no-io").
+		Kernel(fft, 64*128*4).Motion(mel, 64*64*8, 64*8*4).Kernel(svm, 64*8*4).Build(); err == nil {
+		t.Error("missing IO accepted")
+	}
+	// The first error sticks through subsequent calls.
+	if _, err := dmx.NewChain("sticky").Motion(mel, 1, 1).Kernel(fft, 1).Build(); err == nil ||
+		!strings.Contains(err.Error(), "preceding Kernel") {
+		t.Errorf("error did not stick: %v", err)
+	}
+}
+
+func TestBuilderCopyIsIndependent(t *testing.T) {
+	fft, svm, mel := soundParts(t)
+	b := dmx.NewChain("copy").
+		Kernel(fft, 64*128*4).
+		Motion(mel, 64*64*8, 64*8*4).
+		Kernel(svm, 64*8*4).
+		IO(64*128*4, 64*4)
+	p1, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("Build returned the same pipeline twice")
+	}
+	p1.Name = "mutated"
+	if p2.Name != "copy" {
+		t.Error("pipelines share state")
+	}
+}

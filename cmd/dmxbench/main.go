@@ -1,0 +1,64 @@
+// Command dmxbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dmxbench                 # run every experiment
+//	dmxbench -exp fig11      # run one (table1, fig3, fig5, fig11..fig19)
+//	dmxbench -list           # list experiment ids
+//
+// Output is the text rendering of each experiment — the same rows and
+// series the paper reports, regenerated from the simulation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// renderer is any experiment result.
+type renderer interface{ Render() string }
+
+// experiment couples an id to its generator.
+type experiment struct {
+	id   string
+	what string
+	run  func() (renderer, error)
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	quiet := flag.Bool("q", false, "suppress progress timing on stderr")
+	flag.Parse()
+
+	exps := registry()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-8s %s\n", e.id, e.what)
+		}
+		return
+	}
+	var failed bool
+	for _, e := range exps {
+		if *exp != "" && !strings.EqualFold(*exp, e.id) {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmxbench: %s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res.Render())
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s regenerated in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import "dmx/internal/experiments"
+
+// registry enumerates every regenerable table and figure in evaluation
+// order. Wrappers adapt the typed results to the renderer interface.
+func registry() []experiment {
+	return []experiment{
+		{"table1", "benchmark inventory (Table I)", func() (renderer, error) {
+			return experiments.Table1()
+		}},
+		{"fig3", "motivation: All-CPU vs Multi-Axl breakdown and speedup gap", func() (renderer, error) {
+			return experiments.Fig3()
+		}},
+		{"fig5", "top-down characterization of restructuring on the CPU", func() (renderer, error) {
+			return experiments.Fig5()
+		}},
+		{"fig11", "DMX latency speedup over Multi-Axl", func() (renderer, error) {
+			return experiments.Fig11()
+		}},
+		{"fig12", "runtime breakdown, Multi-Axl vs DMX", func() (renderer, error) {
+			return experiments.Fig12()
+		}},
+		{"fig13", "DMX throughput improvement", func() (renderer, error) {
+			return experiments.Fig13()
+		}},
+		{"fig14", "DRX placement latency study", func() (renderer, error) {
+			return experiments.Fig14()
+		}},
+		{"fig15", "DRX placement energy study", func() (renderer, error) {
+			return experiments.Fig15()
+		}},
+		{"fig16", "three-kernel PIR+NER scalability", func() (renderer, error) {
+			return experiments.Fig16()
+		}},
+		{"fig17", "broadcast / all-reduce collectives", func() (renderer, error) {
+			return experiments.Fig17()
+		}},
+		{"fig18", "DRX RE-lane sensitivity", func() (renderer, error) {
+			return experiments.Fig18()
+		}},
+		{"fig19", "PCIe generation sensitivity", func() (renderer, error) {
+			return experiments.Fig19()
+		}},
+	}
+}

@@ -1,0 +1,130 @@
+// Command dmxsim runs a single system configuration and prints the
+// latency/throughput/energy report: one benchmark (or the full suite),
+// a concurrency level, a DRX placement, and fabric/DRX knobs.
+//
+// Examples:
+//
+//	dmxsim -app sound-detection -apps 4 -placement bump
+//	dmxsim -app all -apps 15 -placement multiaxl -gen 4
+//	dmxsim -app database-hash-join -placement bump -lanes 64 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmx/internal/dmxsys"
+	"dmx/internal/pcie"
+	"dmx/internal/sim"
+	"dmx/internal/workload"
+)
+
+var placements = map[string]dmxsys.Placement{
+	"allcpu":     dmxsys.AllCPU,
+	"multiaxl":   dmxsys.MultiAxl,
+	"integrated": dmxsys.Integrated,
+	"standalone": dmxsys.Standalone,
+	"pcie":       dmxsys.PCIeIntegrated,
+	"bump":       dmxsys.BumpInTheWire,
+}
+
+func main() {
+	app := flag.String("app", "all", "benchmark name or 'all' (video-surveillance, sound-detection, brain-stimulation, personal-info-redaction, database-hash-join, pir-ner, genai-rag)")
+	napps := flag.Int("apps", 1, "concurrent application instances")
+	placement := flag.String("placement", "bump", "allcpu | multiaxl | integrated | standalone | pcie | bump")
+	gen := flag.Int("gen", 3, "PCIe generation (3, 4, 5)")
+	lanes := flag.Int("lanes", 128, "DRX RE lanes (power of two)")
+	verbose := flag.Bool("v", false, "print per-app breakdowns")
+	trace := flag.Bool("trace", false, "print the Fig. 10 event trace")
+	flag.Parse()
+
+	p, ok := placements[strings.ToLower(*placement)]
+	if !ok {
+		fail("unknown placement %q (want one of allcpu, multiaxl, integrated, standalone, pcie, bump)", *placement)
+	}
+	cfg := dmxsys.DefaultConfig(p)
+	switch *gen {
+	case 3:
+		cfg.Gen = pcie.Gen3
+	case 4:
+		cfg.Gen = pcie.Gen4
+	case 5:
+		cfg.Gen = pcie.Gen5
+	default:
+		fail("unsupported PCIe generation %d", *gen)
+	}
+	cfg.DRX = cfg.DRX.WithLanes(*lanes)
+	if *trace {
+		cfg.Trace = func(at sim.Time, app, event string) {
+			fmt.Printf("  [%12v] %-24s %s\n", at, app, event)
+		}
+	}
+
+	benches, err := selectBenchmarks(*app)
+	if err != nil {
+		fail("%v", err)
+	}
+	pipes := make([]*dmxsys.Pipeline, 0, *napps*len(benches))
+	for i := 0; i < *napps; i++ {
+		for _, b := range benches {
+			pipes = append(pipes, b.Pipeline)
+		}
+	}
+	fmt.Printf("simulating %d app instance(s) of %s under %v (PCIe %v, %d RE lanes)...\n",
+		len(pipes), *app, p, cfg.Gen, *lanes)
+	sys, err := dmxsys.New(cfg, pipes)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep := sys.Run()
+	fmt.Println(rep)
+	if *verbose {
+		for _, a := range rep.Apps {
+			thr := a.Throughput(2)
+			fmt.Printf("  %-26s total %-12v kernel %-12v restructure %-12v movement %-12v (%.1f req/s)\n",
+				a.App, a.Total, a.KernelTime, a.RestructureTime, a.MovementTime, thr)
+		}
+	}
+	fmt.Printf("energy: %.2f J ", rep.EnergyJ)
+	for k, v := range rep.EnergyBreakdown {
+		fmt.Printf("%s=%.2f ", k, v)
+	}
+	fmt.Println()
+}
+
+func selectBenchmarks(name string) ([]*workload.Benchmark, error) {
+	if name == "all" {
+		return workload.Suite(workload.PaperScale)
+	}
+	if name == "pir-ner" {
+		b, err := workload.PIRWithNER(workload.PaperScale)
+		if err != nil {
+			return nil, err
+		}
+		return []*workload.Benchmark{b}, nil
+	}
+	if name == "genai-rag" {
+		b, err := workload.GenAIRAG(workload.PaperScale)
+		if err != nil {
+			return nil, err
+		}
+		return []*workload.Benchmark{b}, nil
+	}
+	suite, err := workload.Suite(workload.PaperScale)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range suite {
+		if b.Name == name {
+			return []*workload.Benchmark{b}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q", name)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dmxsim: "+format+"\n", args...)
+	os.Exit(1)
+}

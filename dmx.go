@@ -1,0 +1,126 @@
+// Package dmx is the public API of the DMX library — a from-scratch
+// reproduction of "Data Motion Acceleration: Chaining Cross-Domain Multi
+// Accelerators" (HPCA 2024).
+//
+// DMX chains heterogeneous domain-specific accelerators into end-to-end
+// application pipelines and accelerates the *data motion* between them:
+// the restructuring computation (layout, dtype, and format conversion)
+// and the CPU-mediated copies that chaining otherwise requires. The
+// library spans the whole stack the paper describes:
+//
+//   - a restructuring-kernel IR and library (internal/restructure),
+//   - the DRX accelerator: ISA, cycle-level machine, compiler
+//     (internal/isa, internal/drx, internal/drxc),
+//   - the system model: PCIe fabric, host CPU, drivers, the four DRX
+//     placements, and collectives (internal/pcie, internal/cpu,
+//     internal/dmxsys),
+//   - the five Table I benchmark applications (internal/workload),
+//   - and the experiment harness regenerating every table and figure
+//     (internal/experiments, cmd/dmxbench).
+//
+// This package re-exports the pieces a downstream user composes: build a
+// Pipeline with NewChain, pick a Config (placement, PCIe generation, DRX
+// geometry), and Simulate it to obtain latency, throughput-governing
+// stage times, and energy.
+package dmx
+
+import (
+	"dmx/internal/accel"
+	"dmx/internal/dmxsys"
+	"dmx/internal/drx"
+	"dmx/internal/pcie"
+	"dmx/internal/restructure"
+	"dmx/internal/sim"
+	"dmx/internal/tensor"
+	"dmx/internal/workload"
+)
+
+// Re-exported core types. The aliases are the supported public surface;
+// internal packages may gain functionality without breaking users.
+type (
+	// Placement selects where data restructuring executes (Sec. III).
+	Placement = dmxsys.Placement
+	// Config parameterizes a simulated server.
+	Config = dmxsys.Config
+	// Pipeline is one chained application.
+	Pipeline = dmxsys.Pipeline
+	// Stage is one application kernel in a pipeline.
+	Stage = dmxsys.Stage
+	// Hop is the data motion between two kernels.
+	Hop = dmxsys.Hop
+	// RunReport aggregates one simulation.
+	RunReport = dmxsys.RunReport
+	// AppReport is one application's runtime decomposition.
+	AppReport = dmxsys.AppReport
+	// AccelSpec describes one accelerator (model + functional kernel).
+	AccelSpec = accel.Spec
+	// RestructureKernel is a data restructuring program.
+	RestructureKernel = restructure.Kernel
+	// Tensor is the dense N-d array accelerators exchange.
+	Tensor = tensor.Tensor
+	// Duration is virtual time (picoseconds).
+	Duration = sim.Duration
+	// Gen is a PCIe generation.
+	Gen = pcie.Gen
+	// DRXConfig is the restructuring accelerator's hardware geometry.
+	DRXConfig = drx.Config
+	// Benchmark is one of the paper's end-to-end applications.
+	Benchmark = workload.Benchmark
+)
+
+// Placements.
+const (
+	AllCPU         = dmxsys.AllCPU
+	MultiAxl       = dmxsys.MultiAxl
+	Integrated     = dmxsys.Integrated
+	Standalone     = dmxsys.Standalone
+	PCIeIntegrated = dmxsys.PCIeIntegrated
+	BumpInTheWire  = dmxsys.BumpInTheWire
+)
+
+// PCIe generations.
+const (
+	Gen3 = pcie.Gen3
+	Gen4 = pcie.Gen4
+	Gen5 = pcie.Gen5
+)
+
+// DefaultConfig returns the paper's testbed configuration for a
+// placement: PCIe Gen3 x16 device links under x8-uplink switches, the
+// 128-lane / 64 KB / 1 GHz DRX ASIC, and the calibrated Xeon host.
+func DefaultConfig(p Placement) Config { return dmxsys.DefaultConfig(p) }
+
+// DefaultDRX returns the paper's DRX ASIC configuration.
+func DefaultDRX() DRXConfig { return drx.DefaultConfig() }
+
+// Simulate runs one request through every pipeline concurrently on a
+// freshly assembled system and returns the aggregated report.
+func Simulate(cfg Config, pipelines ...*Pipeline) (RunReport, error) {
+	sys, err := dmxsys.New(cfg, pipelines)
+	if err != nil {
+		return RunReport{}, err
+	}
+	return sys.Run(), nil
+}
+
+// StreamReport aggregates a streamed (back-to-back request) simulation.
+type StreamReport = dmxsys.StreamReport
+
+// SimulateStream issues a train of back-to-back requests per pipeline
+// and reports measured steady-state throughput (Sec. VII-A's continuous
+// arrival assumption).
+func SimulateStream(cfg Config, requests int, pipelines ...*Pipeline) (StreamReport, error) {
+	sys, err := dmxsys.New(cfg, pipelines)
+	if err != nil {
+		return StreamReport{}, err
+	}
+	return sys.RunStream(requests), nil
+}
+
+// Suite returns the five Table I benchmark applications at paper scale
+// (6–16 MB batches).
+func Suite() ([]*Benchmark, error) { return workload.Suite(workload.PaperScale) }
+
+// TestSuite returns the same applications at a miniature scale whose
+// functional chains execute in milliseconds.
+func TestSuite() ([]*Benchmark, error) { return workload.Suite(workload.TestScale) }

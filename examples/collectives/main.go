@@ -1,0 +1,45 @@
+// Collectives: broadcast and all-reduce across a growing accelerator
+// pool, comparing the CPU-mediated baseline against DMX's hierarchical
+// DRX forwarding (Fig. 17 of the paper).
+//
+//	go run ./examples/collectives
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmx/internal/dmxsys"
+	"dmx/internal/sim"
+)
+
+func main() {
+	const payload = 8 << 20 // 8 MiB per endpoint
+	fmt.Printf("%-8s %-26s %-26s\n", "accels", "broadcast (base → DMX)", "all-reduce (base → DMX)")
+	for _, n := range []int{4, 8, 16, 32} {
+		bb := run(n, false, false)
+		bd := run(n, true, false)
+		ab := run(n, false, true)
+		ad := run(n, true, true)
+		fmt.Printf("%-8d %-10v → %-10v   %-10v → %-10v  (%.1fx / %.1fx)\n",
+			n, bb, bd, ab, ad,
+			bb.Seconds()/bd.Seconds(), ab.Seconds()/ad.Seconds())
+	}
+}
+
+func run(n int, useDMX, reduce bool) sim.Duration {
+	cs, err := dmxsys.NewCollective(dmxsys.CollectiveConfig{
+		Accels: n,
+		Bytes:  8 << 20,
+		Reduce: reduce,
+		UseDMX: useDMX,
+		Sys:    dmxsys.DefaultConfig(dmxsys.BumpInTheWire),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if reduce {
+		return cs.AllReduce()
+	}
+	return cs.Broadcast()
+}

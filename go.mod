@@ -1,0 +1,3 @@
+module dmx
+
+go 1.22

@@ -1,0 +1,259 @@
+package accel
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmx/internal/tensor"
+)
+
+// Property: the FFT is linear — FFT(a·x + b·y) = a·FFT(x) + b·FFT(y).
+func TestFFTLinearityProperty(t *testing.T) {
+	const win = 32
+	fft, err := NewFFT(1, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(x []float64) []complex128 {
+		in := tensor.New(tensor.Float32, 1, win)
+		for i, v := range x {
+			in.Set(v, 0, i)
+		}
+		out, err := fft.Run(map[string]*tensor.Tensor{"audio": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := make([]complex128, win/2)
+		for b := range res {
+			res[b] = out["spectrum"].AtComplex(0, b)
+		}
+		return res
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, win)
+		y := make([]float64, win)
+		z := make([]float64, win)
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		for i := range x {
+			x[i] = rng.Float64()*2 - 1
+			y[i] = rng.Float64()*2 - 1
+			z[i] = a*x[i] + b*y[i]
+		}
+		fx, fy, fz := run(x), run(y), run(z)
+		for i := range fz {
+			want := complex(a, 0)*fx[i] + complex(b, 0)*fy[i]
+			if cmplx.Abs(fz[i]-want) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parseval-style check: FFT energy matches time-domain energy (up to the
+// half-spectrum convention).
+func TestFFTEnergyConservation(t *testing.T) {
+	const win = 64
+	fft, err := NewFFT(1, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	in := tensor.New(tensor.Float32, 1, win)
+	var timeE float64
+	for i := 0; i < win; i++ {
+		v := rng.NormFloat64()
+		in.Set(v, 0, i)
+		timeE += v * v
+	}
+	out, err := fft.Run(map[string]*tensor.Tensor{"audio": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-spectrum energy = N × time energy; the accelerator keeps the
+	// positive half, so reconstruct using conjugate symmetry: bins 1..N/2-1
+	// appear twice, bin 0 once; the (dropped) Nyquist bin is recovered as
+	// the residual and must be non-negative and small for noise.
+	var freqE float64
+	for b := 0; b < win/2; b++ {
+		m := cmplx.Abs(out["spectrum"].AtComplex(0, b))
+		if b == 0 {
+			freqE += m * m
+		} else {
+			freqE += 2 * m * m
+		}
+	}
+	nyquistE := float64(win)*timeE - freqE
+	if nyquistE < -1e-6*freqE {
+		t.Errorf("negative Nyquist residual: %v", nyquistE)
+	}
+	if freqE > float64(win)*timeE*(1+1e-9) {
+		t.Errorf("spectrum energy %v exceeds N·time energy %v", freqE, float64(win)*timeE)
+	}
+	if freqE < 0.8*float64(win)*timeE {
+		t.Errorf("spectrum energy %v implausibly low vs %v", freqE, float64(win)*timeE)
+	}
+}
+
+func TestGzipIncompressibleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	plain := make([]byte, 4096)
+	rng.Read(plain)
+	gz, err := Compress(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NewGzipDecompress(len(plain))
+	out, err := spec.Run(map[string]*tensor.Tensor{"gz": tensor.FromBytes(gz, len(gz))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out["rows"].Bytes()) != string(plain) {
+		t.Error("incompressible round trip failed")
+	}
+	// Corrupt stream must fail, not produce garbage.
+	gz[len(gz)/2] ^= 0xFF
+	if _, err := spec.Run(map[string]*tensor.Tensor{"gz": tensor.FromBytes(gz, len(gz))}); err == nil {
+		t.Error("corrupted gzip accepted")
+	}
+}
+
+func TestRegexAcrossRecordBoundariesIsolated(t *testing.T) {
+	// PII split across two fixed-width records must NOT match: records
+	// are independent scan units (the accelerator's framing contract).
+	reclen := 16
+	raw := make([]byte, 2*reclen)
+	copy(raw, "xxxxxxxxxx123-45")          // record 0 ends mid-SSN
+	copy(raw[reclen:], "-6789yyyyyyyyyyy") // record 1 starts with the rest
+	spec := NewRegexRedact(2, reclen)
+	out, err := spec.Run(map[string]*tensor.Tensor{"records": tensor.FromBytes(raw, 2, reclen)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["matches"].At(0) != 0 || out["matches"].At(1) != 0 {
+		t.Error("split PII matched across record boundary")
+	}
+}
+
+func TestVideoDecodeTamperedCount(t *testing.T) {
+	// A bitstream whose counts undershoot the pixel total must error.
+	dec := NewVideoDecode(100)
+	short := EncodeRLE(tensor.New(tensor.Uint8, 50, 3))
+	if _, err := dec.Run(map[string]*tensor.Tensor{
+		"bitstream": tensor.FromBytes(short, len(short)),
+	}); err == nil {
+		t.Error("undersized stream accepted")
+	}
+}
+
+func TestBERTAttentionRespondsToContext(t *testing.T) {
+	// Changing one token must be able to change tags elsewhere in the
+	// sequence (attention mixes context); verify the mechanism is live.
+	nseq, seqlen, dim := 1, 16, 16
+	ner := NewBERTNER(nseq, seqlen, dim, 99)
+	mk := func(first int) *tensor.Tensor {
+		tok := tensor.New(tensor.Int32, nseq, seqlen)
+		for i := 0; i < seqlen; i++ {
+			tok.Set(float64((i*37)%256), 0, i)
+		}
+		tok.Set(float64(first), 0, 0)
+		return tok
+	}
+	changed := false
+	for first := 0; first < 64 && !changed; first += 3 {
+		a, err := ner.Run(map[string]*tensor.Tensor{"tokens": mk(first)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ner.Run(map[string]*tensor.Tensor{"tokens": mk(first + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < seqlen; i++ { // positions other than the changed one
+			if a["tags"].At(0, i) != b["tags"].At(0, i) {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Error("no contextual effect observed; attention may be inert")
+	}
+}
+
+func TestCPULatencyScalesWithSpeedup(t *testing.T) {
+	fft, _ := NewFFT(1, 64)
+	batch := int64(1 << 20)
+	accelT := fft.Latency(batch)
+	cpuT := fft.CPULatency(batch)
+	if r := float64(cpuT) / float64(accelT); math.Abs(r-fft.Speedup) > 0.01 {
+		t.Errorf("CPU/accel latency ratio %.2f, want %v", r, fft.Speedup)
+	}
+}
+
+func TestVectorSearchFindsPlantedNeedle(t *testing.T) {
+	const (
+		nq, dim, corpus = 3, 32, 128
+		seed            = 909
+	)
+	search := NewVectorSearch(nq, dim, corpus, seed)
+	queries := tensor.New(tensor.Int8, nq, dim)
+	// Plant corpus vectors 5, 17, 99 as the queries themselves: a vector's
+	// best dot-product match in the corpus is overwhelmingly itself.
+	for qi, c := range []int{5, 17, 99} {
+		vec := CorpusVector(corpus, dim, seed, c)
+		for d := 0; d < dim; d++ {
+			queries.Set(float64(vec[d]), qi, d)
+		}
+	}
+	out, err := search.Run(map[string]*tensor.Tensor{"queries": queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, want := range []float64{5, 17, 99} {
+		if got := out["ids"].At(qi); got != want {
+			t.Errorf("query %d retrieved %v, want %v", qi, got, want)
+		}
+		if out["scores"].At(qi) <= 0 {
+			t.Errorf("query %d self-score not positive", qi)
+		}
+	}
+}
+
+func TestEmbedderMeanPoolingBounds(t *testing.T) {
+	nq, seqlen, dim := 4, 8, 16
+	emb := NewEmbedder(nq, seqlen, dim, 1)
+	tok := tensor.New(tensor.Int32, nq, seqlen)
+	for q := 0; q < nq; q++ {
+		for i := 0; i < seqlen; i++ {
+			tok.Set(float64((q*seqlen+i)%512), q, i)
+		}
+	}
+	out, err := emb.Run(map[string]*tensor.Tensor{"tokens": tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := out["embeddings"]
+	if e.Dim(0) != nq || e.Dim(1) != dim {
+		t.Fatalf("embedding shape %v", e.Shape())
+	}
+	// Mean pooling keeps magnitudes in the table's scale.
+	it := tensor.NewIter(e.Shape())
+	for it.Next() {
+		if v := e.At(it.Index()...); v < -5 || v > 5 {
+			t.Fatalf("embedding %v out of plausible range", v)
+		}
+	}
+	// Identical sequences embed identically.
+	out2, _ := NewEmbedder(nq, seqlen, dim, 1).Run(map[string]*tensor.Tensor{"tokens": tok})
+	if !tensor.Equal(e, out2["embeddings"]) {
+		t.Error("embedder not deterministic")
+	}
+}

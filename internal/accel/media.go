@@ -1,0 +1,139 @@
+package accel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmx/internal/sim"
+	"dmx/internal/tensor"
+)
+
+// NewVideoDecode builds the video-codec hard-IP of Video Surveillance.
+// The functional stand-in decodes a run-length-encoded YUV stream: the
+// bitstream is a sequence of (count:u16, y:u8, u:u8, v:u8) records whose
+// counts sum to the frame's pixel count. That exercises a real
+// decompress-style data dependency while staying far simpler than H.264 —
+// what matters downstream is the decoded pixel tensor's size and layout.
+//
+// Input: "bitstream" uint8[n]. Output: "yuv" uint8[pixels, 3].
+func NewVideoDecode(pixels int) *Spec {
+	return &Spec{
+		Name:           "video-decode",
+		ThroughputBPS:  1.5e9, // hard-IP codec, ~2 HD frames per few ms
+		Speedup:        2.5,   // hard IP gains the least over software decode (Fig. 11)
+		PowerW:         12,
+		LaunchOverhead: 15 * sim.Microsecond,
+		Run: func(in map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+			bs, err := getIn("video-decode", in, "bitstream")
+			if err != nil {
+				return nil, err
+			}
+			raw := bs.Contiguous().Bytes()
+			if len(raw)%5 != 0 {
+				return nil, fmt.Errorf("accel: video-decode: bitstream length %d not a whole number of records", len(raw))
+			}
+			out := tensor.New(tensor.Uint8, pixels, 3)
+			p := 0
+			for off := 0; off+5 <= len(raw); off += 5 {
+				count := int(binary.LittleEndian.Uint16(raw[off:]))
+				y, u, v := raw[off+2], raw[off+3], raw[off+4]
+				for i := 0; i < count; i++ {
+					if p >= pixels {
+						return nil, fmt.Errorf("accel: video-decode: stream decodes past %d pixels", pixels)
+					}
+					out.Set(float64(y), p, 0)
+					out.Set(float64(u), p, 1)
+					out.Set(float64(v), p, 2)
+					p++
+				}
+			}
+			if p != pixels {
+				return nil, fmt.Errorf("accel: video-decode: stream decoded %d of %d pixels", p, pixels)
+			}
+			return map[string]*tensor.Tensor{"yuv": out}, nil
+		},
+	}
+}
+
+// EncodeRLE produces a bitstream NewVideoDecode accepts, for the workload
+// generator: consecutive equal YUV pixels collapse into one record.
+func EncodeRLE(yuv *tensor.Tensor) []byte {
+	pixels := yuv.Dim(0)
+	var out []byte
+	emit := func(count int, y, u, v byte) {
+		var rec [5]byte
+		binary.LittleEndian.PutUint16(rec[:], uint16(count))
+		rec[2], rec[3], rec[4] = y, u, v
+		out = append(out, rec[:]...)
+	}
+	i := 0
+	for i < pixels {
+		y := byte(yuv.At(i, 0))
+		u := byte(yuv.At(i, 1))
+		v := byte(yuv.At(i, 2))
+		run := 1
+		for i+run < pixels && run < 65535 &&
+			byte(yuv.At(i+run, 0)) == y && byte(yuv.At(i+run, 1)) == u && byte(yuv.At(i+run, 2)) == v {
+			run++
+		}
+		emit(run, y, u, v)
+		i += run
+	}
+	return out
+}
+
+// NewObjectDetect builds the DNN object-detection accelerator: a seeded
+// linear detection head over the quantized channel-first frame, scoring
+// `classes` object categories per spatial region.
+//
+// Input: "nchw" int8[3, pixels]. Output: "detections"
+// float32[regions, classes].
+func NewObjectDetect(pixels, regions, classes int, seed int64) (*Spec, error) {
+	if pixels%regions != 0 {
+		return nil, fmt.Errorf("accel: object-detect: %d pixels not divisible into %d regions", pixels, regions)
+	}
+	regionPix := pixels / regions
+	rng := rand.New(rand.NewSource(seed))
+	// Per-class weights over (channel, position-in-region).
+	w := make([][]float64, classes)
+	for c := range w {
+		w[c] = make([]float64, 3*regionPix)
+		for i := range w[c] {
+			w[c][i] = rng.NormFloat64() / math.Sqrt(float64(3*regionPix))
+		}
+	}
+	return &Spec{
+		Name:           "object-detect",
+		ThroughputBPS:  0.8e9, // DNN inference over full frames
+		Speedup:        9.0,
+		PowerW:         30,
+		LaunchOverhead: 20 * sim.Microsecond,
+		Run: func(in map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+			x, err := getIn("object-detect", in, "nchw")
+			if err != nil {
+				return nil, err
+			}
+			if x.Dim(0) != 3 || x.Dim(1) != pixels {
+				return nil, fmt.Errorf("accel: object-detect: input shape %v, want [3 %d]", x.Shape(), pixels)
+			}
+			det := tensor.New(tensor.Float32, regions, classes)
+			for r := 0; r < regions; r++ {
+				for c := 0; c < classes; c++ {
+					var acc float64
+					for ch := 0; ch < 3; ch++ {
+						base := r * regionPix
+						for i := 0; i < regionPix; i++ {
+							acc += x.At(ch, base+i) / 127.0 * w[c][ch*regionPix+i]
+						}
+					}
+					det.Set(sigmoid(acc), r, c)
+				}
+			}
+			return map[string]*tensor.Tensor{"detections": det}, nil
+		},
+	}, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,0 +1,207 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmx/internal/sim"
+	"dmx/internal/tensor"
+)
+
+// NewFFT builds the short-time Fourier transform accelerator used by the
+// Sound Detection and Brain Stimulation pipelines: each row of the input
+// (a windowed frame of win real samples, win a power of two) becomes the
+// positive-frequency half of its DFT.
+//
+// Input: "audio" float32[frames, win]. Output: "spectrum"
+// complex64[frames, win/2].
+func NewFFT(frames, win int) (*Spec, error) {
+	if win <= 0 || win&(win-1) != 0 {
+		return nil, fmt.Errorf("accel: fft window %d must be a power of two", win)
+	}
+	return &Spec{
+		Name:           "fft",
+		ThroughputBPS:  3.0e9,
+		Speedup:        8.0,
+		PowerW:         18,
+		LaunchOverhead: 10 * sim.Microsecond,
+		Run: func(in map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+			audio, err := getIn("fft", in, "audio")
+			if err != nil {
+				return nil, err
+			}
+			if audio.Dim(0) != frames || audio.Dim(1) != win {
+				return nil, fmt.Errorf("accel: fft: input shape %v, want [%d %d]", audio.Shape(), frames, win)
+			}
+			out := tensor.New(tensor.Complex64, frames, win/2)
+			buf := make([]complex128, win)
+			for f := 0; f < frames; f++ {
+				for i := 0; i < win; i++ {
+					buf[i] = complex(audio.At(f, i), 0)
+				}
+				fftInPlace(buf)
+				for b := 0; b < win/2; b++ {
+					out.SetComplex(buf[b], f, b)
+				}
+			}
+			return map[string]*tensor.Tensor{"spectrum": out}, nil
+		},
+	}, nil
+}
+
+// fftInPlace is an iterative radix-2 Cooley-Tukey DFT.
+func fftInPlace(a []complex128) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := complex(math.Cos(ang), math.Sin(ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// DFTReference computes a direct O(n²) DFT of one real frame — the
+// oracle the FFT accelerator is validated against in tests.
+func DFTReference(frame []float64) []complex128 {
+	n := len(frame)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			acc += complex(frame[t]*math.Cos(ang), frame[t]*math.Sin(ang))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// NewSVM builds the linear multi-class SVM of Sound Detection: scores =
+// X·W + b with seeded deterministic weights, argmax per row.
+//
+// Input: "features" float32[rows, dims]. Output: "labels" int32[rows],
+// "scores" float32[rows, classes].
+func NewSVM(rows, dims, classes int, seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	w := make([][]float64, dims)
+	for d := range w {
+		w[d] = make([]float64, classes)
+		for c := range w[d] {
+			w[d][c] = rng.NormFloat64() * 0.1
+		}
+	}
+	bias := make([]float64, classes)
+	for c := range bias {
+		bias[c] = rng.NormFloat64() * 0.01
+	}
+	return &Spec{
+		Name:           "svm",
+		ThroughputBPS:  4.0e9,
+		Speedup:        7.0,
+		PowerW:         15,
+		LaunchOverhead: 8 * sim.Microsecond,
+		Run: func(in map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+			x, err := getIn("svm", in, "features")
+			if err != nil {
+				return nil, err
+			}
+			if x.Dim(0) != rows || x.Dim(1) != dims {
+				return nil, fmt.Errorf("accel: svm: input shape %v, want [%d %d]", x.Shape(), rows, dims)
+			}
+			labels := tensor.New(tensor.Int32, rows)
+			scores := tensor.New(tensor.Float32, rows, classes)
+			for r := 0; r < rows; r++ {
+				best, bestScore := 0, math.Inf(-1)
+				for c := 0; c < classes; c++ {
+					acc := bias[c]
+					for d := 0; d < dims; d++ {
+						acc += x.At(r, d) * w[d][c]
+					}
+					scores.Set(acc, r, c)
+					if acc > bestScore {
+						best, bestScore = c, acc
+					}
+				}
+				labels.Set(float64(best), r)
+			}
+			return map[string]*tensor.Tensor{"labels": labels, "scores": scores}, nil
+		},
+	}
+}
+
+// NewPPO builds the proximal-policy-optimization inference kernel of
+// Brain Stimulation: a two-layer tanh MLP policy over normalized
+// spectral observations.
+//
+// Input: "obs" float32[batch, bins]. Output: "actions" float32[batch, acts].
+func NewPPO(batch, bins, hidden, acts int, seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	w1 := randMat(rng, bins, hidden, 1/math.Sqrt(float64(bins)))
+	w2 := randMat(rng, hidden, acts, 1/math.Sqrt(float64(hidden)))
+	return &Spec{
+		Name:           "ppo",
+		ThroughputBPS:  2.5e9,
+		Speedup:        9.0,
+		PowerW:         22,
+		LaunchOverhead: 12 * sim.Microsecond,
+		Run: func(in map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+			obs, err := getIn("ppo", in, "obs")
+			if err != nil {
+				return nil, err
+			}
+			if obs.Dim(0) != batch || obs.Dim(1) != bins {
+				return nil, fmt.Errorf("accel: ppo: input shape %v, want [%d %d]", obs.Shape(), batch, bins)
+			}
+			actions := tensor.New(tensor.Float32, batch, acts)
+			h := make([]float64, hidden)
+			for b := 0; b < batch; b++ {
+				for j := 0; j < hidden; j++ {
+					var acc float64
+					for i := 0; i < bins; i++ {
+						acc += obs.At(b, i) * w1[i][j]
+					}
+					h[j] = math.Tanh(acc)
+				}
+				for a := 0; a < acts; a++ {
+					var acc float64
+					for j := 0; j < hidden; j++ {
+						acc += h[j] * w2[j][a]
+					}
+					actions.Set(math.Tanh(acc), b, a)
+				}
+			}
+			return map[string]*tensor.Tensor{"actions": actions}, nil
+		},
+	}
+}
+
+func randMat(rng *rand.Rand, rows, cols int, scale float64) [][]float64 {
+	m := make([][]float64, rows)
+	for r := range m {
+		m[r] = make([]float64, cols)
+		for c := range m[r] {
+			m[r][c] = rng.NormFloat64() * scale
+		}
+	}
+	return m
+}

@@ -1,0 +1,176 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmx/internal/restructure"
+	"dmx/internal/sim"
+	"dmx/internal/tensor"
+)
+
+func benchKernels() []*restructure.Kernel {
+	return []*restructure.Kernel{
+		restructure.VideoPreprocess(1 << 20),
+		restructure.MelSpectrogram(256, 512, 40),
+		restructure.SignalNormalize(64, 4096),
+		restructure.RecordFrame(4096, 2048),
+		restructure.ColumnPack(1<<18, 6, 7, 24),
+	}
+}
+
+func TestKernelTimePositiveAndFinite(t *testing.T) {
+	m := DefaultModel()
+	for _, k := range benchKernels() {
+		d := m.KernelTime(k, m.Cores, m.MemBWBytes)
+		if d <= 0 {
+			t.Errorf("%s: non-positive time %v", k.Name, d)
+		}
+		if d > 10*sim.Second {
+			t.Errorf("%s: implausible time %v for one batch", k.Name, d)
+		}
+	}
+}
+
+func TestMoreCoresNeverSlower(t *testing.T) {
+	m := DefaultModel()
+	for _, k := range benchKernels() {
+		t1 := m.KernelTime(k, 1, m.MemBWBytes)
+		t4 := m.KernelTime(k, 4, m.MemBWBytes)
+		t16 := m.KernelTime(k, 16, m.MemBWBytes)
+		if t4 > t1 || t16 > t4 {
+			t.Errorf("%s: core scaling broken: 1→%v 4→%v 16→%v", k.Name, t1, t4, t16)
+		}
+	}
+}
+
+func TestBandwidthContentionSlowsJobs(t *testing.T) {
+	m := DefaultModel()
+	k := restructure.RecordFrame(4096, 2048) // memory-bound copy kernel
+	alone := m.BatchTime(k, 1)
+	crowded := m.BatchTime(k, 8)
+	if crowded <= alone {
+		t.Errorf("8-way contention (%v) not slower than solo (%v)", crowded, alone)
+	}
+	// A purely memory-bound kernel should degrade roughly linearly.
+	ratio := float64(crowded) / float64(alone)
+	if ratio < 3 || ratio > 16 {
+		t.Errorf("contention ratio %.1f outside plausible [3,16]", ratio)
+	}
+}
+
+func TestStageOverheadCharged(t *testing.T) {
+	m := DefaultModel()
+	k := restructure.RecordFrame(2, 4) // trivially small
+	d := m.KernelTime(k, 16, m.MemBWBytes)
+	if d < 2*m.StageOverhead {
+		t.Errorf("tiny kernel time %v below launch overhead of its 2 stages", d)
+	}
+}
+
+func TestNonStreamPenaltyApplied(t *testing.T) {
+	m := DefaultModel()
+	// Pure transpose (permutation traffic) vs pure reshape (streaming
+	// copy) of the same payload: the transpose must cost more.
+	tr := &restructure.Kernel{
+		Name: "tr",
+		Params: []restructure.Param{
+			{Name: "x", DType: tensor.Uint8, Shape: []int{2048, 2048}, Dir: restructure.In},
+			{Name: "y", DType: tensor.Uint8, Shape: []int{2048, 2048}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{
+			&restructure.TransposeStage{Out: "y", In: "x", Perm: []int{1, 0}},
+		},
+	}
+	rs := &restructure.Kernel{
+		Name: "rs",
+		Params: []restructure.Param{
+			{Name: "x", DType: tensor.Uint8, Shape: []int{2048, 2048}, Dir: restructure.In},
+			{Name: "y", DType: tensor.Uint8, Shape: []int{2048 * 2048}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{
+			&restructure.ReshapeStage{Out: "y", In: "x"},
+		},
+	}
+	if m.KernelTime(tr, 16, m.MemBWBytes) <= m.KernelTime(rs, 16, m.MemBWBytes) {
+		t.Error("transpose not penalized vs streaming copy")
+	}
+}
+
+func TestCharacterizeMatchesPaperRanges(t *testing.T) {
+	m := DefaultModel()
+	for _, k := range benchKernels() {
+		p := m.Characterize(k)
+		sum := p.FrontendPct + p.BadSpecPct + p.BackendCorePct + p.BackendMemPct + p.RetiringPct
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s: shares sum to %.2f%%", k.Name, sum)
+		}
+		// Paper: ≤14% front-end, ≤12.5% bad speculation, backend 53–77.6%.
+		if p.FrontendPct > 14+0.1 {
+			t.Errorf("%s: frontend %.1f%% above paper ceiling", k.Name, p.FrontendPct)
+		}
+		if p.BadSpecPct > 12.5+0.1 {
+			t.Errorf("%s: bad speculation %.1f%% above paper ceiling", k.Name, p.BadSpecPct)
+		}
+		be := p.BackendCorePct + p.BackendMemPct
+		if be < 53-0.1 || be > 77.6+0.1 {
+			t.Errorf("%s: backend %.1f%% outside 53–77.6%%", k.Name, be)
+		}
+		// Paper: 50–215 L1D MPKI, 25–109 L2 MPKI, ~2.3 average L1I MPKI.
+		if p.L1DMPKI < 50 || p.L1DMPKI > 215 {
+			t.Errorf("%s: L1D MPKI %.1f outside 50–215", k.Name, p.L1DMPKI)
+		}
+		if p.L2MPKI < 25 || p.L2MPKI > 109 {
+			t.Errorf("%s: L2 MPKI %.1f outside 25–109", k.Name, p.L2MPKI)
+		}
+		if p.L1IMPKI > 7.8 {
+			t.Errorf("%s: L1I MPKI %.1f not small", k.Name, p.L1IMPKI)
+		}
+		if p.VectorUtilization != 1.0 {
+			t.Errorf("%s: vector utilization %.2f, want 1.0", k.Name, p.VectorUtilization)
+		}
+		if p.EphemeralThreads < 130 || p.EphemeralThreads > 140 {
+			t.Errorf("%s: %d threads outside 130–140", k.Name, p.EphemeralThreads)
+		}
+	}
+}
+
+func TestVideoHasHighestBranchShares(t *testing.T) {
+	// Fig. 5 singles out Video Surveillance for front-end and bad
+	// speculation; its pipeline is the most permutation-heavy.
+	m := DefaultModel()
+	video := m.Characterize(restructure.VideoPreprocess(1 << 20))
+	sound := m.Characterize(restructure.MelSpectrogram(256, 512, 40))
+	if video.BadSpecPct <= sound.BadSpecPct {
+		t.Errorf("video bad-spec %.1f%% not above sound %.1f%%", video.BadSpecPct, sound.BadSpecPct)
+	}
+	if video.FrontendPct <= sound.FrontendPct {
+		t.Errorf("video frontend %.1f%% not above sound %.1f%%", video.FrontendPct, sound.FrontendPct)
+	}
+}
+
+// Property: KernelTime is monotone in bandwidth share — more bandwidth
+// never increases the estimate.
+func TestKernelTimeMonotoneInBandwidth(t *testing.T) {
+	m := DefaultModel()
+	k := restructure.MelSpectrogram(64, 256, 32)
+	prop := func(a, b uint8) bool {
+		bw1 := 1e9 * float64(a%32+1)
+		bw2 := 1e9 * float64(b%32+1)
+		if bw1 > bw2 {
+			bw1, bw2 = bw2, bw1
+		}
+		return m.KernelTime(k, 8, bw2) <= m.KernelTime(k, 8, bw1)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	m := DefaultModel()
+	s := m.Characterize(restructure.RecordFrame(64, 64)).String()
+	if s == "" || len(s) < 20 {
+		t.Errorf("profile string too short: %q", s)
+	}
+}

@@ -1,0 +1,227 @@
+package dmxrt
+
+import (
+	"strings"
+	"testing"
+
+	"dmx/internal/accel"
+	"dmx/internal/drx"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// buildSoundChain assembles the Sound Detection chain on the runtime:
+// FFT accelerator → DRX (mel spectrogram) → SVM accelerator.
+func buildSoundChain(t *testing.T) (*Context, *CommandQueue, *CommandQueue, *CommandQueue, soundDims) {
+	t.Helper()
+	d := soundDims{frames: 8, win: 64, mels: 8, classes: 4}
+	p := NewPlatform()
+	fftSpec, err := accel.NewFFT(d.frames, d.win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fftDev := p.AddAccelerator(fftSpec)
+	svmDev := p.AddAccelerator(accel.NewSVM(d.frames, d.mels, d.classes, 7))
+	drxDev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := p.NewContext()
+	return ctx, ctx.Queue(fftDev), ctx.Queue(drxDev), ctx.Queue(svmDev), d
+}
+
+type soundDims struct{ frames, win, mels, classes int }
+
+func genAudio(d soundDims) *tensor.Tensor {
+	audio := tensor.New(tensor.Float32, d.frames, d.win)
+	for f := 0; f < d.frames; f++ {
+		for i := 0; i < d.win; i++ {
+			audio.Set(float64((f*31+i*7)%17)/17.0-0.5, f, i)
+		}
+	}
+	return audio
+}
+
+func TestChainedPipelineThroughRuntime(t *testing.T) {
+	ctx, fftQ, drxQ, svmQ, d := buildSoundChain(t)
+	bins := d.win / 2
+
+	audio := ctx.CreateBuffer("audio", genAudio(d))
+	spectrum := ctx.CreateEmptyBuffer("spectrum", tensor.Complex64, d.frames, bins)
+	melw := ctx.CreateBuffer("melw", restructure.MelWeights(bins, d.mels))
+	logmel := ctx.CreateEmptyBuffer("logmel", tensor.Float32, d.frames, d.mels)
+	labels := ctx.CreateEmptyBuffer("labels", tensor.Int32, d.frames)
+
+	ev1 := fftQ.EnqueueKernel(
+		map[string]*Buffer{"audio": audio},
+		map[string]*Buffer{"spectrum": spectrum})
+	ev2 := drxQ.EnqueueRestructure(restructure.MelSpectrogram(d.frames, bins, d.mels),
+		map[string]*Buffer{"spectrum": spectrum, "melw": melw},
+		map[string]*Buffer{"logmel": logmel}, ev1)
+	ev3 := svmQ.EnqueueKernel(
+		map[string]*Buffer{"features": logmel},
+		map[string]*Buffer{"labels": labels}, ev2)
+
+	// Nothing runs before the blocking wait (non-blocking enqueue).
+	if ev1.Done() || ev3.Done() {
+		t.Fatal("commands executed eagerly")
+	}
+	if err := ev3.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Dependencies executed transitively.
+	if !ev1.Done() || !ev2.Done() {
+		t.Error("dependencies did not execute")
+	}
+	for f := 0; f < d.frames; f++ {
+		v := labels.Tensor().At(f)
+		if v < 0 || v >= float64(d.classes) {
+			t.Errorf("label[%d] = %v out of range", f, v)
+		}
+	}
+	if err := ctx.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuntimeMatchesDirectExecution(t *testing.T) {
+	// The runtime-chained result must equal running the same pieces by
+	// hand with the reference restructuring interpreter.
+	ctx, fftQ, drxQ, svmQ, d := buildSoundChain(t)
+	bins := d.win / 2
+	audio := ctx.CreateBuffer("audio", genAudio(d))
+	spectrum := ctx.CreateEmptyBuffer("spectrum", tensor.Complex64, d.frames, bins)
+	melw := ctx.CreateBuffer("melw", restructure.MelWeights(bins, d.mels))
+	logmel := ctx.CreateEmptyBuffer("logmel", tensor.Float32, d.frames, d.mels)
+	labels := ctx.CreateEmptyBuffer("labels", tensor.Int32, d.frames)
+
+	e1 := fftQ.EnqueueKernel(map[string]*Buffer{"audio": audio}, map[string]*Buffer{"spectrum": spectrum})
+	e2 := drxQ.EnqueueRestructure(restructure.MelSpectrogram(d.frames, bins, d.mels),
+		map[string]*Buffer{"spectrum": spectrum, "melw": melw},
+		map[string]*Buffer{"logmel": logmel}, e1)
+	svmQ.EnqueueKernel(map[string]*Buffer{"features": logmel}, map[string]*Buffer{"labels": labels}, e2)
+	if err := ctx.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	fftSpec, _ := accel.NewFFT(d.frames, d.win)
+	spec, err := fftSpec.Run(map[string]*tensor.Tensor{"audio": genAudio(d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mel, err := restructure.Run(restructure.MelSpectrogram(d.frames, bins, d.mels),
+		map[string]*tensor.Tensor{"spectrum": spec["spectrum"], "melw": restructure.MelWeights(bins, d.mels)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := accel.NewSVM(d.frames, d.mels, d.classes, 7).Run(
+		map[string]*tensor.Tensor{"features": mel["logmel"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want["labels"], labels.Tensor()) {
+		t.Error("runtime chain diverges from direct execution")
+	}
+}
+
+func TestInOrderQueueSemantics(t *testing.T) {
+	// Two commands on ONE queue with no explicit dependency still run in
+	// order: the copy sees the kernel's output.
+	p := NewPlatform()
+	drxDev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := p.NewContext()
+	q := ctx.Queue(drxDev)
+
+	in := ctx.CreateBuffer("in", tensor.FromBytes([]byte{65, 66, 67, 68, 69, 70, 71, 72}, 8))
+	mid := ctx.CreateEmptyBuffer("mid", tensor.Uint8, 2, 4)
+	out := ctx.CreateEmptyBuffer("out", tensor.Uint8, 2, 4)
+	q.EnqueueRestructure(restructure.RecordFrame(2, 4),
+		map[string]*Buffer{"plain": in}, map[string]*Buffer{"records": mid})
+	last := q.EnqueueCopy(out, mid) // no explicit event: in-order dependency
+	if err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tensor().At(1, 3) != 72 {
+		t.Errorf("copy observed stale buffer: %v", out.Tensor())
+	}
+}
+
+func TestKernelOnWrongDeviceFails(t *testing.T) {
+	p := NewPlatform()
+	drxDev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fftSpec, _ := accel.NewFFT(2, 64)
+	fftDev := p.AddAccelerator(fftSpec)
+	ctx := p.NewContext()
+
+	// Application kernel on a DRX: rejected.
+	ev := ctx.Queue(drxDev).EnqueueKernel(nil, nil)
+	if err := ev.Wait(); err == nil || !strings.Contains(err.Error(), "cannot run application kernels") {
+		t.Errorf("want device-kind error, got %v", err)
+	}
+	// Restructuring on an accelerator: rejected.
+	ev2 := ctx.Queue(fftDev).EnqueueRestructure(restructure.RecordFrame(2, 4), nil, nil)
+	if err := ev2.Wait(); err == nil || !strings.Contains(err.Error(), "not a DRX") {
+		t.Errorf("want not-a-DRX error, got %v", err)
+	}
+}
+
+func TestDependencyFailurePropagates(t *testing.T) {
+	p := NewPlatform()
+	drxDev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fftSpec, _ := accel.NewFFT(2, 64)
+	fftDev := p.AddAccelerator(fftSpec)
+	ctx := p.NewContext()
+
+	// First command fails (missing input); the dependent must surface it.
+	bad := ctx.Queue(fftDev).EnqueueKernel(nil, nil)
+	buf := ctx.CreateEmptyBuffer("x", tensor.Uint8, 8)
+	dep := ctx.Queue(drxDev).EnqueueCopy(buf, buf, bad)
+	if err := dep.Wait(); err == nil || !strings.Contains(err.Error(), "dependency") {
+		t.Errorf("want dependency error, got %v", err)
+	}
+	if ctx.Finish() == nil {
+		t.Error("context Finish swallowed the failure")
+	}
+}
+
+func TestCopySizeMismatch(t *testing.T) {
+	p := NewPlatform()
+	drxDev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := p.NewContext()
+	a := ctx.CreateEmptyBuffer("a", tensor.Uint8, 8)
+	b := ctx.CreateEmptyBuffer("b", tensor.Uint8, 4)
+	if err := ctx.Queue(drxDev).EnqueueCopy(a, b).Wait(); err == nil {
+		t.Error("mismatched copy accepted")
+	}
+}
+
+func TestPlatformEnumeration(t *testing.T) {
+	p := NewPlatform()
+	fftSpec, _ := accel.NewFFT(2, 64)
+	p.AddAccelerator(fftSpec)
+	if _, err := p.AddDRX(drx.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	devs := p.Devices()
+	if len(devs) != 2 {
+		t.Fatalf("%d devices", len(devs))
+	}
+	if devs[0].Kind() != AcceleratorDevice || devs[1].Kind() != DRXDevice {
+		t.Error("device kinds wrong")
+	}
+	if !strings.Contains(devs[0].Name(), "fft") {
+		t.Errorf("device name %q", devs[0].Name())
+	}
+}

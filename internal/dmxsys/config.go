@@ -1,0 +1,170 @@
+// Package dmxsys integrates the DMX system model: it assembles the PCIe
+// topology for each DRX placement, runs chained-accelerator applications
+// through a discrete-event simulation of kernels, data restructuring,
+// drivers, and DMA, and reports the latency/throughput/energy metrics
+// the paper's evaluation section is built from.
+//
+// The five system configurations correspond to the paper's:
+//
+//   - AllCPU: every kernel and every restructuring step on the host
+//     (Fig. 3's All-CPU bar);
+//   - MultiAxl: kernels on accelerators, restructuring on the host CPU
+//     with CPU-mediated DMA (the baseline everywhere);
+//   - Integrated / Standalone / PCIeIntegrated / BumpInTheWire: the four
+//     DRX placements of Sec. III (Fig. 4).
+package dmxsys
+
+import (
+	"fmt"
+
+	"dmx/internal/cpu"
+	"dmx/internal/drx"
+	"dmx/internal/energy"
+	"dmx/internal/pcie"
+	"dmx/internal/sim"
+)
+
+// Placement selects the system configuration.
+type Placement int
+
+// System configurations.
+const (
+	// AllCPU runs application kernels and restructuring on the host.
+	AllCPU Placement = iota
+	// MultiAxl accelerates kernels but restructures on the host CPU.
+	MultiAxl
+	// Integrated attaches one shared DRX to the CPU.
+	Integrated
+	// Standalone gives each application a DRX PCIe card.
+	Standalone
+	// PCIeIntegrated embeds a DRX into each PCIe switch.
+	PCIeIntegrated
+	// BumpInTheWire pairs every accelerator with its own inline DRX.
+	BumpInTheWire
+)
+
+var placementNames = [...]string{
+	AllCPU:         "All-CPU",
+	MultiAxl:       "Multi-Axl",
+	Integrated:     "Integrated",
+	Standalone:     "Standalone",
+	PCIeIntegrated: "PCIe-Integrated",
+	BumpInTheWire:  "Bump-in-the-Wire",
+}
+
+func (p Placement) String() string {
+	if int(p) < len(placementNames) {
+		return placementNames[p]
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// UsesDRX reports whether the placement restructures on DRX hardware.
+func (p Placement) UsesDRX() bool { return p >= Integrated }
+
+// Driver timing constants (Sec. V: GEM/ioctl command execution,
+// interrupt-mode completion signaling with coalescing, NAPI-style
+// fallback to polling under bursty arrivals).
+const (
+	// InterruptLatency is the cost of one interrupt delivery plus driver
+	// handler execution on the host.
+	InterruptLatency = 5 * sim.Microsecond
+	// PollLatency replaces InterruptLatency once the arrival rate
+	// crosses the coalescing threshold.
+	PollLatency = 1 * sim.Microsecond
+	// DMASetupLatency is the driver's cost to program one point-to-point
+	// DMA descriptor (dma-buf handshake included).
+	DMASetupLatency = 2 * sim.Microsecond
+	// CoalesceThreshold is the number of completions within
+	// CoalesceWindow above which drivers switch from interrupts to
+	// polling.
+	CoalesceThreshold = 8
+	// CoalesceWindow is the sliding window over which the completion
+	// rate is assessed.
+	CoalesceWindow = 200 * sim.Microsecond
+)
+
+// Config parameterizes a system build.
+type Config struct {
+	Placement Placement
+	// Gen and lane widths set the fabric (Fig. 19 sweeps Gen).
+	Gen            pcie.Gen
+	AccelLanes     int // downstream link width per accelerator (x16)
+	UplinkLanes    int // switch upstream width (x8: the paper's bottleneck)
+	SlotsPerSwitch int // devices per switch before a new one is added
+	// DRX is the hardware configuration of every DRX instance.
+	DRX drx.Config
+	// CPU is the host model.
+	CPU *cpu.Model
+	// Energy holds the power calibration.
+	Energy energy.Params
+	// PCIeIntegratedSlots is the line-rate processing parallelism of a
+	// switch-integrated DRX.
+	PCIeIntegratedSlots int
+	// StartStagger offsets each application's request by i·StartStagger.
+	// Real co-running services are not phase-locked; a deterministic
+	// stagger avoids the measurement artifact where every app hits every
+	// shared resource at the same instant.
+	StartStagger sim.Duration
+	// Trace, when set, receives one line per simulation event (kernel
+	// start/finish, DMA, restructuring, queue operations) with the
+	// virtual timestamp — the Fig. 10 interaction sequence as a log.
+	// Tracing does not perturb timing.
+	Trace func(at sim.Time, app, event string)
+	// AppsPerStandaloneCard is how many applications share one standalone
+	// DRX PCIe card. Sharing is what makes the standalone placement
+	// oversubscribe its card link and unit (Sec. III: "the PCIe link to a
+	// shared, Standalone DRX card can become the bottleneck") while
+	// spending less idle DRX power than bump-in-the-wire (Fig. 15).
+	AppsPerStandaloneCard int
+}
+
+// DefaultConfig mirrors the paper's testbed: PCIe Gen3, x16 device
+// links, x8 uplinks, 8 devices per switch, the default DRX ASIC, and the
+// calibrated Xeon host.
+func DefaultConfig(p Placement) Config {
+	return Config{
+		Placement:             p,
+		Gen:                   pcie.Gen3,
+		AccelLanes:            16,
+		UplinkLanes:           8,
+		SlotsPerSwitch:        8,
+		DRX:                   drx.DefaultConfig(),
+		CPU:                   cpu.DefaultModel(),
+		Energy:                energy.Default(),
+		PCIeIntegratedSlots:   4,
+		StartStagger:          50 * sim.Microsecond,
+		AppsPerStandaloneCard: 2,
+	}
+}
+
+// Validate sanity-checks the configuration.
+func (c Config) Validate() error {
+	if int(c.Placement) >= len(placementNames) || c.Placement < 0 {
+		return fmt.Errorf("dmxsys: unknown placement %d", int(c.Placement))
+	}
+	switch c.Gen {
+	case pcie.Gen3, pcie.Gen4, pcie.Gen5:
+	default:
+		return fmt.Errorf("dmxsys: unsupported PCIe generation %v", c.Gen)
+	}
+	if c.AccelLanes <= 0 || c.UplinkLanes <= 0 {
+		return fmt.Errorf("dmxsys: non-positive lane widths")
+	}
+	if c.SlotsPerSwitch < 2 {
+		return fmt.Errorf("dmxsys: switches need at least 2 slots")
+	}
+	if c.CPU == nil {
+		return fmt.Errorf("dmxsys: nil CPU model")
+	}
+	if err := c.DRX.Validate(); err != nil {
+		return err
+	}
+	if c.Placement == PCIeIntegrated && c.PCIeIntegratedSlots < 1 {
+		return fmt.Errorf("dmxsys: PCIe-integrated DRX needs at least 1 slot")
+	}
+	if c.Placement == Standalone && c.AppsPerStandaloneCard < 1 {
+		return fmt.Errorf("dmxsys: standalone cards must serve at least 1 app")
+	}
+	return nil
+}

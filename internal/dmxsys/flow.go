@@ -1,0 +1,278 @@
+package dmxsys
+
+import (
+	"fmt"
+
+	"dmx/internal/pcie"
+	"dmx/internal/sim"
+)
+
+// This file implements the end-to-end request flow for every system
+// configuration. A request walks its pipeline as a chain of callbacks on
+// the event engine: kernel → data motion hop → kernel → ... with each
+// segment's duration attributed to one of the three runtime components
+// the paper's breakdowns use (kernel, restructuring, movement).
+
+// phase tags attribute elapsed time in the app report.
+type phase int
+
+const (
+	phaseKernel phase = iota
+	phaseRestructure
+	phaseMovement
+)
+
+// trace emits an event to the configured trace hook.
+func (s *System) trace(a *appInstance, format string, args ...any) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace(s.Eng.Now(), a.pipe.Name, fmt.Sprintf(format, args...))
+}
+
+// tracker measures contiguous segments of one app's timeline.
+type tracker struct {
+	s    *System
+	a    *appInstance
+	mark sim.Time
+}
+
+func (t *tracker) lap(p phase) {
+	now := t.s.Eng.Now()
+	d := now.Sub(t.mark)
+	t.mark = now
+	switch p {
+	case phaseKernel:
+		t.a.rep.KernelTime += d
+	case phaseRestructure:
+		t.a.rep.RestructureTime += d
+	case phaseMovement:
+		t.a.rep.MovementTime += d
+	}
+}
+
+// startApp launches one request through an app's pipeline, calling done
+// at completion.
+func (s *System) startApp(a *appInstance, done func()) {
+	a.start = s.Eng.Now()
+	tr := &tracker{s: s, a: a, mark: s.Eng.Now()}
+	finish := func() {
+		a.rep.Total = s.Eng.Now().Sub(a.start)
+		done()
+	}
+	if s.cfg.Placement == AllCPU {
+		s.runAllCPU(a, tr, finish)
+		return
+	}
+	// Ship the request payload host → first accelerator, then enter the
+	// kernel/hop chain.
+	var runStage func(k int)
+	runStage = func(k int) {
+		st := a.pipe.Stages[k]
+		s.trace(a, "kernel %s enqueued on %s", st.Accel.Name, a.accelDev[k])
+		s.servers[a.accelDev[k]].Submit(st.Accel.Latency(st.InBytes), func() {
+			tr.lap(phaseKernel)
+			s.trace(a, "kernel %s finished; interrupt raised", st.Accel.Name)
+			if k == len(a.pipe.Stages)-1 {
+				// Return the final result to the host.
+				s.transferToHost(a, tr, finish)
+				return
+			}
+			s.runHop(a, tr, k, func() { runStage(k + 1) })
+		})
+	}
+	s.trace(a, "request input DMA host→%s (%d B)", a.accelDev[0], a.pipe.InputBytes)
+	if err := s.Fabric.Transfer(pcie.Root, a.accelDev[0], a.pipe.InputBytes, func() {
+		tr.lap(phaseMovement)
+		runStage(0)
+	}); err != nil {
+		panic(fmt.Sprintf("dmxsys: input transfer: %v", err))
+	}
+}
+
+func (s *System) transferToHost(a *appInstance, tr *tracker, done func()) {
+	last := a.accelDev[len(a.accelDev)-1]
+	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+		if err := s.Fabric.Transfer(last, pcie.Root, a.pipe.OutputBytes, func() {
+			tr.lap(phaseMovement)
+			done()
+		}); err != nil {
+			panic(fmt.Sprintf("dmxsys: output transfer: %v", err))
+		}
+	})
+}
+
+// runAllCPU executes every kernel and every restructuring in software on
+// the shared host channels; there is no device data movement.
+func (s *System) runAllCPU(a *appInstance, tr *tracker, done func()) {
+	opsCap := s.cpuCompute.Capacity()
+	var step func(k int)
+	step = func(k int) {
+		st := a.pipe.Stages[k]
+		// The kernel's software runtime expressed as compute work: its
+		// calibrated 16-core CPU latency times the socket's ops rate.
+		work := int64(st.Accel.CPULatency(st.InBytes).Seconds() * opsCap)
+		if work < 1 {
+			work = 1
+		}
+		s.cpuJob(work, st.InBytes, func() {
+			tr.lap(phaseKernel)
+			if k == len(a.pipe.Stages)-1 {
+				a.rep.Total = s.Eng.Now().Sub(a.start)
+				done()
+				return
+			}
+			h := a.pipe.Hops[k]
+			ops, bytes := s.restructureWork(h.Kernel)
+			s.cpuJob(ops, bytes, func() {
+				tr.lap(phaseRestructure)
+				step(k + 1)
+			})
+		})
+	}
+	step(0)
+}
+
+// runHop executes the data motion between stage k and k+1 under the
+// system's placement.
+func (s *System) runHop(a *appInstance, tr *tracker, k int, done func()) {
+	h := a.pipe.Hops[k]
+	from := a.accelDev[k]
+	to := a.accelDev[k+1]
+	switch s.cfg.Placement {
+	case MultiAxl, Integrated:
+		// (S1) interrupt; DMA accel → host memory.
+		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+			s.mustTransfer(from, pcie.Root, h.InBytes, func() {
+				tr.lap(phaseMovement)
+				// (S2) restructure on the host (CPU or integrated DRX).
+				s.hostRestructure(a, k, func() {
+					tr.lap(phaseRestructure)
+					// (S3) DMA host → next accelerator; (S4) kernel fires.
+					s.Eng.Schedule(DMASetupLatency, func() {
+						s.mustTransfer(pcie.Root, to, h.OutBytes, func() {
+							tr.lap(phaseMovement)
+							done()
+						})
+					})
+				})
+			})
+		})
+	case Standalone:
+		// P2P DMA accel → the app's DRX card, restructure, P2P to next.
+		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+			s.mustTransfer(from, a.sdrxDev, h.InBytes, func() {
+				tr.lap(phaseMovement)
+				s.drxRestructure(a, k, func() {
+					tr.lap(phaseRestructure)
+					s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+						s.mustTransfer(a.sdrxDev, to, h.OutBytes, func() {
+							tr.lap(phaseMovement)
+							done()
+						})
+					})
+				})
+			})
+		})
+	case PCIeIntegrated:
+		// Up into the switch, restructure at line rate, down to the peer
+		// (saves the DRX round trip; Sec. VII-B).
+		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+			s.mustUp(from, h.InBytes, func() {
+				tr.lap(phaseMovement)
+				s.drxRestructure(a, k, func() {
+					tr.lap(phaseRestructure)
+					s.mustDown(to, h.OutBytes, func() {
+						tr.lap(phaseMovement)
+						done()
+					})
+				})
+			})
+		})
+	case BumpInTheWire:
+		// Fig. 10: ① kernel done ② interrupt ③④ local move into the
+		// inline DRX's RX queue ⑤–⑦ restructure into the TX queue
+		// ⑧ interrupt ⑨⑩ P2P DMA through the fabric to the peer
+		// accelerator (its own DRX is a pass-through) ⑪ kernel fires.
+		// Queue head/tail bookkeeping backpressures if a queue fills.
+		rx, tx, err := s.hopQueues(a, k)
+		if err != nil {
+			panic(fmt.Sprintf("dmxsys: %v", err))
+		}
+		link := pcie.LinkConfig{Gen: s.cfg.Gen, Lanes: s.cfg.AccelLanes}
+		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+			s.queueAdmit(rx, h.InBytes, func() {
+				s.trace(a, "P2P DMA %s→RX queue of DRX (%d B)", from, h.InBytes)
+				s.localBytes += h.InBytes
+				s.Eng.Schedule(sim.BytesAt(h.InBytes, link.Bandwidth()), func() {
+					tr.lap(phaseMovement)
+					s.trace(a, "DRX restructuring %s", h.Kernel.Name)
+					s.drxRestructure(a, k, func() {
+						s.queueAdmit(tx, h.OutBytes, func() {
+							if rx != nil {
+								if err := rx.Dequeue(h.InBytes); err != nil {
+									panic(fmt.Sprintf("dmxsys: %v", err))
+								}
+							}
+							tr.lap(phaseRestructure)
+							s.trace(a, "restructured into TX queue; interrupt raised")
+							s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+								s.trace(a, "P2P DMA %s→%s (%d B)", from, to, h.OutBytes)
+								s.mustTransfer(from, to, h.OutBytes, func() {
+									if tx != nil {
+										if err := tx.Dequeue(h.OutBytes); err != nil {
+											panic(fmt.Sprintf("dmxsys: %v", err))
+										}
+									}
+									tr.lap(phaseMovement)
+									done()
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	default:
+		panic(fmt.Sprintf("dmxsys: runHop under %v", s.cfg.Placement))
+	}
+}
+
+// hostRestructure dispatches hop k's restructuring at the host: on the
+// shared CPU channels for MultiAxl, on the single integrated DRX
+// otherwise.
+func (s *System) hostRestructure(a *appInstance, k int, done func()) {
+	if s.cfg.Placement == Integrated {
+		s.drxRestructure(a, k, done)
+		return
+	}
+	ops, bytes := s.restructureWork(a.pipe.Hops[k].Kernel)
+	s.cpuJob(ops, bytes, done)
+}
+
+// drxRestructure queues hop k's kernel on the app's DRX unit.
+func (s *System) drxRestructure(a *appInstance, k int, done func()) {
+	d, err := s.drxServiceTime(a.pipe.Hops[k].Kernel)
+	if err != nil {
+		panic(fmt.Sprintf("dmxsys: %v", err)) // cache warmed in New; unreachable
+	}
+	a.drxServer[k].Submit(d, done)
+}
+
+func (s *System) mustTransfer(from, to string, n int64, done func()) {
+	if err := s.Fabric.Transfer(from, to, n, done); err != nil {
+		panic(fmt.Sprintf("dmxsys: transfer %s→%s: %v", from, to, err))
+	}
+}
+
+func (s *System) mustUp(dev string, n int64, done func()) {
+	if err := s.Fabric.TransferUp(dev, n, done); err != nil {
+		panic(fmt.Sprintf("dmxsys: transfer up %s: %v", dev, err))
+	}
+}
+
+func (s *System) mustDown(dev string, n int64, done func()) {
+	if err := s.Fabric.TransferDown(dev, n, done); err != nil {
+		panic(fmt.Sprintf("dmxsys: transfer down %s: %v", dev, err))
+	}
+}

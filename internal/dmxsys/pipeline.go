@@ -1,0 +1,80 @@
+package dmxsys
+
+import (
+	"fmt"
+
+	"dmx/internal/accel"
+	"dmx/internal/restructure"
+)
+
+// Stage is one application kernel in a chained pipeline.
+type Stage struct {
+	// Accel is the kernel's accelerator (performance + functional model).
+	Accel *accel.Spec
+	// InBytes is the batch payload entering this kernel, which drives
+	// the accelerator latency model.
+	InBytes int64
+}
+
+// Hop is the data motion between two consecutive stages.
+type Hop struct {
+	// Kernel is the restructuring program chaining the two kernels.
+	Kernel *restructure.Kernel
+	// InBytes is the wire payload from the upstream accelerator to the
+	// restructuring site; OutBytes is the restructured payload forwarded
+	// to the downstream accelerator.
+	InBytes  int64
+	OutBytes int64
+}
+
+// Pipeline is one end-to-end application: N kernels chained by N-1
+// restructuring hops (Table I's rows are two-kernel pipelines; the
+// Fig. 16 extension has three).
+type Pipeline struct {
+	Name   string
+	Stages []Stage
+	Hops   []Hop
+	// InputBytes is the request payload shipped from the host to the
+	// first accelerator; OutputBytes returns the final result.
+	InputBytes  int64
+	OutputBytes int64
+}
+
+// Validate checks structural consistency.
+func (p *Pipeline) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("dmxsys: pipeline without a name")
+	}
+	if len(p.Stages) < 1 {
+		return fmt.Errorf("dmxsys: %s: no stages", p.Name)
+	}
+	if len(p.Hops) != len(p.Stages)-1 {
+		return fmt.Errorf("dmxsys: %s: %d hops for %d stages", p.Name, len(p.Hops), len(p.Stages))
+	}
+	for i, st := range p.Stages {
+		if st.Accel == nil {
+			return fmt.Errorf("dmxsys: %s: stage %d has no accelerator", p.Name, i)
+		}
+		if st.InBytes <= 0 {
+			return fmt.Errorf("dmxsys: %s: stage %d InBytes %d", p.Name, i, st.InBytes)
+		}
+	}
+	for i, h := range p.Hops {
+		if h.Kernel == nil {
+			return fmt.Errorf("dmxsys: %s: hop %d has no restructuring kernel", p.Name, i)
+		}
+		if err := h.Kernel.Validate(); err != nil {
+			return fmt.Errorf("dmxsys: %s: hop %d: %w", p.Name, i, err)
+		}
+		if h.InBytes <= 0 || h.OutBytes <= 0 {
+			return fmt.Errorf("dmxsys: %s: hop %d byte counts %d/%d", p.Name, i, h.InBytes, h.OutBytes)
+		}
+	}
+	if p.InputBytes <= 0 {
+		return fmt.Errorf("dmxsys: %s: InputBytes %d", p.Name, p.InputBytes)
+	}
+	if p.OutputBytes <= 0 {
+		return fmt.Errorf("dmxsys: %s: OutputBytes %d", p.Name, p.OutputBytes)
+	}
+	return nil
+}

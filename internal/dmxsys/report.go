@@ -1,0 +1,125 @@
+package dmxsys
+
+import (
+	"fmt"
+	"strings"
+
+	"dmx/internal/sim"
+)
+
+// AppReport is one application's measured runtime decomposition — the
+// three components of the paper's Fig. 12 breakdown.
+type AppReport struct {
+	App             string
+	KernelTime      sim.Duration
+	RestructureTime sim.Duration
+	MovementTime    sim.Duration
+	Total           sim.Duration
+}
+
+// StageMax reports the slowest of the app's three logical pipeline
+// stages (first kernel, data motion, second kernel approximated by the
+// aggregate components), which bounds steady-state throughput (Sec.
+// VII-A: "the throughput of an application is determined by the latency
+// of the slowest stage").
+func (r AppReport) StageMax(nKernels int) sim.Duration {
+	if nKernels < 1 {
+		nKernels = 1
+	}
+	perKernel := r.KernelTime / sim.Duration(nKernels)
+	motion := r.RestructureTime + r.MovementTime
+	nHops := nKernels - 1
+	if nHops >= 1 {
+		motion /= sim.Duration(nHops)
+	}
+	if perKernel > motion {
+		return perKernel
+	}
+	return motion
+}
+
+// Throughput reports requests/second at steady state for the app.
+func (r AppReport) Throughput(nKernels int) float64 {
+	sm := r.StageMax(nKernels)
+	if sm <= 0 {
+		return 0
+	}
+	return 1 / sm.Seconds()
+}
+
+// RunReport aggregates one system run.
+type RunReport struct {
+	Placement       Placement
+	Apps            []AppReport
+	Makespan        sim.Duration
+	EnergyJ         float64
+	EnergyBreakdown map[string]float64
+	Switches        int
+	DRXCount        int
+}
+
+// MeanTotal reports the arithmetic mean end-to-end latency across apps.
+func (r RunReport) MeanTotal() sim.Duration {
+	if len(r.Apps) == 0 {
+		return 0
+	}
+	var sum sim.Duration
+	for _, a := range r.Apps {
+		sum += a.Total
+	}
+	return sum / sim.Duration(len(r.Apps))
+}
+
+// ComponentShares reports the average runtime fractions (kernel,
+// restructure, movement) across apps — the Fig. 3(a)/Fig. 12 bars.
+func (r RunReport) ComponentShares() (kernel, restructure, movement float64) {
+	var k, re, mv, tot float64
+	for _, a := range r.Apps {
+		k += a.KernelTime.Seconds()
+		re += a.RestructureTime.Seconds()
+		mv += a.MovementTime.Seconds()
+		tot += a.Total.Seconds()
+	}
+	if tot == 0 {
+		return 0, 0, 0
+	}
+	return k / tot, re / tot, mv / tot
+}
+
+// String renders a compact multi-line summary.
+func (r RunReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %d apps, makespan %v, %.1f J, %d switches, %d DRX\n",
+		r.Placement, len(r.Apps), r.Makespan, r.EnergyJ, r.Switches, r.DRXCount)
+	k, re, mv := r.ComponentShares()
+	fmt.Fprintf(&b, "  shares: kernel %.1f%% restructure %.1f%% movement %.1f%%",
+		100*k, 100*re, 100*mv)
+	return b.String()
+}
+
+// Run launches one request per app at time zero and simulates to
+// completion, returning the aggregated report.
+func (s *System) Run() RunReport {
+	remaining := len(s.apps)
+	for i, a := range s.apps {
+		a := a
+		s.Eng.Schedule(sim.Duration(i)*s.cfg.StartStagger, func() {
+			s.startApp(a, func() { remaining-- })
+		})
+	}
+	s.Eng.Run()
+	if remaining != 0 {
+		panic(fmt.Sprintf("dmxsys: %d apps never completed (deadlocked flow)", remaining))
+	}
+	rep := RunReport{
+		Placement: s.cfg.Placement,
+		Makespan:  sim.Duration(s.Eng.Now()),
+		Switches:  s.nSwitches,
+		DRXCount:  s.nDRX,
+	}
+	for _, a := range s.apps {
+		rep.Apps = append(rep.Apps, a.rep)
+	}
+	rep.EnergyJ, rep.EnergyBreakdown = s.energyReport(rep.Makespan)
+	return rep
+}

@@ -1,0 +1,80 @@
+package dmxsys
+
+import (
+	"fmt"
+
+	"dmx/internal/sim"
+)
+
+// Streamed execution: Sec. VII-A's throughput experiments assume
+// "continuous arrival of requests for each application". RunStream
+// issues a train of back-to-back requests per application; requests
+// pipeline naturally through the accelerator servers, DRX units, links,
+// and host channels, and the measured steady-state rate validates the
+// stage-analysis throughput of AppReport.Throughput.
+
+// StreamReport summarizes one streamed run.
+type StreamReport struct {
+	Placement Placement
+	PerApp    []AppStream
+	Makespan  sim.Duration
+}
+
+// AppStream is one application's streamed measurement.
+type AppStream struct {
+	App      string
+	Requests int
+	// First and Last are the completion times of the first and final
+	// requests; Throughput is the steady-state rate between them.
+	First, Last sim.Time
+	Throughput  float64 // requests/second
+}
+
+// RunStream issues `requests` back-to-back requests per application and
+// simulates to completion. The system must be freshly built (Run and
+// RunStream consume the engine).
+func (s *System) RunStream(requests int) StreamReport {
+	if requests < 2 {
+		panic("dmxsys: RunStream needs at least 2 requests to measure a rate")
+	}
+	completions := make([][]sim.Time, len(s.apps))
+	remaining := len(s.apps) * requests
+	for i, a := range s.apps {
+		i, a := i, a
+		start := sim.Duration(i) * s.cfg.StartStagger
+		for r := 0; r < requests; r++ {
+			s.Eng.Schedule(start, func() {
+				s.startApp(a, func() {
+					completions[i] = append(completions[i], s.Eng.Now())
+					remaining--
+				})
+			})
+		}
+	}
+	s.Eng.Run()
+	if remaining != 0 {
+		panic(fmt.Sprintf("dmxsys: %d streamed requests never completed", remaining))
+	}
+	rep := StreamReport{
+		Placement: s.cfg.Placement,
+		Makespan:  sim.Duration(s.Eng.Now()),
+	}
+	for i, a := range s.apps {
+		cs := completions[i]
+		first, last := cs[0], cs[0]
+		for _, c := range cs {
+			if c < first {
+				first = c
+			}
+			if c > last {
+				last = c
+			}
+		}
+		as := AppStream{App: a.pipe.Name, Requests: requests, First: first, Last: last}
+		if span := last.Sub(first).Seconds(); span > 0 {
+			as.Throughput = float64(requests-1) / span
+		}
+		rep.PerApp = append(rep.PerApp, as)
+	}
+	return rep
+}

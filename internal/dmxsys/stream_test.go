@@ -1,0 +1,146 @@
+package dmxsys
+
+import (
+	"strings"
+	"testing"
+
+	"dmx/internal/sim"
+)
+
+func TestRunStreamPipelines(t *testing.T) {
+	s, err := New(DefaultConfig(BumpInTheWire), pipelines(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.RunStream(8)
+	if len(rep.PerApp) != 1 {
+		t.Fatalf("%d app streams", len(rep.PerApp))
+	}
+	as := rep.PerApp[0]
+	if as.Throughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	// Pipelining: 8 requests must finish in well under 8× a single
+	// request's latency.
+	single, err := New(DefaultConfig(BumpInTheWire), pipelines(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := single.Run().Apps[0].Total
+	if float64(rep.Makespan) > 7.5*float64(lat) {
+		t.Errorf("streamed makespan %v shows no pipelining vs single latency %v", rep.Makespan, lat)
+	}
+}
+
+func TestStreamedThroughputValidatesStageAnalysis(t *testing.T) {
+	// The analytic throughput (1 / slowest stage) and the measured
+	// streamed rate must agree within a factor of two in both
+	// directions — they are different estimators of the same pipeline.
+	for _, p := range []Placement{MultiAxl, BumpInTheWire} {
+		lat, err := New(DefaultConfig(p), pipelines(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := lat.Run().Apps[0].Throughput(2)
+
+		str, err := New(DefaultConfig(p), pipelines(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := str.RunStream(12).PerApp[0].Throughput
+		if measured <= 0 {
+			t.Fatalf("%v: no measured throughput", p)
+		}
+		ratio := measured / analytic
+		if ratio < 0.5 || ratio > 2.5 {
+			t.Errorf("%v: measured %.1f req/s vs analytic %.1f req/s (ratio %.2f)",
+				p, measured, analytic, ratio)
+		}
+	}
+}
+
+func TestStreamedDMXThroughputBeatsBaseline(t *testing.T) {
+	run := func(p Placement) float64 {
+		s, err := New(DefaultConfig(p), pipelines(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := s.RunStream(8)
+		var sum float64
+		for _, a := range rep.PerApp {
+			sum += a.Throughput
+		}
+		return sum
+	}
+	base := run(MultiAxl)
+	dmxT := run(BumpInTheWire)
+	if dmxT <= base {
+		t.Errorf("streamed DMX throughput %.1f not above baseline %.1f", dmxT, base)
+	}
+}
+
+func TestRunStreamValidation(t *testing.T) {
+	s, err := New(DefaultConfig(BumpInTheWire), pipelines(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RunStream(1) did not panic")
+		}
+	}()
+	s.RunStream(1)
+}
+
+func TestTraceFollowsFig10Sequence(t *testing.T) {
+	cfg := DefaultConfig(BumpInTheWire)
+	var events []string
+	cfg.Trace = func(_ sim.Time, app, event string) {
+		events = append(events, event)
+	}
+	s, err := New(cfg, pipelines(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// The Fig. 10 order: input DMA, kernel 1, P2P into the DRX RX queue,
+	// restructuring, TX, P2P to the peer, kernel 2.
+	wantOrder := []string{
+		"request input DMA",
+		"kernel aes-gcm enqueued",
+		"kernel aes-gcm finished",
+		"P2P DMA a0.0→RX queue",
+		"DRX restructuring record-frame",
+		"restructured into TX queue",
+		"P2P DMA a0.0→a0.1",
+		"kernel regex enqueued",
+		"kernel regex finished",
+	}
+	pos := 0
+	for _, ev := range events {
+		if pos < len(wantOrder) && strings.Contains(ev, wantOrder[pos]) {
+			pos++
+		}
+	}
+	if pos != len(wantOrder) {
+		t.Fatalf("trace missing step %d (%q); got:\n%s", pos, wantOrder[pos], strings.Join(events, "\n"))
+	}
+}
+
+func TestTraceDoesNotPerturbTiming(t *testing.T) {
+	quiet, err := New(DefaultConfig(BumpInTheWire), pipelines(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := quiet.Run()
+	cfg := DefaultConfig(BumpInTheWire)
+	cfg.Trace = func(sim.Time, string, string) {}
+	traced, err := New(cfg, pipelines(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traced.Run()
+	if q.Makespan != tr.Makespan || q.MeanTotal() != tr.MeanTotal() {
+		t.Errorf("tracing changed timing: %v/%v vs %v/%v", q.Makespan, q.MeanTotal(), tr.Makespan, tr.MeanTotal())
+	}
+}

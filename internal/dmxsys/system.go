@@ -1,0 +1,368 @@
+package dmxsys
+
+import (
+	"fmt"
+	"sync"
+
+	"dmx/internal/drx"
+	"dmx/internal/drxc"
+	"dmx/internal/energy"
+	"dmx/internal/pcie"
+	"dmx/internal/restructure"
+	"dmx/internal/sim"
+	"dmx/internal/tensor"
+)
+
+// System is one assembled server: fabric, host resources, per-device
+// service stations, and the application instances placed on it.
+type System struct {
+	Eng    *sim.Engine
+	Fabric *pcie.Fabric
+	cfg    Config
+
+	// Host execution resources. The two channels model a malleable
+	// parallel machine: a job posts its arithmetic work on cpuCompute
+	// (ops at the socket's effective vector rate) and its traffic on
+	// cpuMem (bytes at the socket bandwidth); fair sharing across jobs
+	// gives each concurrent restructuring its 1/n of both, matching the
+	// contention behavior of Fig. 3.
+	cpuCompute *sim.Channel
+	cpuMem     *sim.Channel
+
+	apps    []*appInstance
+	servers map[string]*sim.Server // accel and DRX service stations
+	// queueSets holds each bump-in-the-wire DRX's RX/TX data queues,
+	// keyed like its server ("drx.<accel device>").
+	queueSets map[string]*QueueSet
+	nSwitches int
+	nDRX      int
+	// localBytes counts bump-in-the-wire DRX↔accel movement that stays
+	// off the fabric but still costs transfer energy.
+	localBytes int64
+	// irqTimes is the sliding window of recent completion events driving
+	// the interrupt/polling decision.
+	irqTimes []sim.Time
+
+	// drxTime caches the simulated DRX execution time per restructuring
+	// kernel (timing is data-independent, so one machine run suffices).
+	drxTime map[string]sim.Duration
+}
+
+// appInstance is one running application.
+type appInstance struct {
+	id   int
+	pipe *Pipeline
+	// accelDev[k] is the fabric device of stage k (empty for AllCPU).
+	accelDev []string
+	// drxServer[k] serves hop k's restructuring (nil when on CPU).
+	drxServer []*sim.Server
+	// standalone DRX device name, when applicable.
+	sdrxDev string
+	// switch the app's devices live on.
+	sw string
+
+	rep   AppReport
+	start sim.Time
+}
+
+// New assembles a system running the given pipelines concurrently (one
+// app instance per entry).
+func New(cfg Config, pipelines []*Pipeline) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pipelines) == 0 {
+		return nil, fmt.Errorf("dmxsys: no pipelines")
+	}
+	eng := sim.NewEngine()
+	s := &System{
+		Eng:       eng,
+		Fabric:    pcie.New(eng),
+		cfg:       cfg,
+		servers:   make(map[string]*sim.Server),
+		queueSets: make(map[string]*QueueSet),
+		drxTime:   make(map[string]sim.Duration),
+	}
+	m := cfg.CPU
+	opsPerSec := float64(m.Cores) * m.FreqHz * float64(m.SIMDLanes) * m.IssueEff
+	s.cpuCompute = sim.NewChannel(eng, "cpu.compute", opsPerSec)
+	s.cpuMem = sim.NewChannel(eng, "cpu.mem", m.MemBWBytes)
+
+	accelLink := pcie.LinkConfig{Gen: cfg.Gen, Lanes: cfg.AccelLanes}
+	uplink := pcie.LinkConfig{Gen: cfg.Gen, Lanes: cfg.UplinkLanes}
+
+	curSwitch := ""
+	slotsLeft := 0
+	// Standalone cards are shared by up to AppsPerStandaloneCard apps on
+	// the same switch.
+	var card *sim.Server
+	cardDev := ""
+	cardAppsLeft := 0
+	nCards := 0
+	integratedDRX := (*sim.Server)(nil)
+	if cfg.Placement == Integrated {
+		integratedDRX = sim.NewServer(eng, "drx.integrated", 1)
+		s.servers["drx.integrated"] = integratedDRX
+		s.nDRX = 1
+	}
+
+	for i, p := range pipelines {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		a := &appInstance{id: i, pipe: p}
+		a.rep.App = p.Name
+		// Slot accounting covers accelerator ports; standalone DRX cards
+		// ride dedicated card slots on the same switch so every placement
+		// packs applications identically (the comparison isolates data
+		// motion, not topology density).
+		needCard := cfg.Placement == Standalone && cardAppsLeft == 0
+		need := len(p.Stages)
+		if need > cfg.SlotsPerSwitch {
+			return nil, fmt.Errorf("dmxsys: %s needs %d slots, switch has %d", p.Name, need, cfg.SlotsPerSwitch)
+		}
+		if cfg.Placement != AllCPU && need > slotsLeft {
+			// A fresh switch also forces a fresh card: point-to-point DMA
+			// to the card must stay under one switch.
+			if cfg.Placement == Standalone {
+				needCard = true
+			}
+			curSwitch = fmt.Sprintf("sw%d", s.nSwitches)
+			if err := s.Fabric.AddSwitch(curSwitch, uplink); err != nil {
+				return nil, err
+			}
+			s.nSwitches++
+			slotsLeft = cfg.SlotsPerSwitch
+			if cfg.Placement == PCIeIntegrated {
+				s.servers["drx."+curSwitch] = sim.NewServer(eng, "drx."+curSwitch, cfg.PCIeIntegratedSlots)
+				s.nDRX++
+			}
+		}
+		a.sw = curSwitch
+
+		if cfg.Placement != AllCPU {
+			for k, st := range p.Stages {
+				dev := fmt.Sprintf("a%d.%d", i, k)
+				if err := s.Fabric.AddDevice(dev, curSwitch, accelLink); err != nil {
+					return nil, err
+				}
+				slotsLeft--
+				a.accelDev = append(a.accelDev, dev)
+				s.servers[dev] = sim.NewServer(eng, dev+":"+st.Accel.Name, 1)
+			}
+		}
+
+		a.drxServer = make([]*sim.Server, len(p.Hops))
+		switch cfg.Placement {
+		case Integrated:
+			for k := range p.Hops {
+				a.drxServer[k] = integratedDRX
+			}
+		case Standalone:
+			if needCard {
+				cardDev = fmt.Sprintf("sdrx%d", nCards)
+				nCards++
+				if err := s.Fabric.AddDevice(cardDev, curSwitch, accelLink); err != nil {
+					return nil, err
+				}
+				card = sim.NewServer(eng, cardDev, 1)
+				s.servers[cardDev] = card
+				s.nDRX++
+				cardAppsLeft = cfg.AppsPerStandaloneCard
+			}
+			cardAppsLeft--
+			a.sdrxDev = cardDev
+			for k := range p.Hops {
+				a.drxServer[k] = card
+			}
+		case PCIeIntegrated:
+			unit := s.servers["drx."+curSwitch]
+			for k := range p.Hops {
+				a.drxServer[k] = unit
+			}
+		case BumpInTheWire:
+			// One DRX inline with every accelerator; hop k runs on the
+			// upstream accelerator's DRX (Fig. 10: DRX_1 restructures).
+			// Each DRX statically partitions its queue memory across the
+			// chain's peers (Sec. V).
+			for k := range p.Hops {
+				name := "drx." + a.accelDev[k]
+				unit := sim.NewServer(eng, name, 1)
+				s.servers[name] = unit
+				a.drxServer[k] = unit
+				s.nDRX++
+				qs, err := NewQueueSet(name, a.accelDev)
+				if err != nil {
+					return nil, err
+				}
+				s.queueSets[name] = qs
+				if p.Hops[k].InBytes > QueuePairBytes || p.Hops[k].OutBytes > QueuePairBytes {
+					return nil, fmt.Errorf("dmxsys: %s hop %d payload exceeds the %d MB data queue",
+						p.Name, k, QueuePairBytes>>20)
+				}
+			}
+			// The terminal accelerator's DRX exists too (pass-through in
+			// Fig. 10 step 10) and counts for energy.
+			s.nDRX++
+		}
+
+		// Warm the DRX service-time cache.
+		if cfg.Placement.UsesDRX() {
+			for _, h := range p.Hops {
+				if _, err := s.drxServiceTime(h.Kernel); err != nil {
+					return nil, err
+				}
+			}
+		}
+		s.apps = append(s.apps, a)
+	}
+	return s, nil
+}
+
+// drxTimeCache memoizes simulated DRX durations across System builds:
+// experiments sweep placements and concurrency over the same kernels,
+// and the machine-level simulation is deterministic per (kernel
+// signature, hardware config).
+var drxTimeCache sync.Map // string → sim.Duration
+
+// drxServiceTime compiles and simulates a restructuring kernel on the
+// configured DRX once, caching the resulting duration. DRX execution is
+// data-independent, so zero-filled inputs time identically to real data.
+func (s *System) drxKey(k *restructure.Kernel) string {
+	return fmt.Sprintf("%s@lanes=%d,scratch=%d,clk=%g,bw=%g",
+		k.Signature(), s.cfg.DRX.Lanes, s.cfg.DRX.ScratchBytes, s.cfg.DRX.ClockHz, s.cfg.DRX.DRAMBytesPerSec)
+}
+
+func (s *System) drxServiceTime(k *restructure.Kernel) (sim.Duration, error) {
+	key := s.drxKey(k)
+	if d, ok := s.drxTime[key]; ok {
+		return d, nil
+	}
+	if d, ok := drxTimeCache.Load(key); ok {
+		s.drxTime[key] = d.(sim.Duration)
+		return d.(sim.Duration), nil
+	}
+	c, err := drxc.Compile(k, s.cfg.DRX)
+	if err != nil {
+		return 0, fmt.Errorf("dmxsys: compiling %s for DRX: %w", k.Name, err)
+	}
+	m, err := drx.New(s.cfg.DRX)
+	if err != nil {
+		return 0, err
+	}
+	inputs := make(map[string]*tensor.Tensor)
+	for _, p := range k.Inputs() {
+		inputs[p.Name] = tensor.New(p.DType, p.Shape...)
+	}
+	_, res, err := drxc.Execute(c, m, inputs)
+	if err != nil {
+		return 0, fmt.Errorf("dmxsys: timing %s on DRX: %w", k.Name, err)
+	}
+	d := sim.FromSeconds(res.Seconds(s.cfg.DRX.ClockHz))
+	s.drxTime[key] = d
+	drxTimeCache.Store(key, d)
+	return d, nil
+}
+
+// DRXServiceTime exposes the cached DRX duration for reports and tests.
+func (s *System) DRXServiceTime(k *restructure.Kernel) (sim.Duration, error) {
+	return s.drxServiceTime(k)
+}
+
+// driverDelay models completion signaling NAPI-style (Sec. V): each
+// completion is normally an interrupt, but when the recent arrival rate
+// crosses the coalescing threshold the driver switches to polling and
+// per-completion cost drops. The recent-event window is pruned on every
+// call, so the mode tracks load dynamically and deterministically.
+func (s *System) driverDelay() sim.Duration {
+	now := s.Eng.Now()
+	cutoff := now.Add(-CoalesceWindow)
+	keep := s.irqTimes[:0]
+	for _, t := range s.irqTimes {
+		if t >= cutoff {
+			keep = append(keep, t)
+		}
+	}
+	s.irqTimes = append(keep, now)
+	if len(s.irqTimes) > CoalesceThreshold {
+		return PollLatency
+	}
+	return InterruptLatency
+}
+
+// cpuJob posts a restructuring (or software kernel) job on the host's
+// two shared channels and fires done when both drains complete.
+func (s *System) cpuJob(ops int64, bytes int64, done func()) {
+	pending := 2
+	finish := func() {
+		pending--
+		if pending == 0 {
+			done()
+		}
+	}
+	s.cpuCompute.Start(ops, finish)
+	s.cpuMem.Start(bytes, finish)
+}
+
+// restructureWork computes the CPU channel work for one kernel.
+func (s *System) restructureWork(k *restructure.Kernel) (ops, bytes int64) {
+	for _, st := range k.Stages {
+		stats := st.Stats(k)
+		ops += stats.Ops
+		traffic := float64(stats.BytesIn+stats.BytesOut) * s.cfg.CPU.ThrashFactor
+		if !stats.VectorFriendly {
+			traffic *= s.cfg.CPU.NonStreamPenalty
+		}
+		bytes += int64(traffic)
+	}
+	if ops < 1 {
+		ops = 1
+	}
+	if bytes < 1 {
+		bytes = 1
+	}
+	return ops, bytes
+}
+
+// Switches reports how many PCIe switches the build instantiated.
+func (s *System) Switches() int { return s.nSwitches }
+
+// DRXCount reports how many DRX instances the placement deployed.
+func (s *System) DRXCount() int { return s.nDRX }
+
+// Energy meters the completed run (call after Run).
+func (s *System) energyReport(makespan sim.Duration) (float64, map[string]float64) {
+	meter := energy.NewMeter(s.cfg.Energy)
+	cpuBusy := s.cpuCompute.BusyTime
+	if s.cpuMem.BusyTime > cpuBusy {
+		cpuBusy = s.cpuMem.BusyTime
+	}
+	meter.AddCPU(cpuBusy, makespan)
+	for _, a := range s.apps {
+		for k, st := range a.pipe.Stages {
+			if len(a.accelDev) == 0 {
+				continue
+			}
+			srv := s.servers[a.accelDev[k]]
+			meter.AddAccelerator(st.Accel.Name, st.Accel.PowerW, srv.BusyTime)
+		}
+	}
+	if s.nDRX > 0 {
+		var drxBusy sim.Duration
+		var units int
+		for name, srv := range s.servers {
+			if len(name) > 3 && name[:3] == "drx" || len(name) > 4 && name[:4] == "sdrx" {
+				drxBusy += srv.BusyTime
+				units++
+			}
+		}
+		avg := sim.Duration(0)
+		if units > 0 {
+			avg = drxBusy / sim.Duration(units)
+		}
+		meter.AddDRX(s.nDRX, avg, makespan)
+	}
+	meter.AddSwitches(s.nSwitches, makespan)
+	meter.AddTraffic(s.Fabric.TotalBytes() + s.localBytes)
+	return meter.Total(), meter.Breakdown()
+}

@@ -1,0 +1,85 @@
+// Package drx simulates the Data Restructuring Accelerator
+// microarchitecture.
+//
+// The machine follows Sec. IV-B of the paper: a decoupled access-execute
+// pipeline with a programmable front-end (hardware loops in an
+// Instruction Repeater, a Strided Scratchpad Address Calculator), a
+// configurable number of vector Restructuring Engine (RE) lanes, a
+// Transposition Engine, and an Off-chip Data Access Engine over a single
+// DDR4-3200 channel. Programs (internal/isa) execute *functionally* —
+// real bytes move between DRAM and the scratchpad and real arithmetic
+// runs on the lanes — while the machine accounts cycles per unit, so the
+// same run yields both a verifiable output buffer and a latency estimate.
+package drx
+
+import "fmt"
+
+// Config fixes the hardware parameters of one DRX instance. The defaults
+// are the paper's evaluation configuration: 128 RE lanes, 64 KB
+// instruction cache, 64 KB data scratchpad, 8 GB DDR4 whose single
+// channel sustains ~25 GB/s (matching an x8 PCIe Gen 4 link), at 1 GHz
+// for the ASIC implementation (250 MHz for the FPGA prototype).
+type Config struct {
+	// Lanes is the number of RE vector lanes (32–256 in the Fig. 18 sweep).
+	Lanes int
+	// ScratchBytes is the software-managed data scratchpad capacity.
+	ScratchBytes int
+	// ICacheBytes bounds the encoded program size (the 64 KB instruction
+	// cache; data restructuring kernels fit easily, Sec. IV-A).
+	ICacheBytes int
+	// ClockHz is the core clock.
+	ClockHz float64
+	// DRAMBytesPerSec is the sustained off-chip bandwidth.
+	DRAMBytesPerSec float64
+	// DRAMBytes is the device memory capacity (data queues + buffers).
+	DRAMBytes int64
+}
+
+// DefaultConfig returns the paper's ASIC configuration.
+func DefaultConfig() Config {
+	return Config{
+		Lanes:           128,
+		ScratchBytes:    64 << 10,
+		ICacheBytes:     64 << 10,
+		ClockHz:         1e9,
+		DRAMBytesPerSec: 25e9,
+		DRAMBytes:       8 << 30,
+	}
+}
+
+// FPGAConfig returns the 250 MHz FPGA prototype configuration.
+func FPGAConfig() Config {
+	c := DefaultConfig()
+	c.ClockHz = 250e6
+	return c
+}
+
+// WithLanes returns a copy of the config with a different lane count
+// (the Fig. 18 sensitivity axis).
+func (c Config) WithLanes(lanes int) Config {
+	c.Lanes = lanes
+	return c
+}
+
+// Validate checks the configuration for physical plausibility.
+func (c Config) Validate() error {
+	if c.Lanes <= 0 || c.Lanes&(c.Lanes-1) != 0 {
+		return fmt.Errorf("drx: lanes must be a positive power of two, got %d", c.Lanes)
+	}
+	if c.ScratchBytes < 1024 {
+		return fmt.Errorf("drx: scratchpad %d B too small", c.ScratchBytes)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("drx: clock %v Hz", c.ClockHz)
+	}
+	if c.DRAMBytesPerSec <= 0 {
+		return fmt.Errorf("drx: DRAM bandwidth %v B/s", c.DRAMBytesPerSec)
+	}
+	if c.DRAMBytes <= 0 {
+		return fmt.Errorf("drx: DRAM capacity %d", c.DRAMBytes)
+	}
+	return nil
+}
+
+// ScratchElems reports the scratchpad capacity in float32 lane elements.
+func (c Config) ScratchElems() int { return c.ScratchBytes / 4 }

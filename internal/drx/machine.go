@@ -1,0 +1,457 @@
+package drx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dmx/internal/isa"
+)
+
+// Machine is one DRX device instance: DRAM, scratchpad, stream registers,
+// and the cycle counters of the three pipeline domains. A Machine is not
+// safe for concurrent use.
+type Machine struct {
+	cfg     Config
+	dram    []byte
+	scratch []float32
+	streams [isa.MaxStreams]stream
+	sregs   [isa.NumScalarRegs]int64
+	heap    int64 // bump allocator watermark for AllocDRAM
+
+	// OnDMA, when set, observes Dma instructions (queue id and byte
+	// count); the system layer uses it to trigger point-to-point
+	// transfers. The machine itself moves no data for Dma.
+	OnDMA func(queue int32, bytes int64)
+}
+
+// stream is one configured address generator.
+type stream struct {
+	configured bool
+	space      isa.Space
+	dtype      isa.DT
+	base       int64 // elements
+	elemStride int32
+	strides    []int32 // per loop level, outermost first
+}
+
+// Result reports the cycle accounting of one program execution. The
+// access and execute domains are decoupled (Sec. IV-B), so the runtime is
+// the slower of the two plus the serial front-end work.
+type Result struct {
+	ComputeCycles int64 // RE lanes + transposition engine
+	MemCycles     int64 // off-chip data access engine
+	CtrlCycles    int64 // configuration, sync, scalar ops
+	Instrs        int64 // dynamic instruction count
+	BytesLoaded   int64
+	BytesStored   int64
+	DMABytes      int64
+}
+
+// Cycles reports the modeled total: max of the overlapped domains plus
+// the serial control cycles.
+func (r Result) Cycles() int64 {
+	c := r.ComputeCycles
+	if r.MemCycles > c {
+		c = r.MemCycles
+	}
+	return c + r.CtrlCycles
+}
+
+// Seconds converts the total cycles to time at the given clock.
+func (r Result) Seconds(clockHz float64) float64 {
+	return float64(r.Cycles()) / clockHz
+}
+
+// New creates a machine with the given configuration. DRAM is allocated
+// lazily by AllocDRAM/WriteDRAM up to cfg.DRAMBytes.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{
+		cfg:     cfg,
+		scratch: make([]float32, cfg.ScratchElems()),
+	}, nil
+}
+
+// Config returns the machine's hardware configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// AllocDRAM reserves n bytes of device memory (16-byte aligned) and
+// returns its base address.
+func (m *Machine) AllocDRAM(n int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("drx: negative allocation %d", n)
+	}
+	addr := (m.heap + 15) &^ 15
+	if addr+n > m.cfg.DRAMBytes {
+		return 0, fmt.Errorf("drx: DRAM exhausted (%d of %d bytes)", addr+n, m.cfg.DRAMBytes)
+	}
+	m.heap = addr + n
+	m.ensure(addr + n)
+	return addr, nil
+}
+
+// ResetDRAM clears the allocator and zeroes device memory.
+func (m *Machine) ResetDRAM() {
+	m.heap = 0
+	for i := range m.dram {
+		m.dram[i] = 0
+	}
+}
+
+func (m *Machine) ensure(n int64) {
+	if int64(len(m.dram)) >= n {
+		return
+	}
+	// Grow geometrically: element-granular stores walk the heap forward,
+	// and exact-fit growth would reallocate per element.
+	newCap := int64(len(m.dram))*2 + 4096
+	if newCap < n {
+		newCap = n
+	}
+	if newCap > m.cfg.DRAMBytes {
+		newCap = m.cfg.DRAMBytes
+	}
+	grown := make([]byte, newCap)
+	copy(grown, m.dram)
+	m.dram = grown
+}
+
+// WriteDRAM copies data into device memory at addr.
+func (m *Machine) WriteDRAM(addr int64, data []byte) error {
+	if addr < 0 || addr+int64(len(data)) > m.cfg.DRAMBytes {
+		return fmt.Errorf("drx: write [%d,%d) outside DRAM", addr, addr+int64(len(data)))
+	}
+	m.ensure(addr + int64(len(data)))
+	copy(m.dram[addr:], data)
+	return nil
+}
+
+// ReadDRAM copies n bytes of device memory at addr.
+func (m *Machine) ReadDRAM(addr, n int64) ([]byte, error) {
+	if addr < 0 || addr+n > m.cfg.DRAMBytes {
+		return nil, fmt.Errorf("drx: read [%d,%d) outside DRAM", addr, addr+n)
+	}
+	m.ensure(addr + n)
+	out := make([]byte, n)
+	copy(out, m.dram[addr:])
+	return out, nil
+}
+
+// Run executes a program to completion and returns its cycle accounting.
+// The program must validate and its encoded form must fit the
+// instruction cache.
+func (m *Machine) Run(p *isa.Program) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if enc, err := isa.Encode(p); err != nil {
+		return Result{}, err
+	} else if len(enc) > m.cfg.ICacheBytes {
+		return Result{}, fmt.Errorf("drx: program %s (%d B encoded) exceeds %d B icache",
+			p.Name, len(enc), m.cfg.ICacheBytes)
+	}
+	ex := &execution{m: m}
+	if err := ex.block(p.Instrs, 0, len(p.Instrs), nil); err != nil {
+		return Result{}, fmt.Errorf("drx: %s: %w", p.Name, err)
+	}
+	return ex.res, nil
+}
+
+// execution holds the per-run interpreter state.
+type execution struct {
+	m      *Machine
+	res    Result
+	halted bool
+}
+
+// block interprets instrs[from:to) under the current loop index stack.
+func (ex *execution) block(instrs []isa.Instr, from, to int, loopIdx []int32) error {
+	for pc := from; pc < to && !ex.halted; pc++ {
+		in := instrs[pc]
+		ex.res.Instrs++
+		switch in.Op {
+		case isa.Nop:
+			ex.res.CtrlCycles++
+		case isa.Halt:
+			ex.res.CtrlCycles++
+			ex.halted = true
+			return nil
+		case isa.Barrier:
+			// Synchronization drains both pipelines: the domains join.
+			ex.res.CtrlCycles += barrierCycles
+			ex.join()
+		case isa.LoopBegin:
+			end, err := matchLoop(instrs, pc, to)
+			if err != nil {
+				return err
+			}
+			// One cycle to configure the Instruction Repeater; iterations
+			// themselves are free of branch overhead (hardware loops).
+			ex.res.CtrlCycles++
+			idx := append(loopIdx, 0)
+			for i := int32(0); i < in.N && !ex.halted; i++ {
+				idx[len(idx)-1] = i
+				if err := ex.block(instrs, pc+1, end, idx); err != nil {
+					return err
+				}
+			}
+			pc = end
+		case isa.LoopEnd:
+			// Reached only when block bounds are wrong.
+			return fmt.Errorf("instr %d: stray endloop", pc)
+		case isa.CfgStream:
+			ex.res.CtrlCycles++
+			m := ex.m
+			m.streams[in.Dst] = stream{
+				configured: true,
+				space:      in.Space,
+				dtype:      in.DType,
+				base:       in.Base,
+				elemStride: in.ElemStride,
+				strides:    in.Strides,
+			}
+		case isa.Load:
+			if err := ex.load(in, loopIdx); err != nil {
+				return fmt.Errorf("instr %d: %w", pc, err)
+			}
+		case isa.Store:
+			if err := ex.store(in, loopIdx); err != nil {
+				return fmt.Errorf("instr %d: %w", pc, err)
+			}
+		case isa.Trans:
+			if err := ex.transpose(in, loopIdx); err != nil {
+				return fmt.Errorf("instr %d: %w", pc, err)
+			}
+		case isa.Dma:
+			ex.res.CtrlCycles += dmaIssueCycles
+			ex.res.DMABytes += int64(in.N)
+			if ex.m.OnDMA != nil {
+				ex.m.OnDMA(in.Dst, int64(in.N))
+			}
+		case isa.SLi:
+			ex.res.CtrlCycles++
+			ex.m.sregs[in.Dst] = in.ImmInt
+		case isa.SAdd:
+			ex.res.CtrlCycles++
+			ex.m.sregs[in.Dst] = ex.m.sregs[in.Src1] + ex.m.sregs[in.Src2]
+		case isa.SMul:
+			ex.res.CtrlCycles++
+			ex.m.sregs[in.Dst] = ex.m.sregs[in.Src1] * ex.m.sregs[in.Src2]
+		default:
+			if !in.Op.IsVector() {
+				return fmt.Errorf("instr %d: unimplemented opcode %s", pc, in.Op)
+			}
+			if err := ex.vector(in, loopIdx); err != nil {
+				return fmt.Errorf("instr %d: %w", pc, err)
+			}
+		}
+	}
+	return nil
+}
+
+// join models a pipeline barrier: both decoupled domains advance to the
+// max and continue from there.
+func (ex *execution) join() {
+	mx := ex.res.ComputeCycles
+	if ex.res.MemCycles > mx {
+		mx = ex.res.MemCycles
+	}
+	ex.res.ComputeCycles = mx
+	ex.res.MemCycles = mx
+}
+
+func matchLoop(instrs []isa.Instr, begin, to int) (int, error) {
+	depth := 0
+	for i := begin + 1; i < to; i++ {
+		switch instrs[i].Op {
+		case isa.LoopBegin:
+			depth++
+		case isa.LoopEnd:
+			if depth == 0 {
+				return i, nil
+			}
+			depth--
+		}
+	}
+	return 0, fmt.Errorf("instr %d: loop without endloop", begin)
+}
+
+// addr computes a stream's current element address under the loop
+// indices, per the <Base, Stride, Iteration> scheme.
+func (s *stream) addr(loopIdx []int32) int64 {
+	a := s.base
+	for l, idx := range loopIdx {
+		if l < len(s.strides) {
+			a += int64(s.strides[l]) * int64(idx)
+		}
+	}
+	return a
+}
+
+func (ex *execution) streamRef(id int32) (*stream, error) {
+	s := &ex.m.streams[id]
+	if !s.configured {
+		return nil, fmt.Errorf("stream s%d used before cfgstream", id)
+	}
+	return s, nil
+}
+
+// load moves N elements DRAM→scratch, widening to f32 lanes.
+func (ex *execution) load(in isa.Instr, loopIdx []int32) error {
+	dst, err := ex.streamRef(in.Dst)
+	if err != nil {
+		return err
+	}
+	src, err := ex.streamRef(in.Src1)
+	if err != nil {
+		return err
+	}
+	if src.space != isa.DRAM || dst.space != isa.Scratch {
+		return fmt.Errorf("load wants dram→scratch, got %v→%v", src.space, dst.space)
+	}
+	sa, da := src.addr(loopIdx), dst.addr(loopIdx)
+	n := int64(in.N)
+	for i := int64(0); i < n; i++ {
+		v, err := ex.m.readElem(src.dtype, sa+i*int64(src.elemStride))
+		if err != nil {
+			return err
+		}
+		si := da + i*int64(dst.elemStride)
+		if si < 0 || si >= int64(len(ex.m.scratch)) {
+			return fmt.Errorf("load: scratch index %d out of range", si)
+		}
+		ex.m.scratch[si] = v
+	}
+	bytes := n * int64(src.dtype.Size())
+	ex.res.BytesLoaded += bytes
+	ex.res.MemCycles += ex.m.memCycles(bytes, src.elemStride, src.dtype)
+	return nil
+}
+
+// store moves N elements scratch→DRAM, narrowing with saturation.
+func (ex *execution) store(in isa.Instr, loopIdx []int32) error {
+	dst, err := ex.streamRef(in.Dst)
+	if err != nil {
+		return err
+	}
+	src, err := ex.streamRef(in.Src1)
+	if err != nil {
+		return err
+	}
+	if dst.space != isa.DRAM || src.space != isa.Scratch {
+		return fmt.Errorf("store wants scratch→dram, got %v→%v", src.space, dst.space)
+	}
+	sa, da := src.addr(loopIdx), dst.addr(loopIdx)
+	n := int64(in.N)
+	for i := int64(0); i < n; i++ {
+		si := sa + i*int64(src.elemStride)
+		if si < 0 || si >= int64(len(ex.m.scratch)) {
+			return fmt.Errorf("store: scratch index %d out of range", si)
+		}
+		if err := ex.m.writeElem(dst.dtype, da+i*int64(dst.elemStride), ex.m.scratch[si]); err != nil {
+			return err
+		}
+	}
+	bytes := n * int64(dst.dtype.Size())
+	ex.res.BytesStored += bytes
+	ex.res.MemCycles += ex.m.memCycles(bytes, dst.elemStride, dst.dtype)
+	return nil
+}
+
+// transpose runs the Transposition Engine on an N×M scratch tile.
+func (ex *execution) transpose(in isa.Instr, loopIdx []int32) error {
+	dst, err := ex.streamRef(in.Dst)
+	if err != nil {
+		return err
+	}
+	src, err := ex.streamRef(in.Src1)
+	if err != nil {
+		return err
+	}
+	if dst.space != isa.Scratch || src.space != isa.Scratch {
+		return fmt.Errorf("trans operands must be scratch streams")
+	}
+	rows, cols := int64(in.N), int64(in.M)
+	sa, da := src.addr(loopIdx), dst.addr(loopIdx)
+	total := rows * cols
+	if sa < 0 || sa+total > int64(len(ex.m.scratch)) || da < 0 || da+total > int64(len(ex.m.scratch)) {
+		return fmt.Errorf("trans: tile outside scratchpad")
+	}
+	tmp := make([]float32, total)
+	for r := int64(0); r < rows; r++ {
+		for c := int64(0); c < cols; c++ {
+			tmp[c*rows+r] = ex.m.scratch[sa+r*cols+c]
+		}
+	}
+	copy(ex.m.scratch[da:da+total], tmp)
+	ex.res.ComputeCycles += ceilDiv(total, int64(ex.m.cfg.Lanes)) + transFixedCycles
+	return nil
+}
+
+func (m *Machine) readElem(dt isa.DT, elem int64) (float32, error) {
+	off := elem * int64(dt.Size())
+	if off < 0 || off+int64(dt.Size()) > m.cfg.DRAMBytes {
+		return 0, fmt.Errorf("dram read at element %d (%v) out of range", elem, dt)
+	}
+	m.ensure(off + int64(dt.Size()))
+	b := m.dram[off:]
+	switch dt {
+	case isa.U8:
+		return float32(b[0]), nil
+	case isa.I8:
+		return float32(int8(b[0])), nil
+	case isa.I16:
+		return float32(int16(binary.LittleEndian.Uint16(b))), nil
+	case isa.I32:
+		return float32(int32(binary.LittleEndian.Uint32(b))), nil
+	case isa.F32:
+		return math.Float32frombits(binary.LittleEndian.Uint32(b)), nil
+	case isa.F64:
+		return float32(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	}
+	return 0, fmt.Errorf("unknown stream dtype %v", dt)
+}
+
+func (m *Machine) writeElem(dt isa.DT, elem int64, v float32) error {
+	off := elem * int64(dt.Size())
+	if off < 0 || off+int64(dt.Size()) > m.cfg.DRAMBytes {
+		return fmt.Errorf("dram write at element %d (%v) out of range", elem, dt)
+	}
+	m.ensure(off + int64(dt.Size()))
+	b := m.dram[off:]
+	switch dt {
+	case isa.U8:
+		b[0] = uint8(clampRound(v, 0, 255))
+	case isa.I8:
+		b[0] = byte(int8(clampRound(v, -128, 127)))
+	case isa.I16:
+		binary.LittleEndian.PutUint16(b, uint16(int16(clampRound(v, math.MinInt16, math.MaxInt16))))
+	case isa.I32:
+		binary.LittleEndian.PutUint32(b, uint32(int32(clampRound(v, math.MinInt32, math.MaxInt32))))
+	case isa.F32:
+		binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+	case isa.F64:
+		binary.LittleEndian.PutUint64(b, math.Float64bits(float64(v)))
+	default:
+		return fmt.Errorf("unknown stream dtype %v", dt)
+	}
+	return nil
+}
+
+// clampRound matches the tensor package's half-away-from-zero rounding
+// and saturation, so DRX stores agree with the reference executor.
+func clampRound(v float32, lo, hi float64) float64 {
+	x := math.Round(float64(v))
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,146 @@
+package drxc
+
+import (
+	"testing"
+
+	"dmx/internal/drx"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// ablationCycles compiles and times a kernel under the given options,
+// also verifying functional equivalence with the fully-optimized build —
+// the ablations must change performance, never results.
+func ablationCycles(t testing.TB, k *restructure.Kernel, opts Options,
+	inputs map[string]*tensor.Tensor) int64 {
+	t.Helper()
+	cfg := drx.DefaultConfig()
+	c, err := CompileWithOptions(k, cfg, opts)
+	if err != nil {
+		t.Fatalf("%s %+v: %v", k.Name, opts, err)
+	}
+	m, err := drx.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, res, err := Execute(c, m, inputs)
+	if err != nil {
+		t.Fatalf("%s %+v: %v", k.Name, opts, err)
+	}
+	if opts != (Options{}) {
+		base, err := Compile(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, _ := drx.New(cfg)
+		want, _, err := Execute(base, m2, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, w := range want {
+			if !tensor.AllClose(w, out[name], 1e-4) {
+				t.Fatalf("%s: ablation %+v changed output %q", k.Name, opts, name)
+			}
+		}
+	}
+	return res.Cycles()
+}
+
+func videoInputs(pixels int) map[string]*tensor.Tensor {
+	yuv := tensor.New(tensor.Uint8, pixels, 3)
+	for i := 0; i < pixels; i++ {
+		yuv.Set(float64(i%251), i, 0)
+		yuv.Set(float64((i*3)%251), i, 1)
+		yuv.Set(float64((i*7)%251), i, 2)
+	}
+	return map[string]*tensor.Tensor{
+		"yuv": yuv, "csc": restructure.CSCMatrix(), "bias": restructure.CSCBiasProjected(),
+	}
+}
+
+func columnInputs(nrows int) map[string]*tensor.Tensor {
+	rows := tensor.New(tensor.Uint8, nrows, 23)
+	for r := 0; r < nrows; r++ {
+		for d := 0; d < 13; d++ {
+			rows.Set(float64('0'+(r+d)%10), r, d)
+		}
+		for p := 13; p < 23; p++ {
+			rows.Set(float64((r*p)%256), r, p)
+		}
+	}
+	return map[string]*tensor.Tensor{"rows": rows}
+}
+
+// TestAblationBlockedMap: the merged-inner-dimension schedule must be a
+// large win for narrow Maps (the video quantizer's 3-wide rows).
+func TestAblationBlockedMap(t *testing.T) {
+	const pixels = 64 * 1024
+	k := restructure.VideoPreprocess(pixels)
+	in := videoInputs(pixels)
+	fast := ablationCycles(t, k, Options{}, in)
+	slow := ablationCycles(t, k, Options{NoBlockedMap: true}, in)
+	if slow < 4*fast {
+		t.Errorf("blocked map only %.1fx (%d vs %d cycles); expected a large win",
+			float64(slow)/float64(fast), slow, fast)
+	}
+}
+
+// TestAblationTransEngine: the Transposition Engine panel schedule must
+// beat the strided-copy fallback on the layout pivots.
+func TestAblationTransEngine(t *testing.T) {
+	const pixels = 64 * 1024
+	k := restructure.VideoPreprocess(pixels)
+	in := videoInputs(pixels)
+	fast := ablationCycles(t, k, Options{}, in)
+	slow := ablationCycles(t, k, Options{NoTransEngine: true}, in)
+	if slow <= fast {
+		t.Errorf("transposition engine did not help: %d vs %d cycles", slow, fast)
+	}
+}
+
+// TestAblationGatherShare: sharing the row panel across the hash-join
+// parser's digit leaves must reduce DRAM traffic and cycles.
+func TestAblationGatherShare(t *testing.T) {
+	const nrows = 32 * 1024
+	k := restructure.ColumnPack(nrows, 6, 7, 10)
+	in := columnInputs(nrows)
+	fast := ablationCycles(t, k, Options{}, in)
+	slow := ablationCycles(t, k, Options{NoGatherShare: true}, in)
+	if slow <= fast {
+		t.Errorf("gather sharing did not help: %d vs %d cycles", slow, fast)
+	}
+}
+
+// BenchmarkAblation reports simulated DRX cycles for the two
+// schedule-sensitive kernels under each ablation — the design-choice
+// ablation series DESIGN.md §6 calls out.
+func BenchmarkAblation(b *testing.B) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"full", Options{}},
+		{"noBlockedMap", Options{NoBlockedMap: true}},
+		{"noTransEngine", Options{NoTransEngine: true}},
+		{"noGatherShare", Options{NoGatherShare: true}},
+	}
+	kernels := []struct {
+		name   string
+		k      *restructure.Kernel
+		inputs map[string]*tensor.Tensor
+	}{
+		{"videoPreprocess", restructure.VideoPreprocess(64 * 1024), videoInputs(64 * 1024)},
+		{"columnPack", restructure.ColumnPack(32*1024, 6, 7, 10), columnInputs(32 * 1024)},
+	}
+	for _, kc := range kernels {
+		for _, c := range cases {
+			b.Run(kc.name+"/"+c.name, func(b *testing.B) {
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					cycles = ablationCycles(b, kc.k, c.opts, kc.inputs)
+				}
+				b.ReportMetric(float64(cycles), "drxCycles")
+			})
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package drxc
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dmx/internal/drx"
+	"dmx/internal/isa"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// differential runs a kernel on both the reference interpreter and the
+// compiled DRX program and compares outputs within tol.
+func differential(t *testing.T, k *restructure.Kernel, inputs map[string]*tensor.Tensor, tol float64) drx.Result {
+	t.Helper()
+	want, err := restructure.Run(k, inputs)
+	if err != nil {
+		t.Fatalf("%s: reference: %v", k.Name, err)
+	}
+	m, err := drx.New(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := CompileAndRun(k, m, inputs)
+	if err != nil {
+		t.Fatalf("%s: DRX: %v", k.Name, err)
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("%s: DRX run missing output %q", k.Name, name)
+		}
+		if !tensor.AllClose(w, g, tol) {
+			reportDiff(t, k.Name, name, w, g)
+		}
+	}
+	return res
+}
+
+func reportDiff(t *testing.T, kname, pname string, w, g *tensor.Tensor) {
+	t.Helper()
+	it := tensor.NewIter(w.Shape())
+	shown := 0
+	for it.Next() && shown < 5 {
+		a, b := w.At(it.Index()...), g.At(it.Index()...)
+		if math.Abs(a-b) > 1e-9 {
+			t.Errorf("%s: output %q differs at %v: reference %v, DRX %v", kname, pname, it.Index(), a, b)
+			shown++
+		}
+	}
+	if shown == 0 {
+		t.Errorf("%s: output %q differs (shape/dtype level)", kname, pname)
+	}
+}
+
+func randComplex(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(tensor.Complex64, shape...)
+	it := tensor.NewIter(shape)
+	for it.Next() {
+		t.SetComplex(complex(rng.Float64()*4-2, rng.Float64()*4-2), it.Index()...)
+	}
+	return t
+}
+
+func randFloat32(rng *rand.Rand, lo, hi float64, shape ...int) *tensor.Tensor {
+	t := tensor.New(tensor.Float32, shape...)
+	it := tensor.NewIter(shape)
+	for it.Next() {
+		t.Set(lo+rng.Float64()*(hi-lo), it.Index()...)
+	}
+	return t
+}
+
+func randBytes(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(tensor.Uint8, shape...)
+	it := tensor.NewIter(shape)
+	for it.Next() {
+		t.Set(float64(rng.Intn(256)), it.Index()...)
+	}
+	return t
+}
+
+func TestCompileMelSpectrogramMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	frames, bins, mels := 12, 64, 16
+	k := restructure.MelSpectrogram(frames, bins, mels)
+	inputs := map[string]*tensor.Tensor{
+		"spectrum": randComplex(rng, frames, bins),
+		"melw":     restructure.MelWeights(bins, mels),
+	}
+	differential(t, k, inputs, 1e-3)
+}
+
+func TestCompileVideoPreprocessMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pixels := 256 // divisible by 64 → exercises the Transposition Engine
+	k := restructure.VideoPreprocess(pixels)
+	inputs := map[string]*tensor.Tensor{
+		"yuv":  randBytes(rng, pixels, 3),
+		"csc":  restructure.CSCMatrix(),
+		"bias": restructure.CSCBiasProjected(),
+	}
+	// int8 quantization boundaries: float32 vs float64 rounding can land
+	// on either side of .5 — allow off-by-one on the int8 grid.
+	differential(t, k, inputs, 1.01)
+}
+
+func TestCompileSignalNormalizeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	batch, bins := 6, 96
+	k := restructure.SignalNormalize(batch, bins)
+	inputs := map[string]*tensor.Tensor{"freq": randComplex(rng, batch, bins)}
+	differential(t, k, inputs, 1e-4)
+}
+
+func TestCompileRecordFrameMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k := restructure.RecordFrame(16, 48)
+	inputs := map[string]*tensor.Tensor{"plain": randBytes(rng, 16*48)}
+	differential(t, k, inputs, 0)
+}
+
+func TestCompileColumnPackMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nrows, keyDigits, amtDigits, payBytes := 128, 6, 7, 10
+	rows := tensor.New(tensor.Uint8, nrows, keyDigits+amtDigits+payBytes)
+	for r := 0; r < nrows; r++ {
+		for d := 0; d < keyDigits+amtDigits; d++ {
+			rows.Set(float64('0'+rng.Intn(10)), r, d)
+		}
+		for p := 0; p < payBytes; p++ {
+			rows.Set(float64(rng.Intn(256)), r, keyDigits+amtDigits+p)
+		}
+	}
+	k := restructure.ColumnPack(nrows, keyDigits, amtDigits, payBytes)
+	differential(t, k, map[string]*tensor.Tensor{"rows": rows}, 0)
+}
+
+func TestCompileNERPrepMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	k := restructure.NERPrep(32, 64, 128)
+	inputs := map[string]*tensor.Tensor{"records": randBytes(rng, 32, 64)}
+	differential(t, k, inputs, 0)
+}
+
+func TestCompileSumReduceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	k := restructure.SumReduce(8, 300)
+	inputs := map[string]*tensor.Tensor{"parts": randFloat32(rng, -10, 10, 8, 300)}
+	differential(t, k, inputs, 1e-3)
+}
+
+func TestCompileLargeKernelNeedsTiling(t *testing.T) {
+	// 100k elements cannot fit the 16k-element scratchpad: the compiler
+	// must tile, and the result must still be exact.
+	rng := rand.New(rand.NewSource(8))
+	k := restructure.RecordFrame(100, 1000)
+	inputs := map[string]*tensor.Tensor{"plain": randBytes(rng, 100000)}
+	res := differential(t, k, inputs, 0)
+	if res.BytesLoaded < 100000 {
+		t.Errorf("BytesLoaded = %d, want >= 100000", res.BytesLoaded)
+	}
+}
+
+func TestCompileReduceMaxAndOddSizes(t *testing.T) {
+	// Remainder paths: 3 rows of length 7777 (not a divisor-friendly
+	// size) reduced with MaxR.
+	rng := rand.New(rand.NewSource(9))
+	k := &restructure.Kernel{
+		Name: "rowmax",
+		Params: []restructure.Param{
+			{Name: "x", DType: tensor.Float32, Shape: []int{3, 7777}, Dir: restructure.In},
+			{Name: "y", DType: tensor.Float32, Shape: []int{3}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{
+			&restructure.ReduceStage{Out: "y", In: "x", Axis: 1, Op: restructure.MaxR},
+		},
+	}
+	inputs := map[string]*tensor.Tensor{"x": randFloat32(rng, -100, 100, 3, 7777)}
+	differential(t, k, inputs, 1e-4)
+}
+
+func TestCompileTransposeFallbackPath(t *testing.T) {
+	// 37x53: prime-ish dims defeat the Transposition Engine tiling and
+	// exercise the strided Map fallback.
+	rng := rand.New(rand.NewSource(10))
+	k := &restructure.Kernel{
+		Name: "transpose-odd",
+		Params: []restructure.Param{
+			{Name: "x", DType: tensor.Float32, Shape: []int{37, 53}, Dir: restructure.In},
+			{Name: "y", DType: tensor.Float32, Shape: []int{53, 37}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{
+			&restructure.TransposeStage{Out: "y", In: "x", Perm: []int{1, 0}},
+		},
+	}
+	inputs := map[string]*tensor.Tensor{"x": randFloat32(rng, -5, 5, 37, 53)}
+	differential(t, k, inputs, 0)
+}
+
+func TestCompileTransposeEnginePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	k := &restructure.Kernel{
+		Name: "transpose-even",
+		Params: []restructure.Param{
+			{Name: "x", DType: tensor.Float32, Shape: []int{128, 192}, Dir: restructure.In},
+			{Name: "y", DType: tensor.Float32, Shape: []int{192, 128}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{
+			&restructure.TransposeStage{Out: "y", In: "x", Perm: []int{1, 0}},
+		},
+	}
+	c, err := Compile(k, drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The engine path must actually use Trans instructions.
+	found := false
+	for _, in := range c.Prog.Instrs {
+		if in.Op == isa.Trans {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("expected Trans instructions for divisor-friendly transpose")
+	}
+	inputs := map[string]*tensor.Tensor{"x": randFloat32(rng, -5, 5, 128, 192)}
+	differential(t, k, inputs, 0)
+}
+
+func TestCompileRejectsInt64(t *testing.T) {
+	k := &restructure.Kernel{
+		Name: "int64",
+		Params: []restructure.Param{
+			{Name: "x", DType: tensor.Int64, Shape: []int{4}, Dir: restructure.In},
+			{Name: "y", DType: tensor.Int64, Shape: []int{4}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{
+			&restructure.MapStage{Out: "y", Ins: []string{"x"},
+				Accs: []restructure.Access{restructure.IdentityAccess(1)}, Expr: restructure.InN(0)},
+		},
+	}
+	m, _ := drx.New(drx.DefaultConfig())
+	if _, _, err := CompileAndRun(k, m, nil); err == nil || !strings.Contains(err.Error(), "unsupported") {
+		t.Fatalf("want unsupported-dtype error, got %v", err)
+	}
+}
+
+func TestCompileMatMulOddTiles(t *testing.T) {
+	// n chosen so the column tiling has a remainder.
+	rng := rand.New(rand.NewSource(12))
+	k := &restructure.Kernel{
+		Name: "mm-odd",
+		Params: []restructure.Param{
+			{Name: "a", DType: tensor.Float32, Shape: []int{9, 700}, Dir: restructure.In},
+			{Name: "b", DType: tensor.Float32, Shape: []int{700, 23}, Dir: restructure.In},
+			{Name: "c", DType: tensor.Float32, Shape: []int{9, 23}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{&restructure.MatMulStage{Out: "c", A: "a", B: "b"}},
+	}
+	inputs := map[string]*tensor.Tensor{
+		"a": randFloat32(rng, -1, 1, 9, 700),
+		"b": randFloat32(rng, -1, 1, 700, 23),
+	}
+	differential(t, k, inputs, 1e-2)
+}
+
+func TestCompiledProgramsDisassemble(t *testing.T) {
+	// Every generated program must survive the assembler round trip —
+	// proof that the compiler emits only well-formed ISA.
+	kernels := []*restructure.Kernel{
+		restructure.MelSpectrogram(8, 32, 8),
+		restructure.VideoPreprocess(128),
+		restructure.SignalNormalize(4, 64),
+		restructure.RecordFrame(8, 32),
+		restructure.ColumnPack(64, 6, 7, 10),
+		restructure.NERPrep(16, 32, 64),
+		restructure.SumReduce(4, 100),
+	}
+	for _, k := range kernels {
+		c, err := Compile(k, drx.DefaultConfig())
+		if err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+			continue
+		}
+		if _, err := isa.Assemble(c.Prog.Disassemble()); err != nil {
+			t.Errorf("%s: disassembly does not re-assemble: %v", k.Name, err)
+		}
+		if _, err := isa.Encode(c.Prog); err != nil {
+			t.Errorf("%s: encode: %v", k.Name, err)
+		}
+	}
+}
+
+func TestLaneSweepChangesCycles(t *testing.T) {
+	// Fig. 18's premise: more lanes → fewer compute cycles, saturating
+	// once memory dominates.
+	rng := rand.New(rand.NewSource(13))
+	k := restructure.MelSpectrogram(32, 128, 32)
+	inputs := map[string]*tensor.Tensor{
+		"spectrum": randComplex(rng, 32, 128),
+		"melw":     restructure.MelWeights(128, 32),
+	}
+	var prev int64 = math.MaxInt64
+	for _, lanes := range []int{32, 64, 128} {
+		m, err := drx.New(drx.DefaultConfig().WithLanes(lanes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := CompileAndRun(k, m, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ComputeCycles > prev {
+			t.Errorf("%d lanes: compute cycles %d grew vs previous %d", lanes, res.ComputeCycles, prev)
+		}
+		prev = res.ComputeCycles
+	}
+}
+
+func TestCompileLayoutDisjoint(t *testing.T) {
+	k := restructure.MelSpectrogram(8, 32, 8)
+	c, err := Compile(k, drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type region struct {
+		name   string
+		lo, hi int64
+	}
+	var regions []region
+	for _, p := range k.Params {
+		base := c.Layout[p.Name]
+		regions = append(regions, region{p.Name, base, base + int64(p.SizeBytes())})
+	}
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			a, b := regions[i], regions[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Errorf("regions %s and %s overlap", a.name, b.name)
+			}
+		}
+	}
+	if c.DRAMBytes <= 0 {
+		t.Error("DRAMBytes not reported")
+	}
+}
+
+func TestCompileReduceOuterAxisAllOps(t *testing.T) {
+	// Axis-0 reductions (the accumulate-across-partials path) for every
+	// reduction operator, with remainder-producing sizes.
+	rng := rand.New(rand.NewSource(14))
+	for _, op := range []restructure.ReduceOp{restructure.SumR, restructure.MaxR, restructure.MeanR} {
+		k := &restructure.Kernel{
+			Name: "outer-" + op.String(),
+			Params: []restructure.Param{
+				{Name: "x", DType: tensor.Float32, Shape: []int{5, 333}, Dir: restructure.In},
+				{Name: "y", DType: tensor.Float32, Shape: []int{333}, Dir: restructure.Out},
+			},
+			Stages: []restructure.Stage{
+				&restructure.ReduceStage{Out: "y", In: "x", Axis: 0, Op: op},
+			},
+		}
+		inputs := map[string]*tensor.Tensor{"x": randFloat32(rng, -50, 50, 5, 333)}
+		differential(t, k, inputs, 1e-3)
+	}
+}
+
+func TestCompileMeanLastAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	k := &restructure.Kernel{
+		Name: "rowmean",
+		Params: []restructure.Param{
+			{Name: "x", DType: tensor.Float32, Shape: []int{7, 1234}, Dir: restructure.In},
+			{Name: "y", DType: tensor.Float32, Shape: []int{7}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{
+			&restructure.ReduceStage{Out: "y", In: "x", Axis: 1, Op: restructure.MeanR},
+		},
+	}
+	inputs := map[string]*tensor.Tensor{"x": randFloat32(rng, -5, 5, 7, 1234)}
+	differential(t, k, inputs, 1e-3)
+}

@@ -1,0 +1,56 @@
+package drxc
+
+import (
+	"fmt"
+
+	"dmx/internal/drx"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// Execute runs a compiled kernel on a machine: inputs are placed at their
+// layout addresses, the program runs, and the Out parameters are read
+// back as tensors. The machine must have been created with (at least) the
+// configuration the kernel was compiled for.
+func Execute(c *Compiled, m *drx.Machine, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, drx.Result, error) {
+	if m.Config().ScratchBytes < c.cfg.ScratchBytes {
+		return nil, drx.Result{}, fmt.Errorf("drxc: machine scratchpad smaller than compiled target")
+	}
+	k := c.kernel
+	for _, p := range k.Inputs() {
+		t, ok := inputs[p.Name]
+		if !ok {
+			return nil, drx.Result{}, fmt.Errorf("drxc: missing input %q", p.Name)
+		}
+		if t.DType() != p.DType {
+			return nil, drx.Result{}, fmt.Errorf("drxc: input %q dtype %v, want %v", p.Name, t.DType(), p.DType)
+		}
+		if err := m.WriteDRAM(c.Layout[p.Name], t.Contiguous().Bytes()); err != nil {
+			return nil, drx.Result{}, err
+		}
+	}
+	res, err := m.Run(c.Prog)
+	if err != nil {
+		return nil, drx.Result{}, err
+	}
+	outs := make(map[string]*tensor.Tensor)
+	for _, p := range k.Outputs() {
+		raw, err := m.ReadDRAM(c.Layout[p.Name], int64(p.SizeBytes()))
+		if err != nil {
+			return nil, drx.Result{}, err
+		}
+		t := tensor.FromBytes(raw, p.SizeBytes()).Reinterpret(p.DType, p.Shape...)
+		outs[p.Name] = t
+	}
+	return outs, res, nil
+}
+
+// CompileAndRun is a convenience wrapper: compile the kernel for the
+// machine's configuration, execute it, and return outputs plus timing.
+func CompileAndRun(k *restructure.Kernel, m *drx.Machine, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, drx.Result, error) {
+	c, err := Compile(k, m.Config())
+	if err != nil {
+		return nil, drx.Result{}, err
+	}
+	return Execute(c, m, inputs)
+}

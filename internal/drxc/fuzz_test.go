@@ -1,0 +1,205 @@
+package drxc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmx/internal/drx"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// Randomized differential testing: generate arbitrary (valid) Map
+// kernels — random shapes, random in-bounds affine accesses, random
+// expression trees — and require the compiled DRX execution to agree
+// with the reference interpreter. This is the broadest correctness net
+// over the compiler's schedule selection (plain, blocked, gather,
+// periodic) and the machine's addressing.
+
+// randExpr builds a random expression over nIn inputs. Depth-bounded;
+// avoids Div/Mod/Exp whose float32-vs-float64 divergence would force
+// loose tolerances.
+func randExpr(rng *rand.Rand, nIn, depth int) restructure.Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(4) == 0 {
+			return restructure.C(math.Round(rng.Float64()*8-4) / 2)
+		}
+		return restructure.InN(rng.Intn(nIn))
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return restructure.AddE(randExpr(rng, nIn, depth-1), randExpr(rng, nIn, depth-1))
+	case 1:
+		return restructure.SubE(randExpr(rng, nIn, depth-1), randExpr(rng, nIn, depth-1))
+	case 2:
+		return restructure.MulE(randExpr(rng, nIn, depth-1), randExpr(rng, nIn, depth-1))
+	case 3:
+		return restructure.Binary{Op: restructure.Min,
+			X: randExpr(rng, nIn, depth-1), Y: randExpr(rng, nIn, depth-1)}
+	case 4:
+		return restructure.Binary{Op: restructure.Max,
+			X: randExpr(rng, nIn, depth-1), Y: randExpr(rng, nIn, depth-1)}
+	default:
+		return restructure.Unary{Op: restructure.Abs, X: randExpr(rng, nIn, depth-1)}
+	}
+}
+
+// randAccess builds an in-bounds affine access from outShape into a
+// fresh input shape it also returns.
+func randAccess(rng *rand.Rand, outShape []int) (restructure.Access, []int) {
+	switch rng.Intn(4) {
+	case 0: // identity (same shape)
+		return restructure.IdentityAccess(len(outShape)), append([]int(nil), outShape...)
+	case 1: // strided, with offset headroom
+		offs := make([]int, len(outShape))
+		strides := make([]int, len(outShape))
+		inShape := make([]int, len(outShape))
+		for d := range outShape {
+			strides[d] = 1 + rng.Intn(3)
+			offs[d] = rng.Intn(3)
+			inShape[d] = offs[d] + strides[d]*(outShape[d]-1) + 1 + rng.Intn(2)
+		}
+		return restructure.StridedAccess(offs, strides), inShape
+	case 2: // broadcast of a small vector over the last dim
+		if len(outShape) >= 2 {
+			inShape := []int{outShape[len(outShape)-1]}
+			coef := make([][]int, 1)
+			coef[0] = make([]int, len(outShape))
+			coef[0][len(outShape)-1] = 1
+			return restructure.Access{Offset: []int{0}, Coef: coef}, inShape
+		}
+		fallthrough
+	default: // permuted (rank 2 only), else identity
+		if len(outShape) == 2 {
+			return restructure.PermuteAccess([]int{1, 0}),
+				[]int{outShape[1], outShape[0]}
+		}
+		return restructure.IdentityAccess(len(outShape)), append([]int(nil), outShape...)
+	}
+}
+
+func randShape(rng *rand.Rand) []int {
+	switch rng.Intn(3) {
+	case 0: // rank 1
+		return []int{1 + rng.Intn(700)}
+	case 1: // rank 2, possibly narrow inner (exercises blocked mode)
+		return []int{1 + rng.Intn(80), 1 + rng.Intn(24)}
+	default: // rank 2 wide or rank 3
+		if rng.Intn(2) == 0 {
+			return []int{1 + rng.Intn(20), 16 + rng.Intn(300)}
+		}
+		return []int{1 + rng.Intn(6), 1 + rng.Intn(10), 1 + rng.Intn(40)}
+	}
+}
+
+func TestFuzzCompiledMapsMatchReference(t *testing.T) {
+	const trials = 60
+	rng := rand.New(rand.NewSource(20260705))
+	cfg := drx.DefaultConfig()
+	for trial := 0; trial < trials; trial++ {
+		outShape := randShape(rng)
+		nIn := 1 + rng.Intn(3)
+		params := []restructure.Param{}
+		ins := make([]string, nIn)
+		accs := make([]restructure.Access, nIn)
+		inputs := map[string]*tensor.Tensor{}
+		names := []string{"a", "b", "c"}
+		for i := 0; i < nIn; i++ {
+			acc, inShape := randAccess(rng, outShape)
+			ins[i] = names[i]
+			accs[i] = acc
+			params = append(params, restructure.Param{
+				Name: names[i], DType: tensor.Float32, Shape: inShape, Dir: restructure.In,
+			})
+			tt := tensor.New(tensor.Float32, inShape...)
+			it := tensor.NewIter(inShape)
+			for it.Next() {
+				// Half-integer grid keeps float32/float64 results exact
+				// through +,-,min,max and low-magnitude products.
+				tt.Set(math.Round(rng.Float64()*16-8)/2, it.Index()...)
+			}
+			inputs[names[i]] = tt
+		}
+		params = append(params, restructure.Param{
+			Name: "out", DType: tensor.Float32, Shape: outShape, Dir: restructure.Out,
+		})
+		k := &restructure.Kernel{
+			Name:   "fuzz",
+			Params: params,
+			Stages: []restructure.Stage{&restructure.MapStage{
+				Out: "out", Ins: ins, Accs: accs, Expr: randExpr(rng, nIn, 3),
+			}},
+		}
+		if err := k.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid kernel: %v", trial, err)
+		}
+		want, err := restructure.Run(k, inputs)
+		if err != nil {
+			t.Fatalf("trial %d: reference: %v", trial, err)
+		}
+		m, err := drx.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := CompileAndRun(k, m, inputs)
+		if err != nil {
+			t.Fatalf("trial %d (out %v): compile/run: %v", trial, outShape, err)
+		}
+		if !tensor.AllClose(want["out"], got["out"], 1e-3) {
+			t.Fatalf("trial %d (out %v, %d ins): DRX diverges from reference", trial, outShape, nIn)
+		}
+	}
+}
+
+// TestFuzzAblationsMatchReference repeats a smaller fuzz under each
+// ablation: disabling an optimization must never change results.
+func TestFuzzAblationsMatchReference(t *testing.T) {
+	const trials = 20
+	rng := rand.New(rand.NewSource(42))
+	cfg := drx.DefaultConfig()
+	opts := []Options{
+		{NoBlockedMap: true},
+		{NoTransEngine: true},
+		{NoGatherShare: true},
+	}
+	for trial := 0; trial < trials; trial++ {
+		outShape := []int{1 + rng.Intn(50), 1 + rng.Intn(12)} // narrow: blocked-mode territory
+		acc, inShape := randAccess(rng, outShape)
+		k := &restructure.Kernel{
+			Name: "fuzz-ablate",
+			Params: []restructure.Param{
+				{Name: "a", DType: tensor.Float32, Shape: inShape, Dir: restructure.In},
+				{Name: "out", DType: tensor.Float32, Shape: outShape, Dir: restructure.Out},
+			},
+			Stages: []restructure.Stage{&restructure.MapStage{
+				Out: "out", Ins: []string{"a"}, Accs: []restructure.Access{acc},
+				Expr: randExpr(rng, 1, 2),
+			}},
+		}
+		tt := tensor.New(tensor.Float32, inShape...)
+		it := tensor.NewIter(inShape)
+		for it.Next() {
+			tt.Set(math.Round(rng.Float64()*8-4)/2, it.Index()...)
+		}
+		inputs := map[string]*tensor.Tensor{"a": tt}
+		want, err := restructure.Run(k, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range opts {
+			c, err := CompileWithOptions(k, cfg, o)
+			if err != nil {
+				t.Fatalf("trial %d %+v: %v", trial, o, err)
+			}
+			m, _ := drx.New(cfg)
+			got, _, err := Execute(c, m, inputs)
+			if err != nil {
+				t.Fatalf("trial %d %+v: %v", trial, o, err)
+			}
+			if !tensor.AllClose(want["out"], got["out"], 1e-3) {
+				t.Fatalf("trial %d: ablation %+v changed results", trial, o)
+			}
+		}
+	}
+}

@@ -1,0 +1,461 @@
+package drxc
+
+import (
+	"fmt"
+
+	"dmx/internal/isa"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// leafKey identifies one loaded operand of a Map expression: which input
+// of the stage, and which complex component (0 = real/whole, 1 = imag).
+type leafKey struct {
+	input int
+	comp  int
+}
+
+// vop is a symbolic vector instruction over buffer indices, produced by
+// the expression compiler before buffers are placed in the scratchpad.
+type vop struct {
+	op  isa.Opcode
+	dst int
+	a   int
+	b   int // noBuf when unused
+	imm float32
+}
+
+// noBuf marks an absent second operand (temp ids are negative, so -1
+// cannot serve as the sentinel).
+const noBuf = int(^uint(0) >> 1)
+
+// exprProgram is the symbolic compilation of one Map expression.
+type exprProgram struct {
+	leaves  []leafKey
+	leafIdx map[leafKey]int
+	nTemps  int
+	free    []int
+	ops     []vop
+	result  int
+}
+
+// compileExpr lowers a restructure.Expr tree into vector ops over
+// abstract buffers, reusing temporaries tree-style.
+func compileExpr(e restructure.Expr) (*exprProgram, error) {
+	p := &exprProgram{leafIdx: make(map[leafKey]int)}
+	r, err := p.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	p.result = r
+	return p, nil
+}
+
+func (p *exprProgram) leaf(k leafKey) int {
+	if i, ok := p.leafIdx[k]; ok {
+		return i
+	}
+	i := len(p.leaves)
+	p.leaves = append(p.leaves, k)
+	p.leafIdx[k] = i
+	return i
+}
+
+// Buffer numbering: leaves occupy [0, len(leaves)); temps follow. Because
+// leaves are discovered during compilation, temps are numbered from the
+// top (negative) and fixed up afterward by bufCount/mapBuf.
+func (p *exprProgram) allocTemp() int {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		return t
+	}
+	p.nTemps++
+	return -p.nTemps // temp k is -k-? (temp ids are negative)
+}
+
+func (p *exprProgram) freeTemp(b int) {
+	if b < 0 {
+		p.free = append(p.free, b)
+	}
+}
+
+func isTemp(b int) bool { return b < 0 }
+
+// bufCount reports the total number of tile buffers needed.
+func (p *exprProgram) bufCount() int { return len(p.leaves) + p.nTemps }
+
+// bufIndex maps an abstract buffer id to a dense index in [0, bufCount).
+func (p *exprProgram) bufIndex(b int) int {
+	if b >= 0 {
+		return b
+	}
+	return len(p.leaves) + (-b - 1)
+}
+
+func (p *exprProgram) emit(op isa.Opcode, dst, a, b int, imm float32) {
+	p.ops = append(p.ops, vop{op: op, dst: dst, a: a, b: b, imm: imm})
+}
+
+// materializeConst fills a fresh temp with a constant.
+func (p *exprProgram) materializeConst(c float64) int {
+	t := p.allocTemp()
+	p.emit(isa.VMulI, t, t, noBuf, 0)
+	p.emit(isa.VAddI, t, t, noBuf, float32(c))
+	return t
+}
+
+var unOpTable = map[restructure.UnOp]isa.Opcode{
+	restructure.Neg:   isa.VNeg,
+	restructure.Abs:   isa.VAbs,
+	restructure.Sqrt:  isa.VSqrt,
+	restructure.Log:   isa.VLog,
+	restructure.Exp:   isa.VExp,
+	restructure.Floor: isa.VFloor,
+}
+
+var binOpTable = map[restructure.BinOp]isa.Opcode{
+	restructure.Add: isa.VAdd,
+	restructure.Sub: isa.VSub,
+	restructure.Mul: isa.VMul,
+	restructure.Div: isa.VDiv,
+	restructure.Min: isa.VMin,
+	restructure.Max: isa.VMax,
+	restructure.Mod: isa.VMod,
+}
+
+var immOpTable = map[restructure.BinOp]isa.Opcode{
+	restructure.Add: isa.VAddI,
+	restructure.Sub: isa.VSubI,
+	restructure.Mul: isa.VMulI,
+	restructure.Div: isa.VDivI,
+	restructure.Min: isa.VMinI,
+	restructure.Max: isa.VMaxI,
+}
+
+func commutative(op restructure.BinOp) bool {
+	switch op {
+	case restructure.Add, restructure.Mul, restructure.Min, restructure.Max:
+		return true
+	}
+	return false
+}
+
+func (p *exprProgram) compile(e restructure.Expr) (int, error) {
+	switch x := e.(type) {
+	case restructure.Input:
+		return p.leaf(leafKey{input: x.I}), nil
+	case restructure.Const:
+		return p.materializeConst(x.V), nil
+	case restructure.Unary:
+		switch x.Op {
+		case restructure.Re, restructure.Im, restructure.Mag2:
+			in, ok := x.X.(restructure.Input)
+			if !ok {
+				return 0, fmt.Errorf("complex projection %v over non-input expression", x.Op)
+			}
+			switch x.Op {
+			case restructure.Re:
+				return p.leaf(leafKey{input: in.I, comp: 0}), nil
+			case restructure.Im:
+				return p.leaf(leafKey{input: in.I, comp: 1}), nil
+			default: // Mag2 = re² + im²
+				re := p.leaf(leafKey{input: in.I, comp: 0})
+				im := p.leaf(leafKey{input: in.I, comp: 1})
+				t := p.allocTemp()
+				t2 := p.allocTemp()
+				p.emit(isa.VMul, t, re, re, 0)
+				p.emit(isa.VMul, t2, im, im, 0)
+				p.emit(isa.VAdd, t, t, t2, 0)
+				p.freeTemp(t2)
+				return t, nil
+			}
+		}
+		op, ok := unOpTable[x.Op]
+		if !ok {
+			return 0, fmt.Errorf("unary op %v has no DRX lowering", x.Op)
+		}
+		a, err := p.compile(x.X)
+		if err != nil {
+			return 0, err
+		}
+		dst := a
+		if !isTemp(a) {
+			dst = p.allocTemp()
+		}
+		p.emit(op, dst, a, noBuf, 0)
+		return dst, nil
+	case restructure.Binary:
+		return p.compileBinary(x)
+	}
+	return 0, fmt.Errorf("unknown expression node %T", e)
+}
+
+func (p *exprProgram) compileBinary(x restructure.Binary) (int, error) {
+	immOp, hasImm := immOpTable[x.Op]
+	// Fold a constant right operand into an immediate instruction.
+	if c, ok := x.Y.(restructure.Const); ok && hasImm {
+		a, err := p.compile(x.X)
+		if err != nil {
+			return 0, err
+		}
+		dst := a
+		if !isTemp(a) {
+			dst = p.allocTemp()
+		}
+		p.emit(immOp, dst, a, noBuf, float32(c.V))
+		return dst, nil
+	}
+	if c, ok := x.X.(restructure.Const); ok {
+		switch {
+		case hasImm && commutative(x.Op):
+			b, err := p.compile(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			dst := b
+			if !isTemp(b) {
+				dst = p.allocTemp()
+			}
+			p.emit(immOp, dst, b, noBuf, float32(c.V))
+			return dst, nil
+		case x.Op == restructure.Sub: // c - y = -(y - c)
+			b, err := p.compile(x.Y)
+			if err != nil {
+				return 0, err
+			}
+			dst := b
+			if !isTemp(b) {
+				dst = p.allocTemp()
+			}
+			p.emit(isa.VSubI, dst, b, noBuf, float32(c.V))
+			p.emit(isa.VNeg, dst, dst, noBuf, 0)
+			return dst, nil
+		}
+	}
+	op, ok := binOpTable[x.Op]
+	if !ok {
+		return 0, fmt.Errorf("binary op %v has no DRX lowering", x.Op)
+	}
+	a, err := p.compile(x.X)
+	if err != nil {
+		return 0, err
+	}
+	b, err := p.compile(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	dst := a
+	switch {
+	case isTemp(a):
+		if isTemp(b) {
+			p.freeTemp(b)
+		}
+	case isTemp(b):
+		dst = b
+	default:
+		dst = p.allocTemp()
+	}
+	p.emit(op, dst, a, b, 0)
+	return dst, nil
+}
+
+// lowerMap compiles the expression and dispatches to the blocked
+// schedule (narrow inner dimension or strided rank-1) or the plain
+// inner-tiled schedule.
+func (b *builder) lowerMap(st *restructure.MapStage) error {
+	ep, err := compileExpr(st.Expr)
+	if err != nil {
+		return err
+	}
+	out := b.param(st.Out)
+	outShape := out.Shape
+	if len(outShape) == 0 {
+		outShape = []int{1}
+	}
+	if !b.opts.NoBlockedMap {
+		if plan, ok := b.planBlockedMap(st, ep, outShape); ok {
+			return b.emitBlockedMap(st, ep, outShape, plan)
+		}
+	}
+	return b.lowerMapPlain(st, ep, outShape)
+}
+
+// lowerMapPlain generates the inner-dimension-tiled loop nest.
+func (b *builder) lowerMapPlain(st *restructure.MapStage, ep *exprProgram, outShape []int) error {
+	r := len(outShape)
+	inner := outShape[r-1]
+
+	// Tile the innermost output dimension against the scratchpad: one
+	// buffer per leaf and temp. (No extra staging — the expression result
+	// buffer is stored directly.)
+	nBuf := int64(ep.bufCount())
+	if nBuf == 0 {
+		nBuf = 1
+	}
+	tile := int64(b.cfg.ScratchElems()) / nBuf
+	if tile > int64(inner) {
+		tile = int64(inner)
+	}
+	if tile > 8192 {
+		tile = 8192
+	}
+	if tile < 1 {
+		return fmt.Errorf("scratchpad too small for %d buffers", nBuf)
+	}
+	tiles := int64(inner) / tile
+	rem := int64(inner) % tile
+
+	if tiles > 0 {
+		if err := b.emitMapNest(st, ep, outShape, tile, tiles, 0); err != nil {
+			return err
+		}
+	}
+	if rem > 0 {
+		b.resetNest()
+		if err := b.emitMapNest(st, ep, outShape, rem, 0, tiles*tile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitMapNest emits one loop nest covering either the main tiles
+// (tiles > 0, tileOffset 0) or the remainder (tiles == 0, offset set).
+func (b *builder) emitMapNest(st *restructure.MapStage, ep *exprProgram,
+	outShape []int, tileLen, tiles, tileOffset int64) error {
+
+	r := len(outShape)
+	withTileLoop := tiles > 1
+	levels := r - 1
+	if withTileLoop {
+		levels++
+	}
+
+	// Place tile buffers.
+	bufBase := make([]int64, ep.bufCount())
+	for i := range bufBase {
+		base, err := b.allocScratch(tileLen)
+		if err != nil {
+			return err
+		}
+		bufBase[i] = base
+	}
+	// Scratch streams, one per buffer (fixed address, unit stride).
+	bufStream := make([]int32, ep.bufCount())
+	for i, base := range bufBase {
+		id, err := b.stream(isa.Scratch, isa.F32, base, 1, nil)
+		if err != nil {
+			return err
+		}
+		bufStream[i] = id
+	}
+
+	// DRAM streams for each leaf.
+	leafDram := make([]int32, len(ep.leaves))
+	for i, lk := range ep.leaves {
+		id, err := b.leafStream(st, lk, outShape, levels, withTileLoop, tileLen, tileOffset)
+		if err != nil {
+			return err
+		}
+		leafDram[i] = id
+	}
+
+	// Output stream.
+	out := b.param(st.Out)
+	odt, err := mapDT(out.DType)
+	if err != nil {
+		return fmt.Errorf("output %q: %w", st.Out, err)
+	}
+	ostr := rowMajor(outShape)
+	strides := make([]int32, levels)
+	for j := 0; j < r-1; j++ {
+		strides[j] = int32(ostr[j])
+	}
+	if withTileLoop {
+		strides[levels-1] = int32(tileLen)
+	}
+	outDram, err := b.stream(isa.DRAM, odt, b.baseElems(st.Out, odt.Size())+tileOffset, 1, strides)
+	if err != nil {
+		return err
+	}
+
+	// Loop nest.
+	open := 0
+	for j := 0; j < r-1; j++ {
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(outShape[j])})
+		open++
+	}
+	if withTileLoop {
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(tiles)})
+		open++
+	}
+
+	// Body: load leaves, run the expression, store the result.
+	for i := range ep.leaves {
+		b.emit(isa.Instr{Op: isa.Load, Dst: bufStream[ep.bufIndex(i)], Src1: leafDram[i], N: int32(tileLen)})
+	}
+	for _, op := range ep.ops {
+		in := isa.Instr{Op: op.op, Dst: bufStream[ep.bufIndex(op.dst)],
+			Src1: bufStream[ep.bufIndex(op.a)], N: int32(tileLen), Imm: op.imm}
+		if op.b != noBuf {
+			in.Src2 = bufStream[ep.bufIndex(op.b)]
+		}
+		b.emit(in)
+	}
+	b.emit(isa.Instr{Op: isa.Store, Dst: outDram, Src1: bufStream[ep.bufIndex(ep.result)], N: int32(tileLen)})
+
+	for ; open > 0; open-- {
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+	}
+	return nil
+}
+
+// leafStream builds the DRAM stream for one expression leaf by composing
+// the stage's affine access with the input tensor's row-major layout.
+func (b *builder) leafStream(st *restructure.MapStage, lk leafKey,
+	outShape []int, levels int, withTileLoop bool, tileLen, tileOffset int64) (int32, error) {
+
+	name := st.Ins[lk.input]
+	acc := st.Accs[lk.input]
+	p := b.param(name)
+	ts := rowMajor(p.Shape)
+	r := len(outShape)
+
+	// Linear offset and per-output-dim coefficients in input elements.
+	var off int64
+	coef := make([]int64, r)
+	for d := range acc.Offset {
+		off += int64(acc.Offset[d]) * ts[d]
+		for j := 0; j < r && j < len(acc.Coef[d]); j++ {
+			coef[j] += int64(acc.Coef[d][j]) * ts[d]
+		}
+	}
+
+	scale := int64(1)
+	dt := isa.F32
+	esz := 4
+	if p.DType == tensor.Complex64 {
+		scale = 2 // interleaved (re, im) float32 pairs
+	} else {
+		var err error
+		dt, err = mapDT(p.DType)
+		if err != nil {
+			return 0, fmt.Errorf("input %q: %w", name, err)
+		}
+		esz = dt.Size()
+		if lk.comp != 0 {
+			return 0, fmt.Errorf("input %q: imaginary component of real tensor", name)
+		}
+	}
+
+	base := b.baseElems(name, esz) + scale*(off+coef[r-1]*tileOffset) + int64(lk.comp)
+	strides := make([]int32, levels)
+	for j := 0; j < r-1; j++ {
+		strides[j] = int32(scale * coef[j])
+	}
+	if withTileLoop {
+		strides[levels-1] = int32(scale * coef[r-1] * tileLen)
+	}
+	return b.stream(isa.DRAM, dt, base, int32(scale*coef[r-1]), strides)
+}

@@ -1,0 +1,506 @@
+package drxc
+
+import (
+	"dmx/internal/isa"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// Blocked Map lowering.
+//
+// The straightforward Map schedule tiles only the innermost output
+// dimension, so a kernel like the video quantizer (output [pixels, 3])
+// degenerates into millions of 3-element issues. When the inner
+// dimension I is narrower than the RE array, this mode merges the last
+// two output dimensions and processes R rows per issue (N = R·I lanes),
+// choosing one of three strategies per expression leaf:
+//
+//   - contiguous: the leaf walks the merged block linearly
+//     (row coefficient = I × inner coefficient) → one direct DRAM load;
+//   - periodic: the leaf depends only on the inner index (a per-channel
+//     bias) → its R·I tile is prefilled once, before the loops;
+//   - gather: the leaf reads a fixed field of a fixed-width row (digit
+//     and payload extraction) → the row panel loads contiguously ONCE
+//     per block — shared by every leaf over the same rows — and cheap
+//     in-scratch strided VMovs split out each field.
+//
+// Rank-1 outputs with strided leaves (the hash-join key parser) use the
+// same machinery with I = 1.
+
+type leafClass int
+
+const (
+	leafContig leafClass = iota
+	leafPeriodic
+	leafGather
+)
+
+// leafLinear composes a leaf's affine access with its parameter's layout:
+// the linear stream-element offset and per-output-dim coefficients, plus
+// the stream dtype (complex decomposes into stride-scaled f32).
+func (b *builder) leafLinear(st *restructure.MapStage, lk leafKey, outRank int) (off int64, coef []int64, dt isa.DT, err error) {
+	name := st.Ins[lk.input]
+	acc := st.Accs[lk.input]
+	p := b.param(name)
+	ts := rowMajor(p.Shape)
+	coef = make([]int64, outRank)
+	for d := range acc.Offset {
+		off += int64(acc.Offset[d]) * ts[d]
+		for j := 0; j < outRank && j < len(acc.Coef[d]); j++ {
+			coef[j] += int64(acc.Coef[d][j]) * ts[d]
+		}
+	}
+	if p.DType == tensor.Complex64 {
+		// Interleaved components viewed as f32: absolute stream address.
+		off = b.layout[name]/4 + 2*off + int64(lk.comp)
+		for j := range coef {
+			coef[j] *= 2
+		}
+		return off, coef, isa.F32, nil
+	}
+	dt, err = mapDT(p.DType)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	off += b.baseElems(name, dt.Size())
+	return off, coef, dt, nil
+}
+
+// blockLeaf is the plan for one expression leaf.
+type blockLeaf struct {
+	class leafClass
+	off   int64
+	coef  []int64 // full out-rank coefficients
+	dt    isa.DT
+	leIn  int64 // inner-dimension coefficient, stream elements
+	group int   // gather: index into groups; periodic: into periods
+}
+
+// gatherGroup is one shared row panel: all member leaves read fields of
+// the same fixed-width row.
+type gatherGroup struct {
+	param  string
+	dt     isa.DT
+	rowLen int64 // Le_row: stream elements per row
+	base   int64 // smallest member offset
+	span   int64 // elements covered from base
+	outer  []int64
+}
+
+// periodGroup is a shared load of the constant values periodic leaves
+// replicate: all leaves of one parameter draw from a single contiguous
+// span staged once per nest.
+type periodGroup struct {
+	param  string
+	dt     isa.DT
+	lo, hi int64 // stream-element range covered
+}
+
+// blockPlan is a complete blocked-mode decision.
+type blockPlan struct {
+	rows    int64 // merged row dimension extent
+	inner   int64 // I
+	leaves  []blockLeaf
+	groups  []gatherGroup
+	periods []periodGroup
+}
+
+// addToPeriodGroup merges a periodic leaf's span into its parameter's
+// shared period load.
+func (p *blockPlan) addToPeriodGroup(st *restructure.MapStage, lk leafKey,
+	off int64, dt isa.DT, inner, leIn int64) int {
+
+	name := st.Ins[lk.input]
+	lo := off
+	hi := off + (inner-1)*leIn + 1
+	for gi := range p.periods {
+		g := &p.periods[gi]
+		if g.param != name || g.dt != dt {
+			continue
+		}
+		if lo < g.lo {
+			g.lo = lo
+		}
+		if hi > g.hi {
+			g.hi = hi
+		}
+		return gi
+	}
+	p.periods = append(p.periods, periodGroup{param: name, dt: dt, lo: lo, hi: hi})
+	return len(p.periods) - 1
+}
+
+// planBlockedMap decides whether the stage can run in blocked mode.
+func (b *builder) planBlockedMap(st *restructure.MapStage, ep *exprProgram, outShape []int) (*blockPlan, bool) {
+	r := len(outShape)
+	var rows, inner int64
+	switch {
+	case r >= 2 && int64(outShape[r-1]) < int64(b.cfg.Lanes):
+		rows, inner = int64(outShape[r-2]), int64(outShape[r-1])
+	case r == 1:
+		rows, inner = int64(outShape[0]), 1
+	default:
+		return nil, false
+	}
+	plan := &blockPlan{rows: rows, inner: inner}
+	strided := false
+	for _, lk := range ep.leaves {
+		off, coef, dt, err := b.leafLinear(st, lk, r)
+		if err != nil {
+			return nil, false
+		}
+		var leIn, leRow int64
+		var outer []int64
+		if r >= 2 && inner == int64(outShape[r-1]) && r-2 >= 0 && rows == int64(outShape[r-2]) {
+			leIn, leRow = coef[r-1], coef[r-2]
+			outer = coef[:r-2]
+		} else { // rank 1
+			leIn, leRow = 0, coef[0]
+			outer = nil
+		}
+		bl := blockLeaf{off: off, coef: coef, dt: dt, leIn: leIn, group: -1}
+		switch {
+		case allZero(outer) && leRow == 0:
+			bl.class = leafPeriodic
+			bl.group = plan.addToPeriodGroup(st, lk, off, dt, inner, leIn)
+		case leRow == inner*leIn && leIn >= 1:
+			bl.class = leafContig
+			if leIn != 1 {
+				strided = true
+			}
+		case leRow >= 1 && leIn >= 0 &&
+			(inner-1)*leIn+1 <= leRow && leRow*int64(dt.Size()) <= 64:
+			bl.class = leafGather
+			strided = true
+			bl.group = plan.addToGroup(st, b.opts.NoGatherShare, lk, off, leRow, outer, dt, inner, leIn)
+			if bl.group < 0 {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+		plan.leaves = append(plan.leaves, bl)
+	}
+	// Rank-1 outputs only benefit when a leaf is strided (otherwise the
+	// plain path already issues wide, contiguous operations).
+	if r == 1 && !strided {
+		return nil, false
+	}
+	// Stream-register budget: every panel and leaf needs configured
+	// streams; an over-budget plan falls back to the plain schedule.
+	streams := 2*len(plan.groups) + 2*len(plan.periods) + 1 // panels + output
+	for _, l := range plan.leaves {
+		if l.class == leafContig {
+			streams += 2 // tile + DRAM stream
+		} else {
+			streams += 3 // tile + mov dst + mov src
+		}
+	}
+	streams += ep.nTemps
+	if streams > isa.MaxStreams-2 {
+		return nil, false
+	}
+	return plan, true
+}
+
+func allZero(xs []int64) bool {
+	for _, x := range xs {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// addToGroup joins a gather leaf to a compatible shared row panel (same
+// parameter, row length, outer coefficients, and all member fields within
+// one row period), creating one if needed. Returns the group index.
+func (p *blockPlan) addToGroup(st *restructure.MapStage, noShare bool, lk leafKey,
+	off, rowLen int64, outer []int64, dt isa.DT, inner, leIn int64) int {
+
+	span := (inner-1)*leIn + 1
+	name := st.Ins[lk.input]
+	if noShare {
+		p.groups = append(p.groups, gatherGroup{
+			param: name, dt: dt, rowLen: rowLen, base: off, span: span,
+			outer: append([]int64(nil), outer...),
+		})
+		return len(p.groups) - 1
+	}
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		if g.param != name || g.rowLen != rowLen || g.dt != dt || !sameCoefs(g.outer, outer) {
+			continue
+		}
+		lo, hi := g.base, g.base+g.span
+		if off < lo {
+			lo = off
+		}
+		if off+span > hi {
+			hi = off + span
+		}
+		if hi-lo <= rowLen {
+			g.base, g.span = lo, hi-lo
+			return gi
+		}
+	}
+	p.groups = append(p.groups, gatherGroup{
+		param: name, dt: dt, rowLen: rowLen, base: off, span: span,
+		outer: append([]int64(nil), outer...),
+	})
+	return len(p.groups) - 1
+}
+
+func sameCoefs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// emitBlockedMap generates the main block nest and the row remainder.
+func (b *builder) emitBlockedMap(st *restructure.MapStage, ep *exprProgram,
+	outShape []int, plan *blockPlan) error {
+
+	// Scratch demand per block row: each leaf tile and temp holds I
+	// elements per row; each gather panel holds rowLen. Period spans are
+	// reserved off the top.
+	perRow := int64(ep.bufCount()) * plan.inner
+	for _, g := range plan.groups {
+		perRow += g.rowLen
+	}
+	reserve := int64(16)
+	for _, g := range plan.periods {
+		reserve += g.hi - g.lo
+	}
+	budget := int64(b.cfg.ScratchElems()) - reserve
+	r := budget / perRow
+	if r > plan.rows {
+		r = plan.rows
+	}
+	if r*plan.inner > 8192 {
+		r = 8192 / plan.inner
+	}
+	if r < 1 {
+		return b.lowerMapPlain(st, ep, outShape)
+	}
+	blocks := plan.rows / r
+	rem := plan.rows % r
+	if blocks > 0 {
+		if err := b.emitBlockNest(st, ep, outShape, plan, r, blocks, 0); err != nil {
+			return err
+		}
+	}
+	if rem > 0 {
+		b.resetNest()
+		if err := b.emitBlockNest(st, ep, outShape, plan, rem, 1, blocks*r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitBlockNest emits one nest processing `blocks` blocks of rBlock rows
+// starting at rowOffset. Periodic tiles prefill once per nest via a
+// hardware loop over the inner index; gather tiles split their shared
+// row panel with one strided VMov per leaf inside the same inner loop.
+func (b *builder) emitBlockNest(st *restructure.MapStage, ep *exprProgram,
+	outShape []int, plan *blockPlan, rBlock, blocks, rowOffset int64) error {
+
+	rr := len(outShape)
+	outerDims := 0
+	if rr >= 2 {
+		outerDims = rr - 2
+	}
+	levels := outerDims + 1 // outer dims + block loop
+	I := plan.inner
+	n := rBlock * I
+
+	// Tile buffers for every expression buffer (leaves + temps).
+	bufBase := make([]int64, ep.bufCount())
+	bufStream := make([]int32, ep.bufCount())
+	for i := range bufBase {
+		base, err := b.allocScratch(n)
+		if err != nil {
+			return err
+		}
+		bufBase[i] = base
+		id, err := b.stream(isa.Scratch, isa.F32, base, 1, nil)
+		if err != nil {
+			return err
+		}
+		bufStream[i] = id
+	}
+	// Period spans: loaded once per nest, before the loops.
+	periodBase := make([]int64, len(plan.periods))
+	for gi, g := range plan.periods {
+		base, err := b.allocScratch(g.hi - g.lo)
+		if err != nil {
+			return err
+		}
+		periodBase[gi] = base
+		pd, err := b.stream(isa.DRAM, g.dt, g.lo, 1, nil)
+		if err != nil {
+			return err
+		}
+		ps, err := b.stream(isa.Scratch, isa.F32, base, 1, nil)
+		if err != nil {
+			return err
+		}
+		b.emit(isa.Instr{Op: isa.Load, Dst: ps, Src1: pd, N: int32(g.hi - g.lo)})
+	}
+	// Gather panels.
+	groupRaw := make([]int64, len(plan.groups))
+	groupScr := make([]int32, len(plan.groups))
+	groupDram := make([]int32, len(plan.groups))
+	for gi, g := range plan.groups {
+		size := (rBlock-1)*g.rowLen + g.span
+		base, err := b.allocScratch(size)
+		if err != nil {
+			return err
+		}
+		groupRaw[gi] = base
+		strides := make([]int32, levels)
+		for j := 0; j < outerDims; j++ {
+			strides[j] = int32(g.outer[j])
+		}
+		strides[levels-1] = int32(rBlock * g.rowLen)
+		id, err := b.stream(isa.DRAM, g.dt, g.base+rowOffset*g.rowLen, 1, strides)
+		if err != nil {
+			return err
+		}
+		groupDram[gi] = id
+		scr, err := b.stream(isa.Scratch, isa.F32, base, 1, nil)
+		if err != nil {
+			return err
+		}
+		groupScr[gi] = scr
+	}
+
+	// Per-leaf resources: direct loads (contiguous), one-time prefill
+	// movs (periodic), and per-block gather movs.
+	type mov struct{ dst, src int32 }
+	leafLoads := make([]isa.Instr, 0, len(plan.leaves))
+	var prefill []mov
+	var gathers []mov
+	for li, lf := range plan.leaves {
+		tile := bufStream[ep.bufIndex(li)]
+		tileBase := bufBase[ep.bufIndex(li)]
+		switch lf.class {
+		case leafContig:
+			strides := make([]int32, levels)
+			for j := 0; j < outerDims; j++ {
+				strides[j] = int32(lf.coef[j])
+			}
+			rowCo := lf.coef[0]
+			if rr >= 2 {
+				rowCo = lf.coef[rr-2]
+			}
+			strides[levels-1] = int32(rBlock * rowCo)
+			id, err := b.stream(isa.DRAM, lf.dt, lf.off+rowOffset*rowCo, int32(maxI64(lf.leIn, 1)), strides)
+			if err != nil {
+				return err
+			}
+			leafLoads = append(leafLoads, isa.Instr{Op: isa.Load, Dst: tile, Src1: id, N: int32(n)})
+		case leafPeriodic:
+			// Prefill loop over c: tile[i·I+c] = period[off-lo + c·leIn].
+			g := plan.periods[lf.group]
+			dst, err := b.stream(isa.Scratch, isa.F32, tileBase, int32(I), []int32{1})
+			if err != nil {
+				return err
+			}
+			src, err := b.stream(isa.Scratch, isa.F32, periodBase[lf.group]+(lf.off-g.lo), 0, []int32{int32(lf.leIn)})
+			if err != nil {
+				return err
+			}
+			prefill = append(prefill, mov{dst, src})
+		case leafGather:
+			// Per-block loop over c: tile[i·I+c] = raw[field + c·leIn + i·rowLen].
+			g := plan.groups[lf.group]
+			dstStr := make([]int32, levels+1)
+			dstStr[levels] = 1
+			dst, err := b.stream(isa.Scratch, isa.F32, tileBase, int32(I), dstStr)
+			if err != nil {
+				return err
+			}
+			srcStr := make([]int32, levels+1)
+			srcStr[levels] = int32(lf.leIn)
+			src, err := b.stream(isa.Scratch, isa.F32, groupRaw[lf.group]+(lf.off-g.base), int32(g.rowLen), srcStr)
+			if err != nil {
+				return err
+			}
+			gathers = append(gathers, mov{dst, src})
+		}
+	}
+
+	// Output stream: row-major, so the merged block is contiguous.
+	out := b.param(st.Out)
+	odt, err := mapDT(out.DType)
+	if err != nil {
+		return err
+	}
+	ostr := rowMajor(outShape)
+	strides := make([]int32, levels)
+	for j := 0; j < outerDims; j++ {
+		strides[j] = int32(ostr[j])
+	}
+	strides[levels-1] = int32(rBlock * I)
+	outDram, err := b.stream(isa.DRAM, odt, b.baseElems(st.Out, odt.Size())+rowOffset*I, 1, strides)
+	if err != nil {
+		return err
+	}
+
+	// Prefill periodic tiles once per nest, outside all loops.
+	if len(prefill) > 0 {
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(I)})
+		for _, mv := range prefill {
+			b.emit(isa.Instr{Op: isa.VMov, Dst: mv.dst, Src1: mv.src, N: int32(rBlock)})
+		}
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+	}
+	for j := 0; j < outerDims; j++ {
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(outShape[j])})
+	}
+	b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(blocks)})
+	for gi := range plan.groups {
+		g := plan.groups[gi]
+		b.emit(isa.Instr{Op: isa.Load, Dst: groupScr[gi], Src1: groupDram[gi],
+			N: int32((rBlock-1)*g.rowLen + g.span)})
+	}
+	for _, in := range leafLoads {
+		b.emit(in)
+	}
+	if len(gathers) > 0 {
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(I)})
+		for _, mv := range gathers {
+			b.emit(isa.Instr{Op: isa.VMov, Dst: mv.dst, Src1: mv.src, N: int32(rBlock)})
+		}
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+	}
+	for _, op := range ep.ops {
+		in := isa.Instr{Op: op.op, Dst: bufStream[ep.bufIndex(op.dst)],
+			Src1: bufStream[ep.bufIndex(op.a)], N: int32(n), Imm: op.imm}
+		if op.b != noBuf {
+			in.Src2 = bufStream[ep.bufIndex(op.b)]
+		}
+		b.emit(in)
+	}
+	b.emit(isa.Instr{Op: isa.Store, Dst: outDram, Src1: bufStream[ep.bufIndex(ep.result)], N: int32(n)})
+	b.emit(isa.Instr{Op: isa.LoopEnd})
+	for j := 0; j < outerDims; j++ {
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+	}
+	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

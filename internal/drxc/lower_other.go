@@ -1,0 +1,655 @@
+package drxc
+
+import (
+	"fmt"
+
+	"dmx/internal/isa"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// lowerReduce handles both reduction orientations:
+//   - axis == last:each output element is a row sum/max via the VRSum/VRMax
+//     lane tree, chunked against the scratchpad;
+//   - axis != last: the output is tiled and partial vectors accumulate
+//     with VAdd/VMax across the reduced axis.
+func (b *builder) lowerReduce(st *restructure.ReduceStage) error {
+	in := b.param(st.In)
+	out := b.param(st.Out)
+	idt, err := mapDT(in.DType)
+	if err != nil {
+		return fmt.Errorf("input %q: %w", st.In, err)
+	}
+	odt, err := mapDT(out.DType)
+	if err != nil {
+		return fmt.Errorf("output %q: %w", st.Out, err)
+	}
+	if st.Axis == len(in.Shape)-1 {
+		return b.lowerReduceLastAxis(st, idt, odt)
+	}
+	return b.lowerReduceOuterAxis(st, idt, odt)
+}
+
+func (b *builder) lowerReduceLastAxis(st *restructure.ReduceStage, idt, odt isa.DT) error {
+	in := b.param(st.In)
+	out := b.param(st.Out)
+	n := int64(in.Shape[st.Axis])
+	outShape := out.Shape
+	ists := rowMajor(in.Shape)
+
+	chunk := int64(b.cfg.ScratchElems()) - 8 // row buffer + acc/tmp slots
+	if chunk > n {
+		chunk = n
+	}
+	if chunk > 8192 {
+		chunk = 8192
+	}
+	chunks := n / chunk
+	rem := n % chunk
+
+	rowBuf, err := b.allocScratch(chunk)
+	if err != nil {
+		return err
+	}
+	accBuf, err := b.allocScratch(1)
+	if err != nil {
+		return err
+	}
+	tmpBuf, err := b.allocScratch(1)
+	if err != nil {
+		return err
+	}
+
+	levels := len(outShape)
+	inStrides := make([]int32, levels)
+	for j := range outShape {
+		// Output dim j corresponds to input dim j (axis is last).
+		inStrides[j] = int32(ists[j])
+	}
+	outStrides := make([]int32, levels)
+	for j, s := range rowMajor(outShape) {
+		outStrides[j] = int32(s)
+	}
+
+	rowStream := func(offset int64, withChunkLoop bool) (int32, error) {
+		str := inStrides
+		if withChunkLoop {
+			str = append(append([]int32(nil), inStrides...), int32(chunk))
+		}
+		return b.stream(isa.DRAM, idt, b.baseElems(st.In, idt.Size())+offset, 1, str)
+	}
+	rowScr, err := b.stream(isa.Scratch, isa.F32, rowBuf, 1, nil)
+	if err != nil {
+		return err
+	}
+	accScr, err := b.stream(isa.Scratch, isa.F32, accBuf, 1, nil)
+	if err != nil {
+		return err
+	}
+	tmpScr, err := b.stream(isa.Scratch, isa.F32, tmpBuf, 1, nil)
+	if err != nil {
+		return err
+	}
+	outDram, err := b.stream(isa.DRAM, odt, b.baseElems(st.Out, odt.Size()), 1, outStrides)
+	if err != nil {
+		return err
+	}
+	mainDram, err := rowStream(0, true)
+	if err != nil {
+		return err
+	}
+	var remDram int32
+	if rem > 0 {
+		if remDram, err = rowStream(chunks*chunk, false); err != nil {
+			return err
+		}
+	}
+
+	reduceOp, accOp := isa.VRSum, isa.VAdd
+	if st.Op == restructure.MaxR {
+		reduceOp, accOp = isa.VRMax, isa.VMax
+	}
+
+	// Loop over every output element.
+	for j := 0; j < len(outShape); j++ {
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(outShape[j])})
+	}
+	// acc = 0 (or -inf surrogate for max: first chunk overwrites below).
+	b.emit(isa.Instr{Op: isa.VMulI, Dst: accScr, Src1: accScr, Imm: 0, N: 1})
+	if st.Op == restructure.MaxR {
+		b.emit(isa.Instr{Op: isa.VAddI, Dst: accScr, Src1: accScr, Imm: -3.4e38, N: 1})
+	}
+	if chunks > 0 {
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(chunks)})
+		b.emit(isa.Instr{Op: isa.Load, Dst: rowScr, Src1: mainDram, N: int32(chunk)})
+		b.emit(isa.Instr{Op: reduceOp, Dst: tmpScr, Src1: rowScr, N: int32(chunk)})
+		b.emit(isa.Instr{Op: accOp, Dst: accScr, Src1: accScr, Src2: tmpScr, N: 1})
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+	}
+	if rem > 0 {
+		b.emit(isa.Instr{Op: isa.Load, Dst: rowScr, Src1: remDram, N: int32(rem)})
+		b.emit(isa.Instr{Op: reduceOp, Dst: tmpScr, Src1: rowScr, N: int32(rem)})
+		b.emit(isa.Instr{Op: accOp, Dst: accScr, Src1: accScr, Src2: tmpScr, N: 1})
+	}
+	if st.Op == restructure.MeanR {
+		b.emit(isa.Instr{Op: isa.VMulI, Dst: accScr, Src1: accScr, Imm: float32(1.0 / float64(n)), N: 1})
+	}
+	b.emit(isa.Instr{Op: isa.Store, Dst: outDram, Src1: accScr, N: 1})
+	for range outShape {
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+	}
+	return nil
+}
+
+func (b *builder) lowerReduceOuterAxis(st *restructure.ReduceStage, idt, odt isa.DT) error {
+	in := b.param(st.In)
+	out := b.param(st.Out)
+	outShape := out.Shape
+	r := len(outShape)
+	inner := int64(outShape[r-1])
+	n := int64(in.Shape[st.Axis])
+	ists := rowMajor(in.Shape)
+
+	// Map output dims back to input dims (axis spliced out).
+	inDimOf := make([]int, r)
+	for d, j := 0, 0; d < len(in.Shape); d++ {
+		if d == st.Axis {
+			continue
+		}
+		inDimOf[j] = d
+		j++
+	}
+
+	tile := (int64(b.cfg.ScratchElems()) - 4) / 2 // acc + chunk buffers
+	if tile > inner {
+		tile = inner
+	}
+	if tile > 8192 {
+		tile = 8192
+	}
+	tiles := inner / tile
+	rem := inner % tile
+
+	emitNest := func(tileLen, tiles, tileOffset int64) error {
+		withTileLoop := tiles > 1
+		levels := r - 1
+		if withTileLoop {
+			levels++
+		}
+		levels++ // the reduction loop is always innermost
+
+		accBuf, err := b.allocScratch(tileLen)
+		if err != nil {
+			return err
+		}
+		chunkBuf, err := b.allocScratch(tileLen)
+		if err != nil {
+			return err
+		}
+		accScr, err := b.stream(isa.Scratch, isa.F32, accBuf, 1, nil)
+		if err != nil {
+			return err
+		}
+		chunkScr, err := b.stream(isa.Scratch, isa.F32, chunkBuf, 1, nil)
+		if err != nil {
+			return err
+		}
+		inStr := make([]int32, levels)
+		for j := 0; j < r-1; j++ {
+			inStr[j] = int32(ists[inDimOf[j]])
+		}
+		lvl := r - 1
+		if withTileLoop {
+			inStr[lvl] = int32(ists[inDimOf[r-1]] * tileLen)
+			lvl++
+		}
+		inStr[lvl] = int32(ists[st.Axis])
+		inBase := b.baseElems(st.In, idt.Size()) + ists[inDimOf[r-1]]*tileOffset
+		inDram, err := b.stream(isa.DRAM, idt, inBase, int32(ists[inDimOf[r-1]]), inStr)
+		if err != nil {
+			return err
+		}
+		ostr := rowMajor(outShape)
+		outStr := make([]int32, levels)
+		for j := 0; j < r-1; j++ {
+			outStr[j] = int32(ostr[j])
+		}
+		if withTileLoop {
+			outStr[r-1] = int32(tileLen)
+		}
+		outDram, err := b.stream(isa.DRAM, odt, b.baseElems(st.Out, odt.Size())+tileOffset, 1, outStr)
+		if err != nil {
+			return err
+		}
+
+		accOp := isa.VAdd
+		if st.Op == restructure.MaxR {
+			accOp = isa.VMax
+		}
+		for j := 0; j < r-1; j++ {
+			b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(outShape[j])})
+		}
+		if withTileLoop {
+			b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(tiles)})
+		}
+		b.emit(isa.Instr{Op: isa.VMulI, Dst: accScr, Src1: accScr, Imm: 0, N: int32(tileLen)})
+		if st.Op == restructure.MaxR {
+			b.emit(isa.Instr{Op: isa.VAddI, Dst: accScr, Src1: accScr, Imm: -3.4e38, N: int32(tileLen)})
+		}
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(n)})
+		b.emit(isa.Instr{Op: isa.Load, Dst: chunkScr, Src1: inDram, N: int32(tileLen)})
+		b.emit(isa.Instr{Op: accOp, Dst: accScr, Src1: accScr, Src2: chunkScr, N: int32(tileLen)})
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+		if st.Op == restructure.MeanR {
+			b.emit(isa.Instr{Op: isa.VMulI, Dst: accScr, Src1: accScr, Imm: float32(1.0 / float64(n)), N: int32(tileLen)})
+		}
+		b.emit(isa.Instr{Op: isa.Store, Dst: outDram, Src1: accScr, N: int32(tileLen)})
+		if withTileLoop {
+			b.emit(isa.Instr{Op: isa.LoopEnd})
+		}
+		for j := 0; j < r-1; j++ {
+			b.emit(isa.Instr{Op: isa.LoopEnd})
+		}
+		return nil
+	}
+	if tiles > 0 {
+		if err := emitNest(tile, tiles, 0); err != nil {
+			return err
+		}
+	}
+	if rem > 0 {
+		b.resetNest()
+		if err := emitNest(rem, 0, tiles*tile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lowerMatMul emits a lane-blocked schedule: a panel of Tm output rows
+// is processed at once so every scalar-broadcast MAC (VMacS) spans a
+// full RE-lane vector. For each row panel, the A panel and a B panel are
+// staged in scratch, then two hardware loops (output column j, inner
+// dimension x) drive a single VMacS whose streams advance via the
+// Strided Scratchpad Address Calculator — the loop-and-stream style the
+// paper's Fig. 8 kernel illustrates. Accumulators interleave into a
+// staging tile and store contiguously.
+func (b *builder) lowerMatMul(st *restructure.MatMulStage) error {
+	a := b.param(st.A)
+	bb := b.param(st.B)
+	out := b.param(st.Out)
+	adt, err := mapDT(a.DType)
+	if err != nil {
+		return fmt.Errorf("matmul A: %w", err)
+	}
+	bdt, err := mapDT(bb.DType)
+	if err != nil {
+		return fmt.Errorf("matmul B: %w", err)
+	}
+	odt, err := mapDT(out.DType)
+	if err != nil {
+		return fmt.Errorf("matmul out: %w", err)
+	}
+	m := int64(a.Shape[0])
+	k := int64(a.Shape[1])
+	n := int64(bb.Shape[1])
+	budget := int64(b.cfg.ScratchElems())
+
+	// Row-panel height: the lane count, shrunk if the accumulator and
+	// staging tiles (2·Tm·n) would not leave room for the data panels.
+	tm := int64(b.cfg.Lanes)
+	if tm > m {
+		tm = m
+	}
+	for tm > 8 && 2*tm*n > budget/2 {
+		tm /= 2
+	}
+	// Inner-dimension panel width against the remaining scratch.
+	tk := (budget - 2*tm*n) / (tm + n)
+	if tk > k {
+		tk = k
+	}
+	if tk < 1 || 2*tm*n+tm+n > budget {
+		return fmt.Errorf("matmul [%d,%d]x[%d,%d]: output tile does not fit the %d-elem scratchpad",
+			m, k, k, n, budget)
+	}
+
+	emitNest := func(rowOffset, tmCur, mtiles int64) error {
+		aPanel, err := b.allocScratch(tmCur * tk)
+		if err != nil {
+			return err
+		}
+		bPanel, err := b.allocScratch(tk * n)
+		if err != nil {
+			return err
+		}
+		acc, err := b.allocScratch(tmCur * n)
+		if err != nil {
+			return err
+		}
+		staging, err := b.allocScratch(tmCur * n)
+		if err != nil {
+			return err
+		}
+		ktiles := k / tk
+		krem := k % tk
+
+		aBase := b.baseElems(st.A, adt.Size()) + rowOffset*k
+		bBase := b.baseElems(st.B, bdt.Size())
+		cBase := b.baseElems(st.Out, odt.Size()) + rowOffset*n
+
+		// emitSlice emits the panel loads plus the j/x MAC loops for one
+		// k-slice (either the body of the ktile hardware loop or the
+		// trailing remainder slice at fixed offset kFixed).
+		emitSlice := func(inKLoop bool, tkCur, kFixed int64) error {
+			// Loop levels at instruction time:
+			//   [mtile] or [mtile, ktile] for loads,
+			//   plus [.., j, x] for the MAC, plus [.., row] inside loads.
+			lvA := []int32{int32(tm * k)} // per-mtile stride (elements of A)
+			lvB := []int32{0}
+			if inKLoop {
+				lvA = append(lvA, int32(tkCur))
+				lvB = append(lvB, int32(tkCur*n))
+			}
+			// A panel: contiguous when the slice spans all of k.
+			if tkCur == k {
+				aDram, err := b.stream(isa.DRAM, adt, aBase+kFixed, 1, lvA)
+				if err != nil {
+					return err
+				}
+				aScr, err := b.stream(isa.Scratch, isa.F32, aPanel, 1, nil)
+				if err != nil {
+					return err
+				}
+				b.emit(isa.Instr{Op: isa.Load, Dst: aScr, Src1: aDram, N: int32(tmCur * k)})
+			} else {
+				rowStr := append(append([]int32(nil), lvA...), int32(k))
+				aDram, err := b.stream(isa.DRAM, adt, aBase+kFixed, 1, rowStr)
+				if err != nil {
+					return err
+				}
+				scrStr := make([]int32, len(rowStr))
+				scrStr[len(scrStr)-1] = int32(tkCur)
+				aScr, err := b.stream(isa.Scratch, isa.F32, aPanel, 1, scrStr)
+				if err != nil {
+					return err
+				}
+				b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(tmCur)})
+				b.emit(isa.Instr{Op: isa.Load, Dst: aScr, Src1: aDram, N: int32(tkCur)})
+				b.emit(isa.Instr{Op: isa.LoopEnd})
+			}
+			// B panel: rows are contiguous in DRAM, so one load covers it.
+			bDram, err := b.stream(isa.DRAM, bdt, bBase+kFixed*n, 1, lvB)
+			if err != nil {
+				return err
+			}
+			bScr, err := b.stream(isa.Scratch, isa.F32, bPanel, 1, nil)
+			if err != nil {
+				return err
+			}
+			b.emit(isa.Instr{Op: isa.Load, Dst: bScr, Src1: bDram, N: int32(tkCur * n)})
+
+			// MAC loops: j over output columns, x over the k-slice.
+			depth := len(lvA)
+			mk := func(base int64, estride int32, jS, xS int32) (int32, error) {
+				str := make([]int32, depth+2)
+				str[depth] = jS
+				str[depth+1] = xS
+				return b.stream(isa.Scratch, isa.F32, base, estride, str)
+			}
+			accS, err := mk(acc, 1, int32(tmCur), 0)
+			if err != nil {
+				return err
+			}
+			aColS, err := mk(aPanel, int32(tkCur), 0, 1)
+			if err != nil {
+				return err
+			}
+			bScal, err := mk(bPanel, 1, 1, int32(n))
+			if err != nil {
+				return err
+			}
+			b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(n)})
+			b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(tkCur)})
+			b.emit(isa.Instr{Op: isa.VMacS, Dst: accS, Src1: aColS, Src2: bScal, N: int32(tmCur)})
+			b.emit(isa.Instr{Op: isa.LoopEnd})
+			b.emit(isa.Instr{Op: isa.LoopEnd})
+			return nil
+		}
+
+		// Zero the accumulator (loop level: [mtile, j]).
+		accZero, err := b.stream(isa.Scratch, isa.F32, acc, 1, []int32{0, int32(tmCur)})
+		if err != nil {
+			return err
+		}
+		// Interleave acc columns into row-major staging ([mtile, j]).
+		accRead, err := b.stream(isa.Scratch, isa.F32, acc, 1, []int32{0, int32(tmCur)})
+		if err != nil {
+			return err
+		}
+		stageW, err := b.stream(isa.Scratch, isa.F32, staging, int32(n), []int32{0, 1})
+		if err != nil {
+			return err
+		}
+		stageR, err := b.stream(isa.Scratch, isa.F32, staging, 1, nil)
+		if err != nil {
+			return err
+		}
+		cDram, err := b.stream(isa.DRAM, odt, cBase, 1, []int32{int32(tm * n)})
+		if err != nil {
+			return err
+		}
+
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(mtiles)})
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(n)})
+		b.emit(isa.Instr{Op: isa.VMulI, Dst: accZero, Src1: accZero, Imm: 0, N: int32(tmCur)})
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+		if ktiles > 0 {
+			b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(ktiles)})
+			if err := emitSlice(true, tk, 0); err != nil {
+				return err
+			}
+			b.emit(isa.Instr{Op: isa.LoopEnd})
+		}
+		if krem > 0 {
+			if err := emitSlice(false, krem, ktiles*tk); err != nil {
+				return err
+			}
+		}
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(n)})
+		b.emit(isa.Instr{Op: isa.VMov, Dst: stageW, Src1: accRead, N: int32(tmCur)})
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+		b.emit(isa.Instr{Op: isa.Store, Dst: cDram, Src1: stageR, N: int32(tmCur * n)})
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+		return nil
+	}
+
+	mtiles := m / tm
+	mrem := m % tm
+	if mtiles > 0 {
+		if err := emitNest(0, tm, mtiles); err != nil {
+			return err
+		}
+	}
+	if mrem > 0 {
+		b.resetNest()
+		if err := emitNest(mtiles*tm, mrem, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lowerTranspose uses the Transposition Engine with a full-width
+// row-panel schedule for rank-2 permutations: a panel of tr complete
+// input rows loads contiguously (one issue), the engine pivots it, and
+// each output row segment stores contiguously. This is optimal for the
+// tall-skinny layout pivots the benchmarks perform (HWC→CHW, row→column
+// payloads). Other ranks and dtypes fall back to a strided-copy Map.
+func (b *builder) lowerTranspose(st *restructure.TransposeStage) error {
+	in := b.param(st.In)
+	if !b.opts.NoTransEngine &&
+		len(st.Perm) == 2 && st.Perm[0] == 1 && st.Perm[1] == 0 && in.DType != tensor.Complex64 {
+		rows, cols := int64(in.Shape[0]), int64(in.Shape[1])
+		budget := int64(b.cfg.ScratchElems())
+		tr := budget / 2 / cols
+		if tr > rows {
+			tr = rows
+		}
+		if tr*cols > 8192 {
+			tr = 8192 / cols
+		}
+		if tr >= 1 {
+			return b.lowerTransposePanels(st, rows, cols, tr)
+		}
+	}
+	// Fallback: a Map stage with a permuted access is semantically the
+	// same transpose, executed by the vector pipeline.
+	mp := &restructure.MapStage{
+		Out:  st.Out,
+		Ins:  []string{st.In},
+		Accs: []restructure.Access{restructure.PermuteAccess(st.Perm)},
+		Expr: restructure.InN(0),
+	}
+	return b.lowerMap(mp)
+}
+
+// lowerTransposePanels emits the full-width panel schedule for one or
+// two nests (main panels plus the row remainder).
+func (b *builder) lowerTransposePanels(st *restructure.TransposeStage, rows, cols, tr int64) error {
+	in := b.param(st.In)
+	dt, err := mapDT(in.DType)
+	if err != nil {
+		return err
+	}
+	emitNest := func(rowOffset, trCur, tiles int64) error {
+		tileIn, err := b.allocScratch(trCur * cols)
+		if err != nil {
+			return err
+		}
+		tileOut, err := b.allocScratch(trCur * cols)
+		if err != nil {
+			return err
+		}
+		inDram, err := b.stream(isa.DRAM, dt, b.baseElems(st.In, dt.Size())+rowOffset*cols,
+			1, []int32{int32(tr * cols)})
+		if err != nil {
+			return err
+		}
+		tileInS, err := b.stream(isa.Scratch, isa.F32, tileIn, 1, nil)
+		if err != nil {
+			return err
+		}
+		tileOutW, err := b.stream(isa.Scratch, isa.F32, tileOut, 1, nil)
+		if err != nil {
+			return err
+		}
+		// Output row c's segment for this panel starts at c·rows +
+		// rowOffset + tile·tr; the transposed tile's row c starts at
+		// c·trCur in scratch.
+		outDram, err := b.stream(isa.DRAM, dt, b.baseElems(st.Out, dt.Size())+rowOffset,
+			1, []int32{int32(tr), int32(rows)})
+		if err != nil {
+			return err
+		}
+		tileOutR, err := b.stream(isa.Scratch, isa.F32, tileOut, 1, []int32{0, int32(trCur)})
+		if err != nil {
+			return err
+		}
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(tiles)})
+		b.emit(isa.Instr{Op: isa.Load, Dst: tileInS, Src1: inDram, N: int32(trCur * cols)})
+		b.emit(isa.Instr{Op: isa.Trans, Dst: tileOutW, Src1: tileInS, N: int32(trCur), M: int32(cols)})
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(cols)})
+		b.emit(isa.Instr{Op: isa.Store, Dst: outDram, Src1: tileOutR, N: int32(trCur)})
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+		return nil
+	}
+	tiles := rows / tr
+	rem := rows % tr
+	if tiles > 0 {
+		if err := emitNest(0, tr, tiles); err != nil {
+			return err
+		}
+	}
+	if rem > 0 {
+		b.resetNest()
+		if err := emitNest(tiles*tr, rem, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lowerTypecast streams elements through the lanes: the dtype conversion
+// happens at the Load (widen) and Store (narrow, saturate) boundaries.
+func (b *builder) lowerTypecast(st *restructure.TypecastStage) error {
+	in := b.param(st.In)
+	out := b.param(st.Out)
+	idt, err := mapDT(in.DType)
+	if err != nil {
+		return fmt.Errorf("typecast input: %w", err)
+	}
+	odt, err := mapDT(out.DType)
+	if err != nil {
+		return fmt.Errorf("typecast output: %w", err)
+	}
+	return b.flatCopy(st.In, st.Out, int64(in.NumElems()), idt, odt)
+}
+
+// lowerReshape copies raw bytes: framing never changes values, so the
+// copy runs as U8 elements and is exact for every dtype.
+func (b *builder) lowerReshape(st *restructure.ReshapeStage) error {
+	in := b.param(st.In)
+	return b.flatCopy(st.In, st.Out, int64(in.SizeBytes()), isa.U8, isa.U8)
+}
+
+// flatCopy moves count elements linearly from in to out with the given
+// stream dtypes.
+func (b *builder) flatCopy(inName, outName string, count int64, idt, odt isa.DT) error {
+	tile := int64(b.cfg.ScratchElems())
+	if tile > count {
+		tile = count
+	}
+	if tile > 8192 {
+		tile = 8192
+	}
+	tiles := count / tile
+	rem := count % tile
+
+	buf, err := b.allocScratch(tile)
+	if err != nil {
+		return err
+	}
+	scr, err := b.stream(isa.Scratch, isa.F32, buf, 1, nil)
+	if err != nil {
+		return err
+	}
+	if tiles > 0 {
+		inDram, err := b.stream(isa.DRAM, idt, b.baseElems(inName, idt.Size()), 1, []int32{int32(tile)})
+		if err != nil {
+			return err
+		}
+		outDram, err := b.stream(isa.DRAM, odt, b.baseElems(outName, odt.Size()), 1, []int32{int32(tile)})
+		if err != nil {
+			return err
+		}
+		b.emit(isa.Instr{Op: isa.LoopBegin, N: int32(tiles)})
+		b.emit(isa.Instr{Op: isa.Load, Dst: scr, Src1: inDram, N: int32(tile)})
+		b.emit(isa.Instr{Op: isa.Store, Dst: outDram, Src1: scr, N: int32(tile)})
+		b.emit(isa.Instr{Op: isa.LoopEnd})
+	}
+	if rem > 0 {
+		inDram, err := b.stream(isa.DRAM, idt, b.baseElems(inName, idt.Size())+tiles*tile, 1, nil)
+		if err != nil {
+			return err
+		}
+		outDram, err := b.stream(isa.DRAM, odt, b.baseElems(outName, odt.Size())+tiles*tile, 1, nil)
+		if err != nil {
+			return err
+		}
+		b.emit(isa.Instr{Op: isa.Load, Dst: scr, Src1: inDram, N: int32(rem)})
+		b.emit(isa.Instr{Op: isa.Store, Dst: outDram, Src1: scr, N: int32(rem)})
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Secs. II, IV, VII). Each Fig*/Table* function runs the
+// necessary system simulations and returns a typed result with a Render
+// method that prints the same rows/series the paper reports; the
+// cmd/dmxbench binary and the repository's bench harness are thin
+// wrappers over these functions. Expected-shape assertions live in this
+// package's tests, and EXPERIMENTS.md records paper-vs-measured numbers.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"dmx/internal/dmxsys"
+	"dmx/internal/workload"
+)
+
+// Concurrencies is the paper's co-running application sweep.
+var Concurrencies = []int{1, 5, 10, 15}
+
+// geomean of a positive series.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		acc += math.Log(x)
+	}
+	return math.Exp(acc / float64(len(xs)))
+}
+
+// baseSuite caches the paper-scale suite: constructing it generates the
+// full synthetic corpora (compressing 16 MB tables, sealing 10 MB of
+// ciphertext, RLE-encoding frames), which need happen only once.
+var baseSuite struct {
+	once    sync.Once
+	benches []*workload.Benchmark
+	err     error
+}
+
+// suite returns n app instances cycling through the five benchmarks in
+// Table I order.
+func suite(n int) ([]*workload.Benchmark, error) {
+	baseSuite.once.Do(func() {
+		baseSuite.benches, baseSuite.err = workload.Suite(workload.PaperScale)
+	})
+	if baseSuite.err != nil {
+		return nil, baseSuite.err
+	}
+	base := baseSuite.benches
+	out := make([]*workload.Benchmark, n)
+	for i := range out {
+		out[i] = base[i%len(base)]
+	}
+	return out, nil
+}
+
+// runSystem simulates n concurrent instances of the given benchmarks
+// under a placement.
+func runSystem(p dmxsys.Placement, benches []*workload.Benchmark) (dmxsys.RunReport, error) {
+	cfg := dmxsys.DefaultConfig(p)
+	return runSystemCfg(cfg, benches)
+}
+
+func runSystemCfg(cfg dmxsys.Config, benches []*workload.Benchmark) (dmxsys.RunReport, error) {
+	pipes := make([]*dmxsys.Pipeline, len(benches))
+	for i, b := range benches {
+		pipes[i] = b.Pipeline
+	}
+	sys, err := dmxsys.New(cfg, pipes)
+	if err != nil {
+		return dmxsys.RunReport{}, err
+	}
+	return sys.Run(), nil
+}
+
+// perBenchmark collapses a run's apps to geometric means per benchmark
+// name (several instances of the same benchmark co-run at high
+// concurrency).
+func perBenchmark(rep dmxsys.RunReport) map[string]float64 {
+	acc := make(map[string][]float64)
+	for _, a := range rep.Apps {
+		acc[a.App] = append(acc[a.App], a.Total.Seconds())
+	}
+	out := make(map[string]float64, len(acc))
+	for name, xs := range acc {
+		out[name] = geomean(xs)
+	}
+	return out
+}
+
+// table is a tiny fixed-width text table builder shared by Render
+// methods.
+type table struct {
+	b      strings.Builder
+	widths []int
+}
+
+func newTable(title string, headers ...string) *table {
+	t := &table{}
+	t.b.WriteString(title)
+	t.b.WriteByte('\n')
+	t.widths = make([]int, len(headers))
+	for i, h := range headers {
+		t.widths[i] = len(h) + 2
+		if t.widths[i] < 12 {
+			t.widths[i] = 12
+		}
+	}
+	t.row(headers...)
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	for i, c := range cells {
+		w := 12
+		if i < len(t.widths) {
+			w = t.widths[i]
+		}
+		fmt.Fprintf(&t.b, "%-*s", w, c)
+	}
+	t.b.WriteByte('\n')
+}
+
+func (t *table) rowf(format string, args ...any) {
+	fmt.Fprintf(&t.b, format, args...)
+	t.b.WriteByte('\n')
+}
+
+func (t *table) String() string { return t.b.String() }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dmx/internal/dmxsys"
+	"dmx/internal/workload"
+)
+
+// Fig11Result is the headline latency comparison: DMX (bump-in-the-wire)
+// speedup over the Multi-Axl baseline, per benchmark and on average,
+// across the concurrency sweep.
+type Fig11Result struct {
+	// Speedup[n][bench] = baseline latency / DMX latency.
+	Speedup map[int]map[string]float64
+	// Average[n] is the geomean across benchmarks.
+	Average map[int]float64
+}
+
+// Fig11 runs the headline experiment. Per the paper's per-benchmark
+// bars, each benchmark is measured homogeneously: n concurrent instances
+// of that application (a 15-app run uses 30 accelerators).
+func Fig11() (*Fig11Result, error) {
+	res := &Fig11Result{
+		Speedup: make(map[int]map[string]float64),
+		Average: make(map[int]float64),
+	}
+	benches, err := suite(5)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range Concurrencies {
+		m := make(map[string]float64, len(benches))
+		var all []float64
+		for _, bench := range benches {
+			copies := make([]*workload.Benchmark, n)
+			for i := range copies {
+				copies[i] = bench
+			}
+			base, err := runSystem(dmxsys.MultiAxl, copies)
+			if err != nil {
+				return nil, err
+			}
+			dmx, err := runSystem(dmxsys.BumpInTheWire, copies)
+			if err != nil {
+				return nil, err
+			}
+			s := base.MeanTotal().Seconds() / dmx.MeanTotal().Seconds()
+			m[bench.Name] = s
+			all = append(all, s)
+		}
+		res.Speedup[n] = m
+		res.Average[n] = geomean(all)
+	}
+	return res, nil
+}
+
+// benchOrder returns the benchmark names of a speedup map in Table I
+// order (falling back to sorted).
+func benchOrder(m map[string]float64) []string {
+	order := []string{"video-surveillance", "sound-detection", "brain-stimulation",
+		"personal-info-redaction", "database-hash-join"}
+	var out []string
+	for _, name := range order {
+		if _, ok := m[name]; ok {
+			out = append(out, name)
+		}
+	}
+	var extra []string
+	for name := range m {
+		found := false
+		for _, o := range out {
+			if o == name {
+				found = true
+			}
+		}
+		if !found {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// Render implements the experiment result interface.
+func (r *Fig11Result) Render() string {
+	t := newTable("Fig. 11: DMX speedup over Multi-Axl (latency)",
+		"benchmark", "1 app", "5 apps", "10 apps", "15 apps")
+	names := benchOrder(r.Speedup[1])
+	for _, name := range names {
+		cells := []string{name}
+		for _, n := range Concurrencies {
+			if v, ok := r.Speedup[n][name]; ok {
+				cells = append(cells, f2(v)+"x")
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.row(cells...)
+	}
+	cells := []string{"average (geomean)"}
+	for _, n := range Concurrencies {
+		cells = append(cells, f2(r.Average[n])+"x")
+	}
+	t.row(cells...)
+	return t.String()
+}
+
+// Fig12Result is the runtime-breakdown comparison between Multi-Axl and
+// DMX across concurrency.
+type Fig12Result struct {
+	Rows []Fig3Row // same shape as the motivation breakdown
+}
+
+// Fig12 measures component shares for baseline and DMX, averaged across
+// homogeneous per-benchmark runs (the paper's bars are means over the
+// five applications).
+func Fig12() (*Fig12Result, error) {
+	res := &Fig12Result{}
+	for _, n := range Concurrencies {
+		rows, _, err := breakdownSweep(n, dmxsys.MultiAxl, dmxsys.BumpInTheWire)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	return res, nil
+}
+
+// Share returns the restructure share for a config at a concurrency.
+func (r *Fig12Result) Share(config string, apps int) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Config == config && row.Apps == apps {
+			return row.RestructShare, true
+		}
+	}
+	return 0, false
+}
+
+// Render implements the experiment result interface.
+func (r *Fig12Result) Render() string {
+	t := newTable("Fig. 12: runtime breakdown, Multi-Axl (a) vs DMX (b)",
+		"config", "apps", "kernel", "restructure", "movement", "mean latency")
+	for _, row := range r.Rows {
+		t.row(row.Config, fmt.Sprint(row.Apps), pct(row.KernelShare),
+			pct(row.RestructShare), pct(row.MovementShare),
+			fmt.Sprintf("%.2f ms", row.MeanLatencySecs*1e3))
+	}
+	return t.String()
+}
+
+// Fig13Result is the throughput-improvement experiment.
+type Fig13Result struct {
+	// Improvement[n][bench] = DMX throughput / baseline throughput.
+	Improvement map[int]map[string]float64
+	Average     map[int]float64
+}
+
+// Fig13 compares steady-state pipeline throughput.
+func Fig13() (*Fig13Result, error) {
+	res := &Fig13Result{
+		Improvement: make(map[int]map[string]float64),
+		Average:     make(map[int]float64),
+	}
+	benches, err := suite(5)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range Concurrencies {
+		imp := make(map[string]float64, len(benches))
+		var all []float64
+		for _, bench := range benches {
+			copies := make([]*workload.Benchmark, n)
+			for i := range copies {
+				copies[i] = bench
+			}
+			base, err := runSystem(dmxsys.MultiAxl, copies)
+			if err != nil {
+				return nil, err
+			}
+			dmx, err := runSystem(dmxsys.BumpInTheWire, copies)
+			if err != nil {
+				return nil, err
+			}
+			// Throughput per app = 1 / slowest pipeline stage, geomeaned
+			// over instances.
+			thr := func(rep dmxsys.RunReport) float64 {
+				var xs []float64
+				for _, a := range rep.Apps {
+					xs = append(xs, a.Throughput(len(bench.Pipeline.Stages)))
+				}
+				return geomean(xs)
+			}
+			v := thr(dmx) / thr(base)
+			imp[bench.Name] = v
+			all = append(all, v)
+		}
+		res.Improvement[n] = imp
+		res.Average[n] = geomean(all)
+	}
+	return res, nil
+}
+
+// Render implements the experiment result interface.
+func (r *Fig13Result) Render() string {
+	t := newTable("Fig. 13: DMX throughput improvement over Multi-Axl",
+		"benchmark", "1 app", "5 apps", "10 apps", "15 apps")
+	for _, name := range benchOrder(r.Improvement[1]) {
+		cells := []string{name}
+		for _, n := range Concurrencies {
+			if v, ok := r.Improvement[n][name]; ok {
+				cells = append(cells, f2(v)+"x")
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.row(cells...)
+	}
+	cells := []string{"average (geomean)"}
+	for _, n := range Concurrencies {
+		cells = append(cells, f2(r.Average[n])+"x")
+	}
+	t.row(cells...)
+	return t.String()
+}

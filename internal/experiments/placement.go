@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmx/internal/dmxsys"
+	"dmx/internal/workload"
+)
+
+// placements under study in Figs. 14/15.
+var placementSweep = []dmxsys.Placement{
+	dmxsys.Integrated, dmxsys.Standalone, dmxsys.BumpInTheWire, dmxsys.PCIeIntegrated,
+}
+
+// Fig14Result compares latency speedup (over Multi-Axl) across DRX
+// placements and concurrency.
+type Fig14Result struct {
+	// Speedup[placement][n] = baseline mean latency / placement mean.
+	Speedup map[dmxsys.Placement]map[int]float64
+}
+
+// Fig14 runs the placement study: per benchmark, n homogeneous
+// instances under each placement; the reported number is the geometric
+// mean of per-benchmark speedups over the Multi-Axl baseline.
+func Fig14() (*Fig14Result, error) {
+	res := &Fig14Result{Speedup: make(map[dmxsys.Placement]map[int]float64)}
+	for _, p := range placementSweep {
+		res.Speedup[p] = make(map[int]float64)
+	}
+	benches, err := suite(5)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range Concurrencies {
+		per := make(map[dmxsys.Placement][]float64)
+		for _, bench := range benches {
+			copies := make([]*workload.Benchmark, n)
+			for i := range copies {
+				copies[i] = bench
+			}
+			base, err := runSystem(dmxsys.MultiAxl, copies)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range placementSweep {
+				rep, err := runSystem(p, copies)
+				if err != nil {
+					return nil, err
+				}
+				per[p] = append(per[p], base.MeanTotal().Seconds()/rep.MeanTotal().Seconds())
+			}
+		}
+		for _, p := range placementSweep {
+			res.Speedup[p][n] = geomean(per[p])
+		}
+	}
+	return res, nil
+}
+
+// Render implements the experiment result interface.
+func (r *Fig14Result) Render() string {
+	t := newTable("Fig. 14: latency speedup over Multi-Axl by DRX placement",
+		"placement", "1 app", "5 apps", "10 apps", "15 apps")
+	for _, p := range placementSweep {
+		cells := []string{p.String()}
+		for _, n := range Concurrencies {
+			cells = append(cells, f2(r.Speedup[p][n])+"x")
+		}
+		t.row(cells...)
+	}
+	return t.String()
+}
+
+// Fig15Result compares system-wide energy reduction (over Multi-Axl)
+// across placements. PCIe-Integrated is excluded, as in the paper.
+type Fig15Result struct {
+	Reduction map[dmxsys.Placement]map[int]float64
+}
+
+// Fig15 runs the energy study.
+func Fig15() (*Fig15Result, error) {
+	sweep := []dmxsys.Placement{dmxsys.Integrated, dmxsys.Standalone, dmxsys.BumpInTheWire}
+	res := &Fig15Result{Reduction: make(map[dmxsys.Placement]map[int]float64)}
+	for _, p := range sweep {
+		res.Reduction[p] = make(map[int]float64)
+	}
+	benches, err := suite(5)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range Concurrencies {
+		per := make(map[dmxsys.Placement][]float64)
+		for _, bench := range benches {
+			copies := make([]*workload.Benchmark, n)
+			for i := range copies {
+				copies[i] = bench
+			}
+			base, err := runSystem(dmxsys.MultiAxl, copies)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range sweep {
+				rep, err := runSystem(p, copies)
+				if err != nil {
+					return nil, err
+				}
+				per[p] = append(per[p], base.EnergyJ/rep.EnergyJ)
+			}
+		}
+		for _, p := range sweep {
+			res.Reduction[p][n] = geomean(per[p])
+		}
+	}
+	return res, nil
+}
+
+// Render implements the experiment result interface.
+func (r *Fig15Result) Render() string {
+	t := newTable("Fig. 15: energy reduction over Multi-Axl by DRX placement",
+		"placement", "1 app", "5 apps", "10 apps", "15 apps")
+	for _, p := range []dmxsys.Placement{dmxsys.Integrated, dmxsys.Standalone, dmxsys.BumpInTheWire} {
+		cells := []string{p.String()}
+		for _, n := range Concurrencies {
+			cells = append(cells, fmt.Sprintf("%.2fx", r.Reduction[p][n]))
+		}
+		t.row(cells...)
+	}
+	t.rowf("(PCIe-Integrated is not evaluated for energy, per the paper)")
+	return t.String()
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmx/internal/dmxsys"
+	"dmx/internal/pcie"
+	"dmx/internal/workload"
+)
+
+// Fig16Result is the three-kernel scalability study: Personal Info
+// Redaction extended with BERT NER.
+type Fig16Result struct {
+	// KernelShare[config][n] is the kernel-time fraction of end-to-end
+	// runtime (the paper reports DMX restores it to 93.7–97.2%).
+	KernelShare map[string]map[int]float64
+	// Speedup[n] is DMX over Multi-Axl.
+	Speedup map[int]float64
+}
+
+// Fig16 runs the three-kernel pipeline across the concurrency sweep.
+func Fig16() (*Fig16Result, error) {
+	res := &Fig16Result{
+		KernelShare: map[string]map[int]float64{},
+		Speedup:     make(map[int]float64),
+	}
+	for _, n := range Concurrencies {
+		benches := make([]*workload.Benchmark, n)
+		for i := range benches {
+			b, err := workload.PIRWithNER(workload.PaperScale)
+			if err != nil {
+				return nil, err
+			}
+			benches[i] = b
+		}
+		base, err := runSystem(dmxsys.MultiAxl, benches)
+		if err != nil {
+			return nil, err
+		}
+		dmx, err := runSystem(dmxsys.BumpInTheWire, benches)
+		if err != nil {
+			return nil, err
+		}
+		for _, rep := range []dmxsys.RunReport{base, dmx} {
+			k, _, _ := rep.ComponentShares()
+			name := rep.Placement.String()
+			if res.KernelShare[name] == nil {
+				res.KernelShare[name] = make(map[int]float64)
+			}
+			res.KernelShare[name][n] = k
+		}
+		res.Speedup[n] = base.MeanTotal().Seconds() / dmx.MeanTotal().Seconds()
+	}
+	return res, nil
+}
+
+// Render implements the experiment result interface.
+func (r *Fig16Result) Render() string {
+	t := newTable("Fig. 16: PIR + NER (three kernels, two restructuring hops)",
+		"apps", "kernel share (Multi-Axl)", "kernel share (DMX)", "DMX speedup")
+	t.widths = []int{12, 26, 22, 14}
+	for _, n := range Concurrencies {
+		t.row(fmt.Sprint(n),
+			pct(r.KernelShare[dmxsys.MultiAxl.String()][n]),
+			pct(r.KernelShare[dmxsys.BumpInTheWire.String()][n]),
+			f2(r.Speedup[n])+"x")
+	}
+	return t.String()
+}
+
+// CollectiveSizes is the Fig. 17 accelerator-count sweep.
+var CollectiveSizes = []int{4, 8, 16, 32}
+
+// Fig17Result compares broadcast and all-reduce between the baseline and
+// DMX across accelerator counts.
+type Fig17Result struct {
+	Broadcast map[int]float64 // n → speedup
+	AllReduce map[int]float64
+}
+
+// Fig17 runs the collectives study. The payload mirrors the benchmark
+// batch scale; all-reduce adds a DRX-side summation kernel.
+func Fig17() (*Fig17Result, error) {
+	res := &Fig17Result{
+		Broadcast: make(map[int]float64),
+		AllReduce: make(map[int]float64),
+	}
+	const payload = 8 << 20
+	for _, n := range CollectiveSizes {
+		run := func(useDMX bool, allReduce bool) (float64, error) {
+			cs, err := dmxsys.NewCollective(dmxsys.CollectiveConfig{
+				Accels: n,
+				Bytes:  payload,
+				Reduce: allReduce,
+				UseDMX: useDMX,
+				Sys:    dmxsys.DefaultConfig(dmxsys.BumpInTheWire),
+			})
+			if err != nil {
+				return 0, err
+			}
+			if allReduce {
+				return cs.AllReduce().Seconds(), nil
+			}
+			return cs.Broadcast().Seconds(), nil
+		}
+		bb, err := run(false, false)
+		if err != nil {
+			return nil, err
+		}
+		bd, err := run(true, false)
+		if err != nil {
+			return nil, err
+		}
+		res.Broadcast[n] = bb / bd
+		ab, err := run(false, true)
+		if err != nil {
+			return nil, err
+		}
+		ad, err := run(true, true)
+		if err != nil {
+			return nil, err
+		}
+		res.AllReduce[n] = ab / ad
+	}
+	return res, nil
+}
+
+// Render implements the experiment result interface.
+func (r *Fig17Result) Render() string {
+	t := newTable("Fig. 17: collective speedup, DMX over CPU-mediated baseline",
+		"accelerators", "broadcast", "all-reduce")
+	for _, n := range CollectiveSizes {
+		t.row(fmt.Sprint(n), f2(r.Broadcast[n])+"x", f2(r.AllReduce[n])+"x")
+	}
+	return t.String()
+}
+
+// LaneSweep is the Fig. 18 RE-lane axis.
+var LaneSweep = []int{32, 64, 128, 256}
+
+// Fig18Result is the DRX compute-resource sensitivity.
+type Fig18Result struct {
+	// Speedup[lanes] = Multi-Axl mean latency / DMX mean latency with a
+	// DRX of that many RE lanes (10 concurrent apps, as a loaded point).
+	Speedup map[int]float64
+}
+
+// Fig18 sweeps the RE lane count.
+func Fig18() (*Fig18Result, error) {
+	const napps = 10
+	benches, err := suite(napps)
+	if err != nil {
+		return nil, err
+	}
+	base, err := runSystem(dmxsys.MultiAxl, benches)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig18Result{Speedup: make(map[int]float64)}
+	for _, lanes := range LaneSweep {
+		cfg := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
+		cfg.DRX = cfg.DRX.WithLanes(lanes)
+		rep, err := runSystemCfg(cfg, benches)
+		if err != nil {
+			return nil, err
+		}
+		res.Speedup[lanes] = base.MeanTotal().Seconds() / rep.MeanTotal().Seconds()
+	}
+	return res, nil
+}
+
+// Render implements the experiment result interface.
+func (r *Fig18Result) Render() string {
+	t := newTable("Fig. 18: DMX speedup vs DRX RE lanes (10 apps)",
+		"RE lanes", "speedup")
+	for _, lanes := range LaneSweep {
+		t.row(fmt.Sprint(lanes), f2(r.Speedup[lanes])+"x")
+	}
+	return t.String()
+}
+
+// GenSweep is the Fig. 19 PCIe-generation axis.
+var GenSweep = []pcie.Gen{pcie.Gen3, pcie.Gen4, pcie.Gen5}
+
+// Fig19Result is the interconnect-generation sensitivity.
+type Fig19Result struct {
+	// Speedup[gen][n] = Multi-Axl/DMX on a fabric of that generation.
+	Speedup map[pcie.Gen]map[int]float64
+}
+
+// Fig19 sweeps the PCIe generation for both baseline and DMX.
+func Fig19() (*Fig19Result, error) {
+	res := &Fig19Result{Speedup: make(map[pcie.Gen]map[int]float64)}
+	for _, g := range GenSweep {
+		res.Speedup[g] = make(map[int]float64)
+		for _, n := range Concurrencies {
+			benches, err := suite(n)
+			if err != nil {
+				return nil, err
+			}
+			baseCfg := dmxsys.DefaultConfig(dmxsys.MultiAxl)
+			baseCfg.Gen = g
+			// Newer platforms also expose more root-port lanes (the
+			// paper's second effect: baselines reduce their CPU-link
+			// contention on Gen4/Gen5 hosts).
+			if g != pcie.Gen3 {
+				baseCfg.UplinkLanes = 16
+			}
+			base, err := runSystemCfg(baseCfg, benches)
+			if err != nil {
+				return nil, err
+			}
+			dmxCfg := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
+			dmxCfg.Gen = g
+			if g != pcie.Gen3 {
+				dmxCfg.UplinkLanes = 16
+			}
+			rep, err := runSystemCfg(dmxCfg, benches)
+			if err != nil {
+				return nil, err
+			}
+			res.Speedup[g][n] = base.MeanTotal().Seconds() / rep.MeanTotal().Seconds()
+		}
+	}
+	return res, nil
+}
+
+// Render implements the experiment result interface.
+func (r *Fig19Result) Render() string {
+	t := newTable("Fig. 19: DMX speedup across PCIe generations",
+		"generation", "1 app", "5 apps", "10 apps", "15 apps")
+	for _, g := range GenSweep {
+		cells := []string{g.String()}
+		for _, n := range Concurrencies {
+			cells = append(cells, f2(r.Speedup[g][n])+"x")
+		}
+		t.row(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,303 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly produced by Program.Disassemble
+// (or written by hand) into a validated Program. Lines starting with ';'
+// are comments; blank lines are skipped. The program name may be given
+// with a leading "; program <name>" comment and is otherwise "asm".
+func Assemble(src string) (*Program, error) {
+	p := &Program{Name: "asm"}
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			fields := strings.Fields(strings.TrimPrefix(line, ";"))
+			if len(fields) >= 2 && fields[0] == "program" {
+				p.Name = fields[1]
+			}
+			continue
+		}
+		in, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineno+1, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+var mnemonics = buildMnemonicTable()
+
+func buildMnemonicTable() map[string]Opcode {
+	m := make(map[string]Opcode, int(numOpcodes))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}
+
+func parseLine(line string) (Instr, error) {
+	// Commas separate operands; normalize them to spaces — except in
+	// cfgstream, whose strides= field uses commas as list separators.
+	fields := strings.Fields(line)
+	if len(fields) > 0 && fields[0] != CfgStream.String() {
+		fields = strings.Fields(strings.ReplaceAll(line, ",", " "))
+	}
+	op, ok := mnemonics[fields[0]]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	in := Instr{Op: op}
+	args := fields[1:]
+	switch op {
+	case Nop, Halt, Barrier, LoopEnd:
+		if len(args) != 0 {
+			return in, fmt.Errorf("%s takes no operands", op)
+		}
+		return in, nil
+	case LoopBegin:
+		return in, parseInts(args, 1, func(v []int64) { in.N = int32(v[0]) }, &in)
+	case CfgStream:
+		return parseCfgStream(args)
+	case Load, Store:
+		if len(args) != 3 {
+			return in, fmt.Errorf("%s wants 3 operands", op)
+		}
+		var err error
+		if in.Dst, err = parseStream(args[0]); err != nil {
+			return in, err
+		}
+		if in.Src1, err = parseStream(args[1]); err != nil {
+			return in, err
+		}
+		n, err := strconv.ParseInt(args[2], 10, 32)
+		if err != nil {
+			return in, err
+		}
+		in.N = int32(n)
+		return in, nil
+	case Trans:
+		if len(args) != 3 {
+			return in, fmt.Errorf("trans wants 3 operands")
+		}
+		var err error
+		if in.Dst, err = parseStream(args[0]); err != nil {
+			return in, err
+		}
+		if in.Src1, err = parseStream(args[1]); err != nil {
+			return in, err
+		}
+		dims := strings.Split(args[2], "x")
+		if len(dims) != 2 {
+			return in, fmt.Errorf("trans dims %q, want RxC", args[2])
+		}
+		r, err := strconv.ParseInt(dims[0], 10, 32)
+		if err != nil {
+			return in, err
+		}
+		c, err := strconv.ParseInt(dims[1], 10, 32)
+		if err != nil {
+			return in, err
+		}
+		in.N, in.M = int32(r), int32(c)
+		return in, nil
+	case Dma:
+		if len(args) != 2 || !strings.HasPrefix(args[0], "q") {
+			return in, fmt.Errorf("dma wants qN, bytes")
+		}
+		q, err := strconv.ParseInt(args[0][1:], 10, 32)
+		if err != nil {
+			return in, err
+		}
+		n, err := strconv.ParseInt(args[1], 10, 32)
+		if err != nil {
+			return in, err
+		}
+		in.Dst, in.N = int32(q), int32(n)
+		return in, nil
+	case SLi:
+		if len(args) != 2 {
+			return in, fmt.Errorf("sli wants rD, imm")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return in, err
+		}
+		v, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return in, err
+		}
+		in.Dst, in.ImmInt = r, v
+		return in, nil
+	case SAdd, SMul:
+		if len(args) != 3 {
+			return in, fmt.Errorf("%s wants rD, rS1, rS2", op)
+		}
+		var err error
+		if in.Dst, err = parseReg(args[0]); err != nil {
+			return in, err
+		}
+		if in.Src1, err = parseReg(args[1]); err != nil {
+			return in, err
+		}
+		if in.Src2, err = parseReg(args[2]); err != nil {
+			return in, err
+		}
+		return in, nil
+	}
+	if !op.IsVector() {
+		return in, fmt.Errorf("unhandled opcode %s", op)
+	}
+	var err error
+	if in.Dst, err = parseStream(args[0]); err != nil {
+		return in, err
+	}
+	if in.Src1, err = parseStream(args[1]); err != nil {
+		return in, err
+	}
+	switch {
+	case op.IsUnary():
+		if len(args) != 3 {
+			return in, fmt.Errorf("%s wants sD, sS, N", op)
+		}
+		n, err := strconv.ParseInt(args[2], 10, 32)
+		if err != nil {
+			return in, err
+		}
+		in.N = int32(n)
+	case op.HasImm():
+		if len(args) != 4 {
+			return in, fmt.Errorf("%s wants sD, sS, imm, N", op)
+		}
+		imm, err := strconv.ParseFloat(args[2], 32)
+		if err != nil {
+			return in, err
+		}
+		n, err := strconv.ParseInt(args[3], 10, 32)
+		if err != nil {
+			return in, err
+		}
+		in.Imm, in.N = float32(imm), int32(n)
+	default:
+		if len(args) != 4 {
+			return in, fmt.Errorf("%s wants sD, sS1, sS2, N", op)
+		}
+		if in.Src2, err = parseStream(args[2]); err != nil {
+			return in, err
+		}
+		n, err := strconv.ParseInt(args[3], 10, 32)
+		if err != nil {
+			return in, err
+		}
+		in.N = int32(n)
+	}
+	return in, nil
+}
+
+func parseCfgStream(args []string) (Instr, error) {
+	in := Instr{Op: CfgStream}
+	if len(args) < 5 {
+		return in, fmt.Errorf("cfgstream wants sID space dt base= estride= [strides=]")
+	}
+	id, err := parseStream(args[0])
+	if err != nil {
+		return in, err
+	}
+	in.Dst = id
+	switch args[1] {
+	case "dram":
+		in.Space = DRAM
+	case "scratch":
+		in.Space = Scratch
+	default:
+		return in, fmt.Errorf("unknown space %q", args[1])
+	}
+	dtFound := false
+	for d := U8; d <= F64; d++ {
+		if d.String() == args[2] {
+			in.DType = d
+			dtFound = true
+			break
+		}
+	}
+	if !dtFound {
+		return in, fmt.Errorf("unknown dtype %q", args[2])
+	}
+	for _, kv := range args[3:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return in, fmt.Errorf("malformed field %q", kv)
+		}
+		switch key {
+		case "base":
+			if in.Base, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return in, err
+			}
+		case "estride":
+			v, err := strconv.ParseInt(val, 10, 32)
+			if err != nil {
+				return in, err
+			}
+			in.ElemStride = int32(v)
+		case "strides":
+			for _, s := range strings.Split(val, ",") {
+				v, err := strconv.ParseInt(s, 10, 32)
+				if err != nil {
+					return in, err
+				}
+				in.Strides = append(in.Strides, int32(v))
+			}
+		default:
+			return in, fmt.Errorf("unknown field %q", key)
+		}
+	}
+	return in, nil
+}
+
+func parseStream(tok string) (int32, error) {
+	if !strings.HasPrefix(tok, "s") {
+		return 0, fmt.Errorf("stream operand %q must be sN", tok)
+	}
+	v, err := strconv.ParseInt(tok[1:], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("stream operand %q: %w", tok, err)
+	}
+	return int32(v), nil
+}
+
+func parseReg(tok string) (int32, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, fmt.Errorf("register operand %q must be rN", tok)
+	}
+	v, err := strconv.ParseInt(tok[1:], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("register operand %q: %w", tok, err)
+	}
+	return int32(v), nil
+}
+
+func parseInts(args []string, n int, apply func([]int64), in *Instr) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d operands, got %d", n, len(args))
+	}
+	vals := make([]int64, n)
+	for i, a := range args {
+		v, err := strconv.ParseInt(a, 10, 64)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	apply(vals)
+	return nil
+}

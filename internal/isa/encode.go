@@ -1,0 +1,174 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary format: a "DRX1" magic, the program name, an instruction count,
+// then each instruction as a fixed header plus its variable stride list.
+// The codec exists so kernels can be shipped to DRX devices through the
+// runtime's command queues as opaque binaries, the way the paper's driver
+// ships data restructuring kernels to each DRX (Sec. V).
+
+var magic = [4]byte{'D', 'R', 'X', '1'}
+
+// Encode serializes the program.
+func Encode(p *Program) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	b.Write(magic[:])
+	writeU32(&b, uint32(len(p.Name)))
+	b.WriteString(p.Name)
+	writeU32(&b, uint32(len(p.Instrs)))
+	for _, in := range p.Instrs {
+		b.WriteByte(byte(in.Op))
+		writeI32(&b, in.Dst)
+		writeI32(&b, in.Src1)
+		writeI32(&b, in.Src2)
+		writeI32(&b, in.N)
+		writeI32(&b, in.M)
+		writeU32(&b, math.Float32bits(in.Imm))
+		writeI64(&b, in.ImmInt)
+		b.WriteByte(byte(in.Space))
+		b.WriteByte(byte(in.DType))
+		writeI64(&b, in.Base)
+		writeI32(&b, in.ElemStride)
+		b.WriteByte(byte(len(in.Strides)))
+		for _, s := range in.Strides {
+			writeI32(&b, s)
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// Decode parses a program produced by Encode and validates it.
+func Decode(data []byte) (*Program, error) {
+	r := bytes.NewReader(data)
+	var m [4]byte
+	if _, err := r.Read(m[:]); err != nil || m != magic {
+		return nil, fmt.Errorf("isa: bad magic")
+	}
+	nameLen, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(nameLen) > r.Len() {
+		return nil, fmt.Errorf("isa: truncated name")
+	}
+	name := make([]byte, nameLen)
+	if _, err := r.Read(name); err != nil {
+		return nil, err
+	}
+	count, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Name: string(name)}
+	for i := uint32(0); i < count; i++ {
+		var in Instr
+		op, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("isa: truncated instr %d", i)
+		}
+		in.Op = Opcode(op)
+		if in.Dst, err = readI32(r); err != nil {
+			return nil, err
+		}
+		if in.Src1, err = readI32(r); err != nil {
+			return nil, err
+		}
+		if in.Src2, err = readI32(r); err != nil {
+			return nil, err
+		}
+		if in.N, err = readI32(r); err != nil {
+			return nil, err
+		}
+		if in.M, err = readI32(r); err != nil {
+			return nil, err
+		}
+		immBits, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		in.Imm = math.Float32frombits(immBits)
+		if in.ImmInt, err = readI64(r); err != nil {
+			return nil, err
+		}
+		sp, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		in.Space = Space(sp)
+		dt, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		in.DType = DT(dt)
+		if in.Base, err = readI64(r); err != nil {
+			return nil, err
+		}
+		if in.ElemStride, err = readI32(r); err != nil {
+			return nil, err
+		}
+		ns, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if ns > 0 {
+			in.Strides = make([]int32, ns)
+			for j := range in.Strides {
+				if in.Strides[j], err = readI32(r); err != nil {
+					return nil, err
+				}
+			}
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("isa: %d trailing bytes", r.Len())
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	b.Write(buf[:])
+}
+
+func writeI32(b *bytes.Buffer, v int32) { writeU32(b, uint32(v)) }
+
+func writeI64(b *bytes.Buffer, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	b.Write(buf[:])
+}
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := r.Read(buf[:]); err != nil {
+		return 0, fmt.Errorf("isa: truncated stream")
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readI32(r *bytes.Reader) (int32, error) {
+	v, err := readU32(r)
+	return int32(v), err
+}
+
+func readI64(r *bytes.Reader) (int64, error) {
+	var buf [8]byte
+	if _, err := r.Read(buf[:]); err != nil {
+		return 0, fmt.Errorf("isa: truncated stream")
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}

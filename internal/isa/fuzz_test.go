@@ -1,0 +1,129 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randProgram generates a random *valid* program exercising every
+// instruction class, for codec/assembler round-trip fuzzing.
+func randProgram(rng *rand.Rand) *Program {
+	p := &Program{Name: "fuzz"}
+	// A few stream configs up front.
+	nStreams := 1 + rng.Intn(6)
+	for i := 0; i < nStreams; i++ {
+		space := Scratch
+		if rng.Intn(2) == 0 {
+			space = DRAM
+		}
+		in := Instr{
+			Op: CfgStream, Dst: int32(i), Space: space, DType: DT(rng.Intn(6)),
+			Base: rng.Int63n(1 << 20), ElemStride: int32(rng.Intn(8) + 1),
+		}
+		for l := rng.Intn(4); l > 0; l-- {
+			in.Strides = append(in.Strides, int32(rng.Intn(512)-128))
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	sid := func() int32 { return int32(rng.Intn(nStreams)) }
+	depth := 0
+	for i := 0; i < 30; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			if depth < MaxLoopDepth {
+				p.Instrs = append(p.Instrs, Instr{Op: LoopBegin, N: int32(rng.Intn(7) + 1)})
+				depth++
+			}
+		case 1:
+			if depth > 0 {
+				p.Instrs = append(p.Instrs, Instr{Op: LoopEnd})
+				depth--
+			}
+		case 2:
+			p.Instrs = append(p.Instrs, Instr{Op: Load, Dst: sid(), Src1: sid(), N: int32(rng.Intn(64) + 1)})
+		case 3:
+			p.Instrs = append(p.Instrs, Instr{Op: Store, Dst: sid(), Src1: sid(), N: int32(rng.Intn(64) + 1)})
+		case 4:
+			p.Instrs = append(p.Instrs, Instr{Op: VAddI, Dst: sid(), Src1: sid(),
+				Imm: float32(rng.NormFloat64()), N: int32(rng.Intn(64) + 1)})
+		case 5:
+			p.Instrs = append(p.Instrs, Instr{Op: VMacS, Dst: sid(), Src1: sid(), Src2: sid(),
+				N: int32(rng.Intn(64) + 1)})
+		case 6:
+			p.Instrs = append(p.Instrs, Instr{Op: VSqrt, Dst: sid(), Src1: sid(), N: int32(rng.Intn(64) + 1)})
+		case 7:
+			p.Instrs = append(p.Instrs, Instr{Op: Trans, Dst: sid(), Src1: sid(),
+				N: int32(rng.Intn(16) + 1), M: int32(rng.Intn(16) + 1)})
+		case 8:
+			p.Instrs = append(p.Instrs, Instr{Op: Dma, Dst: int32(rng.Intn(8)), N: int32(rng.Intn(1 << 16))})
+		case 9:
+			p.Instrs = append(p.Instrs, Instr{Op: SLi, Dst: int32(rng.Intn(NumScalarRegs)), ImmInt: rng.Int63() - (1 << 62)})
+		case 10:
+			p.Instrs = append(p.Instrs, Instr{Op: Barrier})
+		default:
+			p.Instrs = append(p.Instrs, Instr{Op: VMul, Dst: sid(), Src1: sid(), Src2: sid(),
+				N: int32(rng.Intn(64) + 1)})
+		}
+	}
+	for ; depth > 0; depth-- {
+		p.Instrs = append(p.Instrs, Instr{Op: LoopEnd})
+	}
+	p.Instrs = append(p.Instrs, Instr{Op: Halt})
+	return p
+}
+
+func TestFuzzCodecAndAssemblerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		p := randProgram(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid program: %v", trial, err)
+		}
+		// Binary codec round trip.
+		bin, err := Encode(p)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		q, err := Decode(bin)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		// Assembler round trip (text form).
+		r, err := Assemble(p.Disassemble())
+		if err != nil {
+			t.Fatalf("trial %d: assemble:\n%s\nerr: %v", trial, p.Disassemble(), err)
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i].String() != q.Instrs[i].String() {
+				t.Fatalf("trial %d instr %d: codec mismatch %q vs %q", trial, i, p.Instrs[i], q.Instrs[i])
+			}
+			if p.Instrs[i].String() != r.Instrs[i].String() {
+				t.Fatalf("trial %d instr %d: asm mismatch %q vs %q", trial, i, p.Instrs[i], r.Instrs[i])
+			}
+		}
+	}
+}
+
+func TestDecodeFuzzedCorruption(t *testing.T) {
+	// Bit-flipped binaries must never decode into a program that fails
+	// Validate (Decode validates), and must never panic.
+	rng := rand.New(rand.NewSource(8))
+	p := randProgram(rng)
+	bin, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), bin...)
+		for flips := rng.Intn(4) + 1; flips > 0; flips-- {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		q, err := Decode(mut)
+		if err != nil {
+			continue // rejected: fine
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Decode returned an invalid program: %v", err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package isa defines the DRX instruction set architecture.
+//
+// The ISA follows the paper's Fig. 7 taxonomy: loop instructions that
+// drive the hardware Instruction Repeater, compute instructions over the
+// vector Restructuring Engines (REs), off-chip memory access instructions
+// for the Off-chip Data Access Engine, synchronization instructions, and
+// a small scalar subset for serial tasks. It departs from classic SIMD in
+// exactly the ways Sec. IV-B describes: operands are software-managed
+// scratchpad streams instead of vector registers, loops are hardware
+// loops instead of branches, and data packing is implicit in the stream
+// configuration rather than explicit pack/unpack instructions.
+package isa
+
+import "fmt"
+
+// Opcode identifies a DRX instruction.
+type Opcode uint8
+
+// Instruction opcodes, grouped per the paper's ISA classes.
+const (
+	// Control and synchronization.
+	Nop Opcode = iota
+	Halt
+	Barrier
+
+	// Loop instructions (Instruction Repeater).
+	LoopBegin // repeat the block up to the matching LoopEnd N times
+	LoopEnd
+
+	// Stream configuration (Strided Scratchpad Address Calculator and
+	// Off-chip Data Access Engine).
+	CfgStream
+
+	// Off-chip memory access.
+	Load  // DRAM → scratchpad, with dtype widening to f32 lanes
+	Store // scratchpad → DRAM, with dtype narrowing/saturation
+
+	// Vector compute (Restructuring Engines). Unless noted, semantics are
+	// elementwise over N lanes: Dst[i] = op(Src1[i], Src2[i]).
+	VAdd
+	VSub
+	VMul
+	VDiv
+	VMin
+	VMax
+	VMod
+	VAddI // Dst[i] = Src1[i] + Imm
+	VSubI
+	VMulI
+	VDivI
+	VMinI
+	VMaxI
+	VMov // Dst[i] = Src1[i]
+	VNeg
+	VAbs
+	VSqrt
+	VLog
+	VExp
+	VFloor
+	VMacS // Dst[i] += Src1[i] * scratch[Src2] (scalar broadcast MAC)
+	VRSum // Dst[0] = Σ_{i<N} Src1[i] (tree reduction)
+	VRMax // Dst[0] = max_{i<N} Src1[i]
+
+	// Transposition Engine: Dst = transpose of Src1 viewed as N×M.
+	Trans
+
+	// DMA initiation (point-to-point transfer with a peer device); a
+	// system-level hook, functionally a no-op inside the core.
+	Dma
+
+	// Scalar subset (one RE in scalar mode).
+	SLi  // reg[Dst] = ImmInt
+	SAdd // reg[Dst] = reg[Src1] + reg[Src2]
+	SMul // reg[Dst] = reg[Src1] * reg[Src2]
+
+	numOpcodes // sentinel
+)
+
+var opcodeNames = [...]string{
+	Nop: "nop", Halt: "halt", Barrier: "barrier",
+	LoopBegin: "loop", LoopEnd: "endloop",
+	CfgStream: "cfgstream",
+	Load:      "load", Store: "store",
+	VAdd: "vadd", VSub: "vsub", VMul: "vmul", VDiv: "vdiv",
+	VMin: "vmin", VMax: "vmax", VMod: "vmod",
+	VAddI: "vaddi", VSubI: "vsubi", VMulI: "vmuli", VDivI: "vdivi",
+	VMinI: "vmini", VMaxI: "vmaxi",
+	VMov: "vmov", VNeg: "vneg", VAbs: "vabs",
+	VSqrt: "vsqrt", VLog: "vlog", VExp: "vexp", VFloor: "vfloor",
+	VMacS: "vmacs", VRSum: "vrsum", VRMax: "vrmax",
+	Trans: "trans", Dma: "dma",
+	SLi: "sli", SAdd: "sadd", SMul: "smul",
+}
+
+// String returns the assembler mnemonic.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// Valid reports whether the opcode is defined.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// IsVector reports whether the opcode executes on the RE lanes.
+func (op Opcode) IsVector() bool { return op >= VAdd && op <= VRMax }
+
+// IsUnary reports whether the vector op takes a single stream operand.
+func (op Opcode) IsUnary() bool {
+	switch op {
+	case VMov, VNeg, VAbs, VSqrt, VLog, VExp, VFloor, VRSum, VRMax:
+		return true
+	}
+	return false
+}
+
+// HasImm reports whether the vector op carries a float immediate.
+func (op Opcode) HasImm() bool {
+	switch op {
+	case VAddI, VSubI, VMulI, VDivI, VMinI, VMaxI:
+		return true
+	}
+	return false
+}
+
+// Space distinguishes the two address spaces streams can walk.
+type Space uint8
+
+// Address spaces.
+const (
+	DRAM Space = iota
+	Scratch
+)
+
+func (s Space) String() string {
+	if s == DRAM {
+		return "dram"
+	}
+	return "scratch"
+}
+
+// DT is the off-chip element type of a stream. Scratchpad lanes always
+// hold float32; Load widens from DT and Store narrows (with saturation)
+// to DT — the ISA's typecast capability lives at the memory boundary.
+type DT uint8
+
+// Stream element types.
+const (
+	U8 DT = iota
+	I8
+	I16
+	I32
+	F32
+	F64
+)
+
+var dtNames = [...]string{U8: "u8", I8: "i8", I16: "i16", I32: "i32", F32: "f32", F64: "f64"}
+
+var dtSizes = [...]int{U8: 1, I8: 1, I16: 2, I32: 4, F32: 4, F64: 8}
+
+func (d DT) String() string {
+	if int(d) < len(dtNames) {
+		return dtNames[d]
+	}
+	return fmt.Sprintf("dt%d", uint8(d))
+}
+
+// Size reports the off-chip element size in bytes.
+func (d DT) Size() int {
+	if int(d) >= len(dtSizes) {
+		panic(fmt.Sprintf("isa: unknown DT %d", uint8(d)))
+	}
+	return dtSizes[d]
+}
+
+// MaxLoopDepth bounds Instruction Repeater nesting, matching the number
+// of <Base, Stride, Iteration> register sets in the address calculators.
+const MaxLoopDepth = 8
+
+// MaxStreams is the number of stream configuration registers.
+const MaxStreams = 32
+
+// NumScalarRegs is the size of the scalar register file.
+const NumScalarRegs = 16

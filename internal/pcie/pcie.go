@@ -1,0 +1,300 @@
+// Package pcie simulates the PCIe fabric of the multi-accelerator server.
+//
+// The fabric is where the paper's DRX-placement study happens: the four
+// placements differ only in which links a chained transfer must cross and
+// who contends for them. The model captures what matters for that study —
+// per-generation per-lane bandwidth, full-duplex links, fair-share
+// contention on shared upstream ports, and the ~110 ns port-to-port
+// latency tax of every switch hop (Sec. VII-B cites [123]) — and nothing
+// below the transaction layer.
+package pcie
+
+import (
+	"fmt"
+
+	"dmx/internal/sim"
+)
+
+// Gen is a PCIe generation (the Fig. 19 sensitivity axis).
+type Gen int
+
+// Supported generations.
+const (
+	Gen3 Gen = 3
+	Gen4 Gen = 4
+	Gen5 Gen = 5
+)
+
+// BytesPerSecPerLane reports the effective per-lane data bandwidth:
+// raw signaling (8/16/32 GT/s) after 128b/130b encoding and ~20% TLP
+// header/flow-control overhead.
+func (g Gen) BytesPerSecPerLane() float64 {
+	switch g {
+	case Gen3:
+		return 0.985e9 * 0.8
+	case Gen4:
+		return 1.969e9 * 0.8
+	case Gen5:
+		return 3.938e9 * 0.8
+	}
+	panic(fmt.Sprintf("pcie: unknown generation %d", int(g)))
+}
+
+func (g Gen) String() string { return fmt.Sprintf("Gen%d", int(g)) }
+
+// LinkConfig is one link's width and generation.
+type LinkConfig struct {
+	Gen   Gen
+	Lanes int
+}
+
+// Bandwidth reports the link's effective one-direction bandwidth.
+func (lc LinkConfig) Bandwidth() float64 {
+	return lc.Gen.BytesPerSecPerLane() * float64(lc.Lanes)
+}
+
+func (lc LinkConfig) String() string { return fmt.Sprintf("%v x%d", lc.Gen, lc.Lanes) }
+
+// Timing constants.
+const (
+	// SwitchPortLatency is the port-to-port latency of one PCIe switch.
+	SwitchPortLatency = 110 * sim.Nanosecond
+	// RootComplexLatency is the tax for crossing the CPU's root complex
+	// between two switches.
+	RootComplexLatency = 250 * sim.Nanosecond
+)
+
+// Root is the reserved endpoint name of the CPU root complex.
+const Root = "cpu"
+
+// linkPair is one full-duplex link: up carries traffic toward the root,
+// down away from it.
+type linkPair struct {
+	up   *sim.Channel
+	down *sim.Channel
+}
+
+type device struct {
+	name string
+	sw   string
+	link linkPair
+}
+
+type swtch struct {
+	name   string
+	uplink linkPair // to the root complex
+}
+
+// Fabric is a two-level PCIe topology: a root complex, switches on its
+// root ports, and devices on switch downstream ports — the shape of the
+// paper's evaluation server (Fig. 4).
+type Fabric struct {
+	eng      *sim.Engine
+	switches map[string]*swtch
+	devices  map[string]*device
+	order    []string // device insertion order, for deterministic reports
+}
+
+// New creates an empty fabric on the engine.
+func New(eng *sim.Engine) *Fabric {
+	return &Fabric{
+		eng:      eng,
+		switches: make(map[string]*swtch),
+		devices:  make(map[string]*device),
+	}
+}
+
+// AddSwitch attaches a switch to the root complex with the given uplink.
+func (f *Fabric) AddSwitch(name string, uplink LinkConfig) error {
+	if name == Root {
+		return fmt.Errorf("pcie: %q is reserved for the root complex", Root)
+	}
+	if _, dup := f.switches[name]; dup {
+		return fmt.Errorf("pcie: duplicate switch %q", name)
+	}
+	f.switches[name] = &swtch{
+		name: name,
+		uplink: linkPair{
+			up:   sim.NewChannel(f.eng, name+".up", uplink.Bandwidth()),
+			down: sim.NewChannel(f.eng, name+".down", uplink.Bandwidth()),
+		},
+	}
+	return nil
+}
+
+// AddDevice attaches a device to a switch's downstream port.
+func (f *Fabric) AddDevice(name, sw string, link LinkConfig) error {
+	if name == Root {
+		return fmt.Errorf("pcie: %q is reserved for the root complex", Root)
+	}
+	if _, ok := f.switches[sw]; !ok {
+		return fmt.Errorf("pcie: unknown switch %q", sw)
+	}
+	if _, dup := f.devices[name]; dup {
+		return fmt.Errorf("pcie: duplicate device %q", name)
+	}
+	f.devices[name] = &device{
+		name: name,
+		sw:   sw,
+		link: linkPair{
+			up:   sim.NewChannel(f.eng, name+".up", link.Bandwidth()),
+			down: sim.NewChannel(f.eng, name+".down", link.Bandwidth()),
+		},
+	}
+	f.order = append(f.order, name)
+	return nil
+}
+
+// SwitchOf reports which switch a device hangs from.
+func (f *Fabric) SwitchOf(name string) (string, bool) {
+	d, ok := f.devices[name]
+	if !ok {
+		return "", false
+	}
+	return d.sw, true
+}
+
+// Devices lists device names in insertion order.
+func (f *Fabric) Devices() []string { return append([]string(nil), f.order...) }
+
+// route resolves the channel path and fixed latency between endpoints.
+func (f *Fabric) route(from, to string) ([]*sim.Channel, sim.Duration, error) {
+	if from == to {
+		return nil, 0, fmt.Errorf("pcie: transfer from %q to itself", from)
+	}
+	if from == Root {
+		d, ok := f.devices[to]
+		if !ok {
+			return nil, 0, fmt.Errorf("pcie: unknown device %q", to)
+		}
+		sw := f.switches[d.sw]
+		return []*sim.Channel{sw.uplink.down, d.link.down}, SwitchPortLatency + RootComplexLatency, nil
+	}
+	if to == Root {
+		d, ok := f.devices[from]
+		if !ok {
+			return nil, 0, fmt.Errorf("pcie: unknown device %q", from)
+		}
+		sw := f.switches[d.sw]
+		return []*sim.Channel{d.link.up, sw.uplink.up}, SwitchPortLatency + RootComplexLatency, nil
+	}
+	src, ok := f.devices[from]
+	if !ok {
+		return nil, 0, fmt.Errorf("pcie: unknown device %q", from)
+	}
+	dst, ok := f.devices[to]
+	if !ok {
+		return nil, 0, fmt.Errorf("pcie: unknown device %q", to)
+	}
+	if src.sw == dst.sw {
+		// Peer-to-peer under one switch: traffic multiplexes through the
+		// switch without touching the upstream port.
+		return []*sim.Channel{src.link.up, dst.link.down}, SwitchPortLatency, nil
+	}
+	s1, s2 := f.switches[src.sw], f.switches[dst.sw]
+	return []*sim.Channel{src.link.up, s1.uplink.up, s2.uplink.down, dst.link.down},
+		2*SwitchPortLatency + RootComplexLatency, nil
+}
+
+// Transfer starts a DMA of n bytes between endpoints (device names or
+// Root) and calls done when the last byte arrives. The flow occupies
+// every link on its path; completion is governed by the slowest
+// (fair-share) link, plus the path's fixed hop latency.
+func (f *Fabric) Transfer(from, to string, n int64, done func()) error {
+	path, hopLat, err := f.route(from, to)
+	if err != nil {
+		return err
+	}
+	remaining := len(path)
+	complete := func() {
+		remaining--
+		if remaining == 0 {
+			if done != nil {
+				f.eng.Schedule(hopLat, done)
+			}
+		}
+	}
+	for _, ch := range path {
+		ch.Start(n, complete)
+	}
+	return nil
+}
+
+// TransferUp moves n bytes from a device into its switch (terminating at
+// the switch, e.g. at a switch-integrated DRX) and calls done after the
+// device link drains plus one port crossing.
+func (f *Fabric) TransferUp(dev string, n int64, done func()) error {
+	d, ok := f.devices[dev]
+	if !ok {
+		return fmt.Errorf("pcie: unknown device %q", dev)
+	}
+	d.link.up.Start(n, func() {
+		if done != nil {
+			f.eng.Schedule(SwitchPortLatency, done)
+		}
+	})
+	return nil
+}
+
+// TransferDown moves n bytes from a device's switch to the device.
+func (f *Fabric) TransferDown(dev string, n int64, done func()) error {
+	d, ok := f.devices[dev]
+	if !ok {
+		return fmt.Errorf("pcie: unknown device %q", dev)
+	}
+	d.link.down.Start(n, func() {
+		if done != nil {
+			f.eng.Schedule(SwitchPortLatency, done)
+		}
+	})
+	return nil
+}
+
+// LinkStats reports a channel's lifetime accounting for the energy model
+// and utilization reports.
+type LinkStats struct {
+	Name     string
+	Bytes    int64
+	BusyTime sim.Duration
+	Capacity float64
+}
+
+// Stats enumerates all links (device and switch, both directions) in a
+// deterministic order.
+func (f *Fabric) Stats() []LinkStats {
+	var out []LinkStats
+	addPair := func(p linkPair) {
+		for _, ch := range []*sim.Channel{p.up, p.down} {
+			out = append(out, LinkStats{
+				Name:     ch.Name(),
+				Bytes:    ch.TotalBytes,
+				BusyTime: ch.BusyTime,
+				Capacity: ch.Capacity(),
+			})
+		}
+	}
+	// Switches first (sorted by insertion through devices is not enough;
+	// collect names deterministically).
+	seen := make(map[string]bool)
+	for _, dn := range f.order {
+		sw := f.devices[dn].sw
+		if !seen[sw] {
+			seen[sw] = true
+			addPair(f.switches[sw].uplink)
+		}
+	}
+	for _, dn := range f.order {
+		addPair(f.devices[dn].link)
+	}
+	return out
+}
+
+// TotalBytes sums traffic across all links — the fabric-wide data
+// movement the energy model charges per byte.
+func (f *Fabric) TotalBytes() int64 {
+	var n int64
+	for _, s := range f.Stats() {
+		n += s.Bytes
+	}
+	return n
+}

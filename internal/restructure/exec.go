@@ -1,0 +1,50 @@
+package restructure
+
+import (
+	"fmt"
+
+	"dmx/internal/tensor"
+)
+
+// Run executes a kernel with the reference interpreter: stages run in
+// order over materialized tensors. inputs must supply every In parameter
+// with matching dtype and shape; the returned map holds the Out
+// parameters. Run is the functional ground truth that the DRX simulator's
+// results are checked against.
+func Run(k *Kernel, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	env := make(map[string]*tensor.Tensor, len(k.Params))
+	for i := range k.Params {
+		p := &k.Params[i]
+		switch p.Dir {
+		case In:
+			t, ok := inputs[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("restructure: %s: missing input %q", k.Name, p.Name)
+			}
+			if t.DType() != p.DType {
+				return nil, fmt.Errorf("restructure: %s: input %q dtype %v, want %v",
+					k.Name, p.Name, t.DType(), p.DType)
+			}
+			if !shapeEq(t.Shape(), p.Shape) {
+				return nil, fmt.Errorf("restructure: %s: input %q shape %v, want %v",
+					k.Name, p.Name, t.Shape(), p.Shape)
+			}
+			env[p.Name] = t
+		case Out, Temp:
+			env[p.Name] = tensor.New(p.DType, p.Shape...)
+		}
+	}
+	for i, s := range k.Stages {
+		if err := s.Run(env); err != nil {
+			return nil, fmt.Errorf("restructure: %s: stage %d (%s): %w", k.Name, i, s.Kind(), err)
+		}
+	}
+	out := make(map[string]*tensor.Tensor)
+	for _, p := range k.Outputs() {
+		out[p.Name] = env[p.Name]
+	}
+	return out, nil
+}

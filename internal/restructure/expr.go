@@ -1,0 +1,232 @@
+package restructure
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// UnOp is a unary arithmetic operator in a Map expression.
+type UnOp int
+
+// Unary operators. Mag2 maps a complex input to |z|² (the spectrogram
+// power operator); Re and Im project complex components.
+const (
+	Neg UnOp = iota
+	Abs
+	Sqrt
+	Log // natural log, clamped: Log(x≤0) = Log(tiny)
+	Exp
+	Re
+	Im
+	Mag2
+	Floor
+)
+
+var unOpNames = [...]string{
+	Neg: "neg", Abs: "abs", Sqrt: "sqrt", Log: "log", Exp: "exp",
+	Re: "re", Im: "im", Mag2: "mag2", Floor: "floor",
+}
+
+func (op UnOp) String() string {
+	if int(op) < len(unOpNames) {
+		return unOpNames[op]
+	}
+	return fmt.Sprintf("UnOp(%d)", int(op))
+}
+
+// BinOp is a binary arithmetic operator in a Map expression.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Min
+	Max
+	Mod
+)
+
+var binOpNames = [...]string{
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Min: "min", Max: "max", Mod: "mod",
+}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// Expr is a scalar expression evaluated per output element of a Map
+// stage. Leaves are input references (Input) and constants (Const);
+// interior nodes are Unary and Binary operations. Complex inputs flow
+// through Re/Im/Mag2 into the real domain.
+type Expr interface {
+	// eval computes the expression given per-input complex values.
+	eval(in []complex128) float64
+	// ops counts arithmetic operations for the cost models.
+	ops() int64
+	// maxInput returns the largest Input index referenced, -1 if none.
+	maxInput() int
+	String() string
+}
+
+// Input references the value of the stage's i-th read parameter at the
+// access-mapped index.
+type Input struct{ I int }
+
+func (e Input) eval(in []complex128) float64 { return real(in[e.I]) }
+func (e Input) ops() int64                   { return 0 }
+func (e Input) maxInput() int                { return e.I }
+func (e Input) String() string               { return fmt.Sprintf("in%d", e.I) }
+
+// Const is a literal constant.
+type Const struct{ V float64 }
+
+func (e Const) eval([]complex128) float64 { return e.V }
+func (e Const) ops() int64                { return 0 }
+func (e Const) maxInput() int             { return -1 }
+func (e Const) String() string            { return fmt.Sprintf("%g", e.V) }
+
+// Unary applies a UnOp. For Re/Im/Mag2 the operand must be a bare Input
+// (they reinterpret the raw complex value rather than a computed real).
+type Unary struct {
+	Op UnOp
+	X  Expr
+}
+
+func (e Unary) eval(in []complex128) float64 {
+	switch e.Op {
+	case Re, Im, Mag2:
+		inp, ok := e.X.(Input)
+		if !ok {
+			panic("restructure: complex projection over non-input expression")
+		}
+		z := in[inp.I]
+		switch e.Op {
+		case Re:
+			return real(z)
+		case Im:
+			return imag(z)
+		default:
+			return real(z)*real(z) + imag(z)*imag(z)
+		}
+	}
+	x := e.X.eval(in)
+	switch e.Op {
+	case Neg:
+		return -x
+	case Abs:
+		return math.Abs(x)
+	case Sqrt:
+		if x < 0 {
+			return 0
+		}
+		return math.Sqrt(x)
+	case Log:
+		if x < 1e-30 {
+			x = 1e-30
+		}
+		return math.Log(x)
+	case Exp:
+		return math.Exp(x)
+	case Floor:
+		return math.Floor(x)
+	}
+	panic(fmt.Sprintf("restructure: unknown unary op %d", int(e.Op)))
+}
+
+func (e Unary) ops() int64 { return 1 + e.X.ops() }
+
+func (e Unary) maxInput() int { return e.X.maxInput() }
+
+func (e Unary) String() string { return fmt.Sprintf("%s(%s)", e.Op, e.X) }
+
+// Binary applies a BinOp to two subexpressions.
+type Binary struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+func (e Binary) eval(in []complex128) float64 {
+	x, y := e.X.eval(in), e.Y.eval(in)
+	switch e.Op {
+	case Add:
+		return x + y
+	case Sub:
+		return x - y
+	case Mul:
+		return x * y
+	case Div:
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case Min:
+		return math.Min(x, y)
+	case Max:
+		return math.Max(x, y)
+	case Mod:
+		if y == 0 {
+			return 0
+		}
+		return math.Mod(x, y)
+	}
+	panic(fmt.Sprintf("restructure: unknown binary op %d", int(e.Op)))
+}
+
+func (e Binary) ops() int64 { return 1 + e.X.ops() + e.Y.ops() }
+
+func (e Binary) maxInput() int {
+	x, y := e.X.maxInput(), e.Y.maxInput()
+	if x > y {
+		return x
+	}
+	return y
+}
+
+func (e Binary) String() string { return fmt.Sprintf("%s(%s, %s)", e.Op, e.X, e.Y) }
+
+// Convenience constructors keep kernel definitions readable.
+
+// InN references input i.
+func InN(i int) Expr { return Input{I: i} }
+
+// C is a constant.
+func C(v float64) Expr { return Const{V: v} }
+
+// AddE builds x + y.
+func AddE(x, y Expr) Expr { return Binary{Op: Add, X: x, Y: y} }
+
+// SubE builds x - y.
+func SubE(x, y Expr) Expr { return Binary{Op: Sub, X: x, Y: y} }
+
+// MulE builds x * y.
+func MulE(x, y Expr) Expr { return Binary{Op: Mul, X: x, Y: y} }
+
+// DivE builds x / y.
+func DivE(x, y Expr) Expr { return Binary{Op: Div, X: x, Y: y} }
+
+// MulAdd builds x*a + b.
+func MulAdd(x Expr, a, b float64) Expr { return AddE(MulE(x, C(a)), C(b)) }
+
+// Mag2E builds |in_i|² for a complex input.
+func Mag2E(i int) Expr { return Unary{Op: Mag2, X: Input{I: i}} }
+
+// LogE builds log(x).
+func LogE(x Expr) Expr { return Unary{Op: Log, X: x} }
+
+// SqrtE builds sqrt(x).
+func SqrtE(x Expr) Expr { return Unary{Op: Sqrt, X: x} }
+
+// exprString formats an expression list for diagnostics.
+func exprString(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "; ")
+}

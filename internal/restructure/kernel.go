@@ -1,0 +1,238 @@
+// Package restructure defines the data restructuring kernel IR.
+//
+// A restructuring kernel describes how the output tensors of one
+// accelerator become the input tensors of the next: layout permutations,
+// dtype conversions, spectrogram/mel transforms, record framing, column
+// packing, and the other "data motion" computations the paper identifies
+// (Sec. IV). The IR is an affine loop-nest language: every stage iterates
+// a rectangular index space and reads its inputs through affine access
+// maps. That restriction is what makes the kernels compilable to the DRX
+// ISA (internal/drxc), costable on the CPU model (internal/cpu), and
+// executable by the reference interpreter in this package.
+package restructure
+
+import (
+	"fmt"
+	"strings"
+
+	"dmx/internal/tensor"
+)
+
+// Dir classifies a kernel parameter.
+type Dir int
+
+// Parameter directions. In parameters arrive from the upstream
+// accelerator (or are constant weights), Out parameters feed the
+// downstream accelerator, and Temp parameters are kernel-internal
+// scratch allocated by the executor.
+const (
+	In Dir = iota
+	Out
+	Temp
+)
+
+func (d Dir) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case Temp:
+		return "temp"
+	}
+	return fmt.Sprintf("Dir(%d)", int(d))
+}
+
+// Param declares one named tensor the kernel touches.
+type Param struct {
+	Name  string
+	DType tensor.DType
+	Shape []int
+	Dir   Dir
+}
+
+// NumElems reports the parameter's element count.
+func (p *Param) NumElems() int {
+	n := 1
+	for _, d := range p.Shape {
+		n *= d
+	}
+	return n
+}
+
+// SizeBytes reports the parameter's payload size.
+func (p *Param) SizeBytes() int { return p.NumElems() * p.DType.Size() }
+
+// Stage is one step of a kernel. Stages run in order; each names the
+// parameters it reads and the single parameter it writes.
+type Stage interface {
+	// Kind returns a short operator name ("map", "reduce", "matmul", ...).
+	Kind() string
+	// Reads lists the parameter names the stage consumes.
+	Reads() []string
+	// Writes names the parameter the stage produces.
+	Writes() string
+	// Validate checks the stage against the kernel's parameter table.
+	Validate(k *Kernel) error
+	// Run executes the stage over materialized tensors.
+	Run(env map[string]*tensor.Tensor) error
+	// Stats reports the stage's work metrics for the cost models.
+	Stats(k *Kernel) StageStats
+}
+
+// StageStats captures the work a stage performs, in units the CPU and DRX
+// cost models consume.
+type StageStats struct {
+	// Elems is the number of output elements produced.
+	Elems int64
+	// Ops is the number of arithmetic operations (per the expression
+	// tree; multiply-accumulate counts as 2).
+	Ops int64
+	// BytesIn and BytesOut are the streaming traffic of the stage.
+	BytesIn  int64
+	BytesOut int64
+	// VectorFriendly distinguishes stages with unit-stride inner loops
+	// (map, typecast, matmul) from permutation-heavy stages (transpose,
+	// strided gather) that defeat hardware prefetchers.
+	VectorFriendly bool
+}
+
+// Add accumulates s2 into s.
+func (s *StageStats) Add(s2 StageStats) {
+	s.Elems += s2.Elems
+	s.Ops += s2.Ops
+	s.BytesIn += s2.BytesIn
+	s.BytesOut += s2.BytesOut
+}
+
+// Kernel is a complete restructuring program: typed parameters plus an
+// ordered list of stages.
+type Kernel struct {
+	Name   string
+	Params []Param
+	Stages []Stage
+}
+
+// Signature identifies the kernel's name and exact geometry — two
+// kernels with equal signatures compile to identical DRX programs, so
+// callers may cache per-signature results (e.g. simulated timings).
+func (k *Kernel) Signature() string {
+	var b strings.Builder
+	b.WriteString(k.Name)
+	for i := range k.Params {
+		p := &k.Params[i]
+		fmt.Fprintf(&b, "|%s:%v%v", p.Name, p.DType, p.Shape)
+	}
+	return b.String()
+}
+
+// Param looks up a parameter by name.
+func (k *Kernel) Param(name string) (*Param, bool) {
+	for i := range k.Params {
+		if k.Params[i].Name == name {
+			return &k.Params[i], true
+		}
+	}
+	return nil, false
+}
+
+// Inputs returns the kernel's In parameters in declaration order.
+func (k *Kernel) Inputs() []*Param { return k.byDir(In) }
+
+// Outputs returns the kernel's Out parameters in declaration order.
+func (k *Kernel) Outputs() []*Param { return k.byDir(Out) }
+
+func (k *Kernel) byDir(d Dir) []*Param {
+	var out []*Param
+	for i := range k.Params {
+		if k.Params[i].Dir == d {
+			out = append(out, &k.Params[i])
+		}
+	}
+	return out
+}
+
+// InputBytes sums the payload of all In parameters — the batch size the
+// upstream accelerator hands over.
+func (k *Kernel) InputBytes() int64 {
+	var n int64
+	for _, p := range k.Inputs() {
+		n += int64(p.SizeBytes())
+	}
+	return n
+}
+
+// OutputBytes sums the payload of all Out parameters.
+func (k *Kernel) OutputBytes() int64 {
+	var n int64
+	for _, p := range k.Outputs() {
+		n += int64(p.SizeBytes())
+	}
+	return n
+}
+
+// Stats aggregates stage statistics over the whole kernel.
+func (k *Kernel) Stats() StageStats {
+	var total StageStats
+	for _, s := range k.Stages {
+		total.Add(s.Stats(k))
+	}
+	return total
+}
+
+// Validate checks internal consistency: unique parameter names, stages
+// referencing declared parameters, no stage writing an In parameter, and
+// per-stage shape agreement.
+func (k *Kernel) Validate() error {
+	if k.Name == "" {
+		return fmt.Errorf("restructure: kernel has no name")
+	}
+	seen := make(map[string]bool, len(k.Params))
+	for _, p := range k.Params {
+		if p.Name == "" {
+			return fmt.Errorf("restructure: %s: unnamed parameter", k.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("restructure: %s: duplicate parameter %q", k.Name, p.Name)
+		}
+		seen[p.Name] = true
+		for _, d := range p.Shape {
+			if d <= 0 {
+				return fmt.Errorf("restructure: %s: parameter %q has non-positive dim", k.Name, p.Name)
+			}
+		}
+	}
+	if len(k.Stages) == 0 {
+		return fmt.Errorf("restructure: %s: kernel has no stages", k.Name)
+	}
+	written := make(map[string]bool)
+	for i, s := range k.Stages {
+		for _, r := range s.Reads() {
+			p, ok := k.Param(r)
+			if !ok {
+				return fmt.Errorf("restructure: %s: stage %d reads undeclared %q", k.Name, i, r)
+			}
+			if p.Dir != In && !written[r] {
+				return fmt.Errorf("restructure: %s: stage %d reads %q before it is written", k.Name, i, r)
+			}
+		}
+		w := s.Writes()
+		p, ok := k.Param(w)
+		if !ok {
+			return fmt.Errorf("restructure: %s: stage %d writes undeclared %q", k.Name, i, w)
+		}
+		if p.Dir == In {
+			return fmt.Errorf("restructure: %s: stage %d writes input parameter %q", k.Name, i, w)
+		}
+		if err := s.Validate(k); err != nil {
+			return fmt.Errorf("restructure: %s: stage %d (%s): %w", k.Name, i, s.Kind(), err)
+		}
+		written[w] = true
+	}
+	for _, p := range k.Outputs() {
+		if !written[p.Name] {
+			return fmt.Errorf("restructure: %s: output %q never written", k.Name, p.Name)
+		}
+	}
+	return nil
+}

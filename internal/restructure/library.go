@@ -1,0 +1,345 @@
+package restructure
+
+import (
+	"math"
+
+	"dmx/internal/tensor"
+)
+
+// This file defines the concrete restructuring kernels chaining the five
+// Table I benchmark pipelines (plus the Fig. 16 NER extension and the
+// Fig. 17 collective reduction). Each constructor is parameterized by the
+// batch geometry so the workload generators can hit the paper's 6–16 MB
+// batch sizes.
+
+// MelSpectrogram chains FFT → SVM in Sound Detection: the complex STFT
+// output becomes a log-mel spectrogram. Power (|z|²), a mel filterbank
+// matmul, then log compression.
+//
+// Inputs: spectrum complex64[frames,bins], melw float32[bins,mels].
+// Output: logmel float32[frames,mels].
+func MelSpectrogram(frames, bins, mels int) *Kernel {
+	return &Kernel{
+		Name: "mel-spectrogram",
+		Params: []Param{
+			{Name: "spectrum", DType: tensor.Complex64, Shape: []int{frames, bins}, Dir: In},
+			{Name: "melw", DType: tensor.Float32, Shape: []int{bins, mels}, Dir: In},
+			{Name: "power", DType: tensor.Float32, Shape: []int{frames, bins}, Dir: Temp},
+			{Name: "mel", DType: tensor.Float32, Shape: []int{frames, mels}, Dir: Temp},
+			{Name: "logmel", DType: tensor.Float32, Shape: []int{frames, mels}, Dir: Out},
+		},
+		Stages: []Stage{
+			&MapStage{
+				Out: "power", Ins: []string{"spectrum"},
+				Accs: []Access{IdentityAccess(2)},
+				Expr: Mag2E(0),
+			},
+			&MatMulStage{Out: "mel", A: "power", B: "melw"},
+			&MapStage{
+				Out: "logmel", Ins: []string{"mel"},
+				Accs: []Access{IdentityAccess(2)},
+				Expr: LogE(AddE(InN(0), C(1e-6))),
+			},
+		},
+	}
+}
+
+// MelWeights builds a triangular mel filterbank matrix [bins, mels],
+// the constant weight input of MelSpectrogram.
+func MelWeights(bins, mels int) *tensor.Tensor {
+	w := tensor.New(tensor.Float32, bins, mels)
+	// Mel-spaced center frequencies over the bin range.
+	melOf := func(f float64) float64 { return 2595 * math.Log10(1+f/700) }
+	invMel := func(m float64) float64 { return 700 * (math.Pow(10, m/2595) - 1) }
+	fMax := float64(bins)
+	mMax := melOf(fMax)
+	centers := make([]float64, mels+2)
+	for i := range centers {
+		centers[i] = invMel(mMax * float64(i) / float64(mels+1))
+	}
+	for m := 0; m < mels; m++ {
+		lo, mid, hi := centers[m], centers[m+1], centers[m+2]
+		for b := 0; b < bins; b++ {
+			f := float64(b)
+			var v float64
+			switch {
+			case f > lo && f <= mid:
+				v = (f - lo) / (mid - lo)
+			case f > mid && f < hi:
+				v = (hi - f) / (hi - mid)
+			}
+			w.Set(v, b, m)
+		}
+	}
+	return w
+}
+
+// VideoPreprocess chains video decode → object detection in Video
+// Surveillance: planar-packed YUV pixels become a normalized, quantized,
+// channel-first (NCHW) int8 tensor. The whole per-pixel computation —
+// color-space conversion, chroma-offset removal ((yuv−b)·M = yuv·M −
+// b·M), normalization, and int8 quantization — is fused into a single
+// Map whose leaves read the pixel's three channels (a shared row gather)
+// and the conversion coefficients (periodic constants), the way a
+// production preprocessing library fuses its pipeline; a transposition
+// of the quantized bytes then pivots HWC→CHW.
+//
+// Inputs: yuv uint8[pixels,3], csc float32[3,3], bias float32[3]
+// (the *projected* offset, CSCBiasProjected). Output: nchw int8[3,pixels].
+func VideoPreprocess(pixels int) *Kernel {
+	const scale = 127.0 / 255.0
+	// quant[i,c] = (Σ_k yuv[i,k]·csc[k,c] − bias[c])·scale − 63.5
+	yuvAcc := func(k int) Access {
+		return Access{Offset: []int{0, k}, Coef: [][]int{{1, 0}, {0, 0}}}
+	}
+	cscAcc := func(k int) Access {
+		return Access{Offset: []int{k, 0}, Coef: [][]int{{0, 0}, {0, 1}}}
+	}
+	mix := AddE(AddE(MulE(InN(0), InN(3)), MulE(InN(1), InN(4))), MulE(InN(2), InN(5)))
+	expr := MulAdd(SubE(mix, InN(6)), scale, -63.5)
+	return &Kernel{
+		Name: "video-preprocess",
+		Params: []Param{
+			{Name: "yuv", DType: tensor.Uint8, Shape: []int{pixels, 3}, Dir: In},
+			{Name: "csc", DType: tensor.Float32, Shape: []int{3, 3}, Dir: In},
+			{Name: "bias", DType: tensor.Float32, Shape: []int{3}, Dir: In},
+			{Name: "quant", DType: tensor.Int8, Shape: []int{pixels, 3}, Dir: Temp},
+			{Name: "nchw", DType: tensor.Int8, Shape: []int{3, pixels}, Dir: Out},
+		},
+		Stages: []Stage{
+			&MapStage{
+				Out: "quant",
+				Ins: []string{"yuv", "yuv", "yuv", "csc", "csc", "csc", "bias"},
+				Accs: []Access{
+					yuvAcc(0), yuvAcc(1), yuvAcc(2),
+					cscAcc(0), cscAcc(1), cscAcc(2),
+					channelAccess(),
+				},
+				Expr: expr,
+			},
+			// HWC → CHW for the DNN accelerator, on quantized bytes.
+			&TransposeStage{Out: "nchw", In: "quant", Perm: []int{1, 0}},
+		},
+	}
+}
+
+// channelAccess maps output index (i, c) to bias index (c).
+func channelAccess() Access {
+	return Access{Offset: []int{0}, Coef: [][]int{{0, 1}}}
+}
+
+// CSCMatrix returns the BT.601 YUV→RGB conversion matrix used by
+// VideoPreprocess (as the "csc" input).
+func CSCMatrix() *tensor.Tensor {
+	return tensor.FromFloat32([]float32{
+		1.0, 1.0, 1.0,
+		0.0, -0.344136, 1.772,
+		1.402, -0.714136, 0.0,
+	}, 3, 3)
+}
+
+// CSCBias returns the raw YUV chroma offset vector [0,128,128].
+func CSCBias() *tensor.Tensor {
+	return tensor.FromFloat32([]float32{0, 128, 128}, 3)
+}
+
+// CSCBiasProjected returns the chroma offset projected through the
+// conversion matrix (b·M) — the "bias" input of VideoPreprocess.
+func CSCBiasProjected() *tensor.Tensor {
+	b := CSCBias()
+	m := CSCMatrix()
+	out := tensor.New(tensor.Float32, 3)
+	for c := 0; c < 3; c++ {
+		var acc float64
+		for k := 0; k < 3; k++ {
+			acc += b.At(k) * m.At(k, c)
+		}
+		out.Set(acc, c)
+	}
+	return out
+}
+
+// SignalNormalize chains FFT → reinforcement learning in Brain
+// Stimulation: per-channel spectral power is mean-centered and scaled
+// into the policy network's observation range.
+//
+// Input: freq complex64[batch,bins]. Output: obs float32[batch,bins].
+func SignalNormalize(batch, bins int) *Kernel {
+	return &Kernel{
+		Name: "signal-normalize",
+		Params: []Param{
+			{Name: "freq", DType: tensor.Complex64, Shape: []int{batch, bins}, Dir: In},
+			{Name: "power", DType: tensor.Float32, Shape: []int{batch, bins}, Dir: Temp},
+			{Name: "mean", DType: tensor.Float32, Shape: []int{batch}, Dir: Temp},
+			{Name: "obs", DType: tensor.Float32, Shape: []int{batch, bins}, Dir: Out},
+		},
+		Stages: []Stage{
+			&MapStage{
+				Out: "power", Ins: []string{"freq"},
+				Accs: []Access{IdentityAccess(2)},
+				Expr: Mag2E(0),
+			},
+			&ReduceStage{Out: "mean", In: "power", Axis: 1, Op: MeanR},
+			&MapStage{
+				Out: "obs", Ins: []string{"power", "mean"},
+				Accs: []Access{IdentityAccess(2), RowBroadcast(2)},
+				Expr: MulE(SubE(InN(0), InN(1)), C(1.0/1024.0)),
+			},
+		},
+	}
+}
+
+// RecordFrame chains AES-GCM decrypt → regex in Personal Info Redaction:
+// the decrypted byte stream is framed into fixed-width records and
+// byte-sanitized into the printable range the regex accelerator scans.
+//
+// Input: plain uint8[nrec*reclen]. Output: records uint8[nrec,reclen].
+func RecordFrame(nrec, reclen int) *Kernel {
+	return &Kernel{
+		Name: "record-frame",
+		Params: []Param{
+			{Name: "plain", DType: tensor.Uint8, Shape: []int{nrec * reclen}, Dir: In},
+			{Name: "framed", DType: tensor.Uint8, Shape: []int{nrec, reclen}, Dir: Temp},
+			{Name: "records", DType: tensor.Uint8, Shape: []int{nrec, reclen}, Dir: Out},
+		},
+		Stages: []Stage{
+			&ReshapeStage{Out: "framed", In: "plain"},
+			// Clamp control bytes into the printable window (tab .. '~').
+			&MapStage{
+				Out: "records", Ins: []string{"framed"},
+				Accs: []Access{IdentityAccess(2)},
+				Expr: Binary{Op: Max, X: Binary{Op: Min, X: InN(0), Y: C(126)}, Y: C(9)},
+			},
+		},
+	}
+}
+
+// ColumnPack chains decompression → hash join in Database Hash Join:
+// fixed-width ASCII rows carrying a join key, a numeric amount, and a
+// binary payload are parsed into packed int32 key and amount columns
+// plus a transposed (columnar) payload — the classic row-to-column
+// ingest restructuring.
+//
+// Input: rows uint8[nrows, keyDigits+amtDigits+payBytes].
+// Outputs: keys int32[nrows], amounts int32[nrows],
+// paycol uint8[payBytes,nrows].
+func ColumnPack(nrows, keyDigits, amtDigits, payBytes int) *Kernel {
+	rowlen := keyDigits + amtDigits + payBytes
+	// Fixed-width decimal parse: Σ_d (rows[i,colOff+d]-'0')·10^(digits-1-d);
+	// every digit is a separate access of the same input.
+	parse := func(colOff, digits int) ([]string, []Access, Expr) {
+		ins := make([]string, digits)
+		accs := make([]Access, digits)
+		var expr Expr
+		for d := 0; d < digits; d++ {
+			ins[d] = "rows"
+			accs[d] = Access{Offset: []int{0, colOff + d}, Coef: [][]int{{1}, {0}}}
+			scale := math.Pow(10, float64(digits-1-d))
+			term := MulE(SubE(InN(d), C('0')), C(scale))
+			if expr == nil {
+				expr = term
+			} else {
+				expr = AddE(expr, term)
+			}
+		}
+		return ins, accs, expr
+	}
+	keyIns, keyAccs, keyExpr := parse(0, keyDigits)
+	amtIns, amtAccs, amtExpr := parse(keyDigits, amtDigits)
+	return &Kernel{
+		Name: "column-pack",
+		Params: []Param{
+			{Name: "rows", DType: tensor.Uint8, Shape: []int{nrows, rowlen}, Dir: In},
+			{Name: "keys", DType: tensor.Int32, Shape: []int{nrows}, Dir: Out},
+			{Name: "amounts", DType: tensor.Int32, Shape: []int{nrows}, Dir: Out},
+			{Name: "pay", DType: tensor.Uint8, Shape: []int{nrows, payBytes}, Dir: Temp},
+			{Name: "paycol", DType: tensor.Uint8, Shape: []int{payBytes, nrows}, Dir: Out},
+		},
+		Stages: []Stage{
+			&MapStage{Out: "keys", Ins: keyIns, Accs: keyAccs, Expr: keyExpr},
+			&MapStage{Out: "amounts", Ins: amtIns, Accs: amtAccs, Expr: amtExpr},
+			// Extract the payload region...
+			&MapStage{
+				Out: "pay", Ins: []string{"rows"},
+				Accs: []Access{StridedAccess([]int{0, keyDigits + amtDigits}, []int{1, 1})},
+				Expr: InN(0),
+			},
+			// ...and pivot it to columnar layout for the join accelerator.
+			&TransposeStage{Out: "paycol", In: "pay", Perm: []int{1, 0}},
+		},
+	}
+}
+
+// NERPrep is the Fig. 16 extension: regex output records are reshaped
+// into token sequences and typecast to the int32 token IDs the BERT NER
+// accelerator consumes ("reshaping and typecasting", Sec. VII-C).
+//
+// Input: records uint8[nrec,reclen]. Output: tokens int32[nseq,seqlen]
+// with nseq·seqlen == nrec·reclen.
+func NERPrep(nrec, reclen, seqlen int) *Kernel {
+	total := nrec * reclen
+	nseq := total / seqlen
+	return &Kernel{
+		Name: "ner-prep",
+		Params: []Param{
+			{Name: "records", DType: tensor.Uint8, Shape: []int{nrec, reclen}, Dir: In},
+			{Name: "flat", DType: tensor.Uint8, Shape: []int{nseq, seqlen}, Dir: Temp},
+			{Name: "tokens", DType: tensor.Int32, Shape: []int{nseq, seqlen}, Dir: Out},
+		},
+		Stages: []Stage{
+			&ReshapeStage{Out: "flat", In: "records"},
+			&TypecastStage{Out: "tokens", In: "flat"},
+		},
+	}
+}
+
+// VecNormalize chains the embedding model → vector search in the
+// generative-AI retrieval pipeline (the paper's future-work chain):
+// float embeddings are L2-normalized per row and quantized to the int8
+// vectors the search accelerator scans.
+//
+// Input: vecs float32[nq,dim]. Output: qvecs int8[nq,dim].
+func VecNormalize(nq, dim int) *Kernel {
+	return &Kernel{
+		Name: "vec-normalize",
+		Params: []Param{
+			{Name: "vecs", DType: tensor.Float32, Shape: []int{nq, dim}, Dir: In},
+			{Name: "sq", DType: tensor.Float32, Shape: []int{nq, dim}, Dir: Temp},
+			{Name: "ss", DType: tensor.Float32, Shape: []int{nq}, Dir: Temp},
+			{Name: "qvecs", DType: tensor.Int8, Shape: []int{nq, dim}, Dir: Out},
+		},
+		Stages: []Stage{
+			&MapStage{
+				Out: "sq", Ins: []string{"vecs"},
+				Accs: []Access{IdentityAccess(2)},
+				Expr: MulE(InN(0), InN(0)),
+			},
+			&ReduceStage{Out: "ss", In: "sq", Axis: 1, Op: SumR},
+			// qvecs[i,d] = vecs[i,d] / sqrt(ss[i]+eps) · 127, saturated by
+			// the int8 output dtype.
+			&MapStage{
+				Out: "qvecs", Ins: []string{"vecs", "ss"},
+				Accs: []Access{IdentityAccess(2), RowBroadcast(2)},
+				Expr: MulE(DivE(InN(0), SqrtE(AddE(InN(1), C(1e-9)))), C(127)),
+			},
+		},
+	}
+}
+
+// SumReduce is the restructuring kernel a destination DRX runs for the
+// many-to-one (all-reduce) collective of Fig. 17: k partial vectors are
+// summed into one.
+//
+// Input: parts float32[k,n]. Output: sum float32[n].
+func SumReduce(k, n int) *Kernel {
+	return &Kernel{
+		Name: "sum-reduce",
+		Params: []Param{
+			{Name: "parts", DType: tensor.Float32, Shape: []int{k, n}, Dir: In},
+			{Name: "sum", DType: tensor.Float32, Shape: []int{n}, Dir: Out},
+		},
+		Stages: []Stage{
+			&ReduceStage{Out: "sum", In: "parts", Axis: 0, Op: SumR},
+		},
+	}
+}

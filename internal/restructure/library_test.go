@@ -1,0 +1,293 @@
+package restructure
+
+import (
+	"math"
+	"testing"
+
+	"dmx/internal/tensor"
+)
+
+func TestAllLibraryKernelsValidate(t *testing.T) {
+	kernels := []*Kernel{
+		MelSpectrogram(16, 32, 8),
+		VideoPreprocess(64),
+		SignalNormalize(4, 32),
+		RecordFrame(8, 16),
+		ColumnPack(10, 6, 8, 8),
+		NERPrep(8, 16, 32),
+		SumReduce(4, 16),
+	}
+	for _, k := range kernels {
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestMelSpectrogramEndToEnd(t *testing.T) {
+	frames, bins, mels := 4, 16, 4
+	k := MelSpectrogram(frames, bins, mels)
+	spec := tensor.New(tensor.Complex64, frames, bins)
+	for f := 0; f < frames; f++ {
+		for b := 0; b < bins; b++ {
+			spec.SetComplex(complex(float64(f+1), float64(b)), f, b)
+		}
+	}
+	melw := MelWeights(bins, mels)
+	out, err := Run(k, map[string]*tensor.Tensor{"spectrum": spec, "melw": melw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logmel := out["logmel"]
+	// Reference: log(power · melw + eps) computed independently.
+	for f := 0; f < frames; f++ {
+		for m := 0; m < mels; m++ {
+			var acc float64
+			for b := 0; b < bins; b++ {
+				z := spec.AtComplex(f, b)
+				p := real(z)*real(z) + imag(z)*imag(z)
+				acc += p * melw.At(b, m)
+			}
+			// Run computes in float32 precision per stage, so allow slack.
+			want := math.Log(float64(float32(acc)) + 1e-6)
+			if got := logmel.At(f, m); math.Abs(got-want) > 1e-3*math.Abs(want)+1e-4 {
+				t.Errorf("logmel[%d,%d] = %v, want %v", f, m, got, want)
+			}
+		}
+	}
+}
+
+func TestMelWeightsShapeAndRange(t *testing.T) {
+	w := MelWeights(64, 16)
+	if w.Dim(0) != 64 || w.Dim(1) != 16 {
+		t.Fatalf("shape %v", w.Shape())
+	}
+	// Every filter must have some mass; weights lie in [0,1].
+	for m := 0; m < 16; m++ {
+		var sum float64
+		for b := 0; b < 64; b++ {
+			v := w.At(b, m)
+			if v < 0 || v > 1 {
+				t.Fatalf("weight [%d,%d] = %v out of [0,1]", b, m, v)
+			}
+			sum += v
+		}
+		if sum == 0 {
+			t.Errorf("mel filter %d is empty", m)
+		}
+	}
+}
+
+func TestVideoPreprocessEndToEnd(t *testing.T) {
+	pixels := 8
+	k := VideoPreprocess(pixels)
+	yuv := tensor.New(tensor.Uint8, pixels, 3)
+	for i := 0; i < pixels; i++ {
+		yuv.Set(float64(16*i), i, 0) // luma ramp
+		yuv.Set(128, i, 1)           // neutral chroma
+		yuv.Set(128, i, 2)
+	}
+	out, err := Run(k, map[string]*tensor.Tensor{
+		"yuv": yuv, "csc": CSCMatrix(), "bias": CSCBiasProjected(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nchw := out["nchw"]
+	if nchw.Dim(0) != 3 || nchw.Dim(1) != pixels {
+		t.Fatalf("output shape %v, want [3 %d]", nchw.Shape(), pixels)
+	}
+	// Neutral chroma means R=G=B=Y; normalized value is Y*127/255-63.5.
+	for i := 0; i < pixels; i++ {
+		y := float64(16 * i)
+		want := math.Round(y*127.0/255.0 - 63.5)
+		if want > 127 {
+			want = 127
+		}
+		for c := 0; c < 3; c++ {
+			got := nchw.At(c, i)
+			if math.Abs(got-want) > 1 { // float32 CSC rounding
+				t.Errorf("nchw[%d,%d] = %v, want ≈%v", c, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSignalNormalizeZeroMean(t *testing.T) {
+	batch, bins := 3, 16
+	k := SignalNormalize(batch, bins)
+	freq := tensor.New(tensor.Complex64, batch, bins)
+	for b := 0; b < batch; b++ {
+		for f := 0; f < bins; f++ {
+			freq.SetComplex(complex(float64(b+f), 0.5), b, f)
+		}
+	}
+	out, err := Run(k, map[string]*tensor.Tensor{"freq": freq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := out["obs"]
+	// Mean-centering: each row of obs must sum to ~0.
+	for b := 0; b < batch; b++ {
+		var sum float64
+		for f := 0; f < bins; f++ {
+			sum += obs.At(b, f)
+		}
+		if math.Abs(sum) > 1e-3 {
+			t.Errorf("row %d sum = %v, want ~0", b, sum)
+		}
+	}
+}
+
+func TestRecordFrameSanitizes(t *testing.T) {
+	k := RecordFrame(2, 4)
+	plain := tensor.FromBytes([]byte{0, 'a', 200, '\n', 'x', 'y', 'z', 7}, 8)
+	out, err := Run(k, map[string]*tensor.Tensor{"plain": plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := out["records"]
+	if recs.Dim(0) != 2 || recs.Dim(1) != 4 {
+		t.Fatalf("shape %v", recs.Shape())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			v := recs.At(i, j)
+			if v < 9 || v > 126 {
+				t.Errorf("record byte [%d,%d] = %v outside printable window", i, j, v)
+			}
+		}
+	}
+	if recs.At(0, 1) != 'a' || recs.At(1, 0) != 'x' {
+		t.Error("printable bytes were altered")
+	}
+}
+
+func TestColumnPackParsesKeysAndAmounts(t *testing.T) {
+	// Two rows: key (6 digits) + amount (4 digits) + 2 payload bytes.
+	row1 := append([]byte("0012340077"), 0xAA, 0xBB)
+	row2 := append([]byte("9876543210"), 0xCC, 0xDD)
+	raw := append(row1, row2...)
+	k := ColumnPack(2, 6, 4, 2)
+	rows := tensor.FromBytes(raw, 2, 12)
+	out, err := Run(k, map[string]*tensor.Tensor{"rows": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := out["keys"]
+	if keys.At(0) != 1234 || keys.At(1) != 987654 {
+		t.Errorf("keys = %v %v, want 1234 987654", keys.At(0), keys.At(1))
+	}
+	amounts := out["amounts"]
+	if amounts.At(0) != 77 || amounts.At(1) != 3210 {
+		t.Errorf("amounts = %v %v, want 77 3210", amounts.At(0), amounts.At(1))
+	}
+	paycol := out["paycol"]
+	// Columnar payload: paycol[b, r] = payload byte b of row r.
+	if paycol.At(0, 0) != 0xAA || paycol.At(1, 0) != 0xBB ||
+		paycol.At(0, 1) != 0xCC || paycol.At(1, 1) != 0xDD {
+		t.Error("columnar payload wrong")
+	}
+}
+
+func TestNERPrepTokens(t *testing.T) {
+	k := NERPrep(4, 8, 16)
+	recs := tensor.New(tensor.Uint8, 4, 8)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 8; j++ {
+			recs.Set(float64(i*8+j+65), i, j)
+		}
+	}
+	out, err := Run(k, map[string]*tensor.Tensor{"records": recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := out["tokens"]
+	if tok.Dim(0) != 2 || tok.Dim(1) != 16 {
+		t.Fatalf("token shape %v, want [2 16]", tok.Shape())
+	}
+	if tok.DType() != tensor.Int32 {
+		t.Errorf("token dtype %v", tok.DType())
+	}
+	if tok.At(0, 0) != 65 || tok.At(1, 15) != 31+65 {
+		t.Errorf("token values wrong: %v %v", tok.At(0, 0), tok.At(1, 15))
+	}
+}
+
+func TestSumReduce(t *testing.T) {
+	k := SumReduce(3, 4)
+	parts := tensor.FromFloat32([]float32{
+		1, 2, 3, 4,
+		10, 20, 30, 40,
+		100, 200, 300, 400,
+	}, 3, 4)
+	out, err := Run(k, map[string]*tensor.Tensor{"parts": parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := out["sum"]
+	want := []float64{111, 222, 333, 444}
+	for i, w := range want {
+		if got := sum.At(i); got != w {
+			t.Errorf("sum[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestLibraryKernelStatsPlausible(t *testing.T) {
+	// The paper's restructuring batches are streaming: BytesIn and
+	// BytesOut must both be nonzero and Ops must scale with elements.
+	kernels := []*Kernel{
+		MelSpectrogram(64, 128, 32),
+		VideoPreprocess(1024),
+		SignalNormalize(16, 256),
+		RecordFrame(128, 64),
+		ColumnPack(256, 6, 7, 10),
+		NERPrep(128, 64, 128),
+		SumReduce(8, 512),
+	}
+	for _, k := range kernels {
+		st := k.Stats()
+		if st.BytesIn <= 0 || st.BytesOut <= 0 {
+			t.Errorf("%s: zero traffic: %+v", k.Name, st)
+		}
+		if st.Elems <= 0 {
+			t.Errorf("%s: zero elements", k.Name)
+		}
+	}
+}
+
+func TestVecNormalizeUnitNorm(t *testing.T) {
+	nq, dim := 4, 32
+	k := VecNormalize(nq, dim)
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	vecs := tensor.New(tensor.Float32, nq, dim)
+	for q := 0; q < nq; q++ {
+		for d := 0; d < dim; d++ {
+			vecs.Set(float64(q+1)*math.Sin(float64(d+1)), q, d)
+		}
+	}
+	out, err := Run(k, map[string]*tensor.Tensor{"vecs": vecs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8 := out["qvecs"]
+	// After L2 normalization and ×127, each row's norm is ≈127 regardless
+	// of the input scale — rows 0 and 3 differ 4× in magnitude.
+	for q := 0; q < nq; q++ {
+		var ss float64
+		for d := 0; d < dim; d++ {
+			v := q8.At(q, d)
+			ss += v * v
+			if v < -128 || v > 127 {
+				t.Fatalf("quantized value %v out of int8", v)
+			}
+		}
+		norm := math.Sqrt(ss)
+		if norm < 120 || norm > 134 {
+			t.Errorf("row %d quantized norm %.1f, want ≈127", q, norm)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package restructure
+
+import (
+	"fmt"
+
+	"dmx/internal/tensor"
+)
+
+// MapStage evaluates a scalar expression for every element of its output.
+// Each read parameter is addressed through an affine Access from the
+// output index, so a single Map can express elementwise arithmetic,
+// broadcasts, strided gathers, and fixed-width field extraction.
+type MapStage struct {
+	Out  string
+	Ins  []string
+	Accs []Access // parallel to Ins
+	Expr Expr
+}
+
+// Kind implements Stage.
+func (s *MapStage) Kind() string { return "map" }
+
+// Reads implements Stage.
+func (s *MapStage) Reads() []string { return s.Ins }
+
+// Writes implements Stage.
+func (s *MapStage) Writes() string { return s.Out }
+
+// Validate implements Stage.
+func (s *MapStage) Validate(k *Kernel) error {
+	if len(s.Ins) != len(s.Accs) {
+		return fmt.Errorf("map: %d inputs but %d accesses", len(s.Ins), len(s.Accs))
+	}
+	if s.Expr == nil {
+		return fmt.Errorf("map: nil expression")
+	}
+	if m := s.Expr.maxInput(); m >= len(s.Ins) {
+		return fmt.Errorf("map: expression references in%d but stage has %d inputs", m, len(s.Ins))
+	}
+	out, _ := k.Param(s.Out)
+	for i, name := range s.Ins {
+		in, _ := k.Param(name)
+		if err := s.Accs[i].validate(out.Shape, in.Shape); err != nil {
+			return fmt.Errorf("map: input %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Run implements Stage.
+func (s *MapStage) Run(env map[string]*tensor.Tensor) error {
+	out := env[s.Out]
+	ins := make([]*tensor.Tensor, len(s.Ins))
+	for i, name := range s.Ins {
+		ins[i] = env[name]
+	}
+	vals := make([]complex128, len(ins))
+	idxBufs := make([][]int, len(ins))
+	for i := range idxBufs {
+		idxBufs[i] = make([]int, s.Accs[i].InRank())
+	}
+	it := tensor.NewIter(out.Shape())
+	for it.Next() {
+		oi := it.Index()
+		for i, in := range ins {
+			s.Accs[i].MapInto(oi, idxBufs[i])
+			vals[i] = in.AtComplex(idxBufs[i]...)
+		}
+		out.Set(s.Expr.eval(vals), oi...)
+	}
+	return nil
+}
+
+// Stats implements Stage.
+func (s *MapStage) Stats(k *Kernel) StageStats {
+	out, _ := k.Param(s.Out)
+	elems := int64(out.NumElems())
+	st := StageStats{
+		Elems:          elems,
+		Ops:            elems * s.Expr.ops(),
+		BytesOut:       int64(out.SizeBytes()),
+		VectorFriendly: true,
+	}
+	// Traffic is charged once per distinct input parameter: several
+	// accesses into the same tensor (field extraction, channel
+	// deinterleave) share cache lines on a real machine. A strided
+	// access still walks the parameter's whole footprint.
+	perParam := make(map[string]int64, len(s.Ins))
+	for i, name := range s.Ins {
+		in, _ := k.Param(name)
+		unit := s.Accs[i].UnitInnerStride(len(out.Shape))
+		if !unit {
+			st.VectorFriendly = false
+		}
+		reads := elems
+		if !unit || int64(in.NumElems()) < reads {
+			reads = int64(in.NumElems())
+		}
+		if bytes := reads * int64(in.DType.Size()); bytes > perParam[name] {
+			perParam[name] = bytes
+		}
+	}
+	for _, bytes := range perParam {
+		st.BytesIn += bytes
+	}
+	return st
+}
+
+func (s *MapStage) String() string {
+	return fmt.Sprintf("map %s = %s", s.Out, exprString([]Expr{s.Expr}))
+}
+
+// ReduceOp selects the reduction operator.
+type ReduceOp int
+
+// Reduction operators.
+const (
+	SumR ReduceOp = iota
+	MaxR
+	MeanR
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case SumR:
+		return "sum"
+	case MaxR:
+		return "max"
+	case MeanR:
+		return "mean"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", int(op))
+}
+
+// ReduceStage collapses one axis of its input with SumR, MaxR, or MeanR.
+// The output shape is the input shape with Axis removed.
+type ReduceStage struct {
+	Out  string
+	In   string
+	Axis int
+	Op   ReduceOp
+}
+
+// Kind implements Stage.
+func (s *ReduceStage) Kind() string { return "reduce" }
+
+// Reads implements Stage.
+func (s *ReduceStage) Reads() []string { return []string{s.In} }
+
+// Writes implements Stage.
+func (s *ReduceStage) Writes() string { return s.Out }
+
+// Validate implements Stage.
+func (s *ReduceStage) Validate(k *Kernel) error {
+	in, _ := k.Param(s.In)
+	out, _ := k.Param(s.Out)
+	if s.Axis < 0 || s.Axis >= len(in.Shape) {
+		return fmt.Errorf("reduce: axis %d out of range for rank %d", s.Axis, len(in.Shape))
+	}
+	want := reducedShape(in.Shape, s.Axis)
+	if !shapeEq(out.Shape, want) {
+		return fmt.Errorf("reduce: output shape %v, want %v", out.Shape, want)
+	}
+	if in.DType.IsComplex() {
+		return fmt.Errorf("reduce: complex input unsupported")
+	}
+	return nil
+}
+
+func reducedShape(shape []int, axis int) []int {
+	out := make([]int, 0, len(shape)-1)
+	for i, d := range shape {
+		if i != axis {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run implements Stage.
+func (s *ReduceStage) Run(env map[string]*tensor.Tensor) error {
+	in, out := env[s.In], env[s.Out]
+	n := in.Dim(s.Axis)
+	it := tensor.NewIter(out.Shape())
+	inIdx := make([]int, in.Rank())
+	for it.Next() {
+		oi := it.Index()
+		// Rebuild the input index with the reduced axis spliced back in.
+		for d, j := 0, 0; d < in.Rank(); d++ {
+			if d == s.Axis {
+				continue
+			}
+			inIdx[d] = oi[j]
+			j++
+		}
+		var acc float64
+		for x := 0; x < n; x++ {
+			inIdx[s.Axis] = x
+			v := in.At(inIdx...)
+			switch s.Op {
+			case SumR, MeanR:
+				acc += v
+			case MaxR:
+				if x == 0 || v > acc {
+					acc = v
+				}
+			}
+		}
+		if s.Op == MeanR {
+			acc /= float64(n)
+		}
+		out.Set(acc, oi...)
+	}
+	return nil
+}
+
+// Stats implements Stage.
+func (s *ReduceStage) Stats(k *Kernel) StageStats {
+	in, _ := k.Param(s.In)
+	out, _ := k.Param(s.Out)
+	return StageStats{
+		Elems:          int64(out.NumElems()),
+		Ops:            int64(in.NumElems()),
+		BytesIn:        int64(in.SizeBytes()),
+		BytesOut:       int64(out.SizeBytes()),
+		VectorFriendly: s.Axis == len(in.Shape)-1,
+	}
+}
+
+// MatMulStage computes Out[m,n] = A[m,k] · B[k,n] in float. The mel
+// filterbank, YUV→RGB color conversion, and all-reduce summation trees
+// lower to this stage.
+type MatMulStage struct {
+	Out string
+	A   string
+	B   string
+}
+
+// Kind implements Stage.
+func (s *MatMulStage) Kind() string { return "matmul" }
+
+// Reads implements Stage.
+func (s *MatMulStage) Reads() []string { return []string{s.A, s.B} }
+
+// Writes implements Stage.
+func (s *MatMulStage) Writes() string { return s.Out }
+
+// Validate implements Stage.
+func (s *MatMulStage) Validate(k *Kernel) error {
+	a, _ := k.Param(s.A)
+	b, _ := k.Param(s.B)
+	out, _ := k.Param(s.Out)
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || len(out.Shape) != 2 {
+		return fmt.Errorf("matmul: all operands must be rank 2")
+	}
+	if a.Shape[1] != b.Shape[0] {
+		return fmt.Errorf("matmul: inner dims %d and %d differ", a.Shape[1], b.Shape[0])
+	}
+	if out.Shape[0] != a.Shape[0] || out.Shape[1] != b.Shape[1] {
+		return fmt.Errorf("matmul: output %v, want [%d %d]", out.Shape, a.Shape[0], b.Shape[1])
+	}
+	return nil
+}
+
+// Run implements Stage.
+func (s *MatMulStage) Run(env map[string]*tensor.Tensor) error {
+	a, b, out := env[s.A], env[s.B], env[s.Out]
+	m, kk := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for x := 0; x < kk; x++ {
+				acc += a.At(i, x) * b.At(x, j)
+			}
+			out.Set(acc, i, j)
+		}
+	}
+	return nil
+}
+
+// Stats implements Stage.
+func (s *MatMulStage) Stats(k *Kernel) StageStats {
+	a, _ := k.Param(s.A)
+	b, _ := k.Param(s.B)
+	out, _ := k.Param(s.Out)
+	m, kk := int64(a.Shape[0]), int64(a.Shape[1])
+	n := int64(b.Shape[1])
+	return StageStats{
+		Elems:          m * n,
+		Ops:            2 * m * n * kk,
+		BytesIn:        int64(a.SizeBytes()) + int64(b.SizeBytes()),
+		BytesOut:       int64(out.SizeBytes()),
+		VectorFriendly: true,
+	}
+}
+
+// TransposeStage permute-copies its input. Unlike tensor.Transpose (a
+// view), the stage materializes the permuted layout — this is the
+// operation the DRX Transposition Engine exists for.
+type TransposeStage struct {
+	Out  string
+	In   string
+	Perm []int
+}
+
+// Kind implements Stage.
+func (s *TransposeStage) Kind() string { return "transpose" }
+
+// Reads implements Stage.
+func (s *TransposeStage) Reads() []string { return []string{s.In} }
+
+// Writes implements Stage.
+func (s *TransposeStage) Writes() string { return s.Out }
+
+// Validate implements Stage.
+func (s *TransposeStage) Validate(k *Kernel) error {
+	in, _ := k.Param(s.In)
+	out, _ := k.Param(s.Out)
+	if len(s.Perm) != len(in.Shape) {
+		return fmt.Errorf("transpose: perm %v does not match rank %d", s.Perm, len(in.Shape))
+	}
+	seen := make([]bool, len(s.Perm))
+	for i, p := range s.Perm {
+		if p < 0 || p >= len(s.Perm) || seen[p] {
+			return fmt.Errorf("transpose: invalid perm %v", s.Perm)
+		}
+		seen[p] = true
+		if out.Shape[i] != in.Shape[p] {
+			return fmt.Errorf("transpose: output dim %d is %d, want %d", i, out.Shape[i], in.Shape[p])
+		}
+	}
+	if in.DType != out.DType {
+		return fmt.Errorf("transpose: dtype change %v→%v (use typecast)", in.DType, out.DType)
+	}
+	return nil
+}
+
+// Run implements Stage.
+func (s *TransposeStage) Run(env map[string]*tensor.Tensor) error {
+	in, out := env[s.In], env[s.Out]
+	view := in.Transpose(s.Perm...)
+	it := tensor.NewIter(out.Shape())
+	if in.DType().IsComplex() {
+		for it.Next() {
+			out.SetComplex(view.AtComplex(it.Index()...), it.Index()...)
+		}
+		return nil
+	}
+	for it.Next() {
+		out.Set(view.At(it.Index()...), it.Index()...)
+	}
+	return nil
+}
+
+// Stats implements Stage.
+func (s *TransposeStage) Stats(k *Kernel) StageStats {
+	in, _ := k.Param(s.In)
+	return StageStats{
+		Elems:          int64(in.NumElems()),
+		Ops:            0,
+		BytesIn:        int64(in.SizeBytes()),
+		BytesOut:       int64(in.SizeBytes()),
+		VectorFriendly: false,
+	}
+}
+
+// TypecastStage converts elementwise to the output parameter's dtype,
+// with integer saturation.
+type TypecastStage struct {
+	Out string
+	In  string
+}
+
+// Kind implements Stage.
+func (s *TypecastStage) Kind() string { return "typecast" }
+
+// Reads implements Stage.
+func (s *TypecastStage) Reads() []string { return []string{s.In} }
+
+// Writes implements Stage.
+func (s *TypecastStage) Writes() string { return s.Out }
+
+// Validate implements Stage.
+func (s *TypecastStage) Validate(k *Kernel) error {
+	in, _ := k.Param(s.In)
+	out, _ := k.Param(s.Out)
+	if !shapeEq(in.Shape, out.Shape) {
+		return fmt.Errorf("typecast: shape %v → %v mismatch", in.Shape, out.Shape)
+	}
+	return nil
+}
+
+// Run implements Stage.
+func (s *TypecastStage) Run(env map[string]*tensor.Tensor) error {
+	in, out := env[s.In], env[s.Out]
+	it := tensor.NewIter(out.Shape())
+	for it.Next() {
+		out.Set(in.At(it.Index()...), it.Index()...)
+	}
+	return nil
+}
+
+// Stats implements Stage.
+func (s *TypecastStage) Stats(k *Kernel) StageStats {
+	in, _ := k.Param(s.In)
+	out, _ := k.Param(s.Out)
+	return StageStats{
+		Elems:          int64(out.NumElems()),
+		Ops:            int64(out.NumElems()),
+		BytesIn:        int64(in.SizeBytes()),
+		BytesOut:       int64(out.SizeBytes()),
+		VectorFriendly: true,
+	}
+}
+
+// ReshapeStage reframes the input's elements under a new shape (a
+// straight copy in row-major order — the record-framing step of the
+// redaction and database pipelines).
+type ReshapeStage struct {
+	Out string
+	In  string
+}
+
+// Kind implements Stage.
+func (s *ReshapeStage) Kind() string { return "reshape" }
+
+// Reads implements Stage.
+func (s *ReshapeStage) Reads() []string { return []string{s.In} }
+
+// Writes implements Stage.
+func (s *ReshapeStage) Writes() string { return s.Out }
+
+// Validate implements Stage.
+func (s *ReshapeStage) Validate(k *Kernel) error {
+	in, _ := k.Param(s.In)
+	out, _ := k.Param(s.Out)
+	if in.DType != out.DType {
+		return fmt.Errorf("reshape: dtype change %v→%v", in.DType, out.DType)
+	}
+	if in.NumElems() != out.NumElems() {
+		return fmt.Errorf("reshape: element count %d → %d mismatch", in.NumElems(), out.NumElems())
+	}
+	return nil
+}
+
+// Run implements Stage.
+func (s *ReshapeStage) Run(env map[string]*tensor.Tensor) error {
+	in, out := env[s.In], env[s.Out]
+	copy(out.Bytes(), in.Contiguous().Bytes())
+	return nil
+}
+
+// Stats implements Stage.
+func (s *ReshapeStage) Stats(k *Kernel) StageStats {
+	in, _ := k.Param(s.In)
+	return StageStats{
+		Elems:          int64(in.NumElems()),
+		Ops:            0,
+		BytesIn:        int64(in.SizeBytes()),
+		BytesOut:       int64(in.SizeBytes()),
+		VectorFriendly: true,
+	}
+}

@@ -1,0 +1,170 @@
+package sim
+
+import "fmt"
+
+// Channel models a bandwidth-shared transport (a PCIe link direction, a
+// DRAM channel, a memory bus). Concurrent transfers receive an equal
+// fair share of the channel's capacity — the processor-sharing discipline
+// PCIe flow control approximates when several devices stream through one
+// link. Whenever the set of active transfers changes, the remaining bytes
+// of every transfer are advanced at the old share and completion is
+// re-predicted at the new share.
+type Channel struct {
+	eng         *Engine
+	name        string
+	bytesPerSec float64
+	active      map[*Transfer]struct{}
+	seq         uint64
+	lastUpdate  Time
+	nextDone    *Event
+
+	// TotalBytes accumulates every byte the channel has carried; the
+	// energy model charges transfer energy against it.
+	TotalBytes int64
+	// BusyTime accumulates time during which at least one transfer was
+	// active, for utilization reporting.
+	BusyTime Duration
+}
+
+// NewChannel creates a channel with the given capacity in bytes/second.
+func NewChannel(eng *Engine, name string, bytesPerSec float64) *Channel {
+	if bytesPerSec <= 0 {
+		panic("sim: channel capacity must be positive")
+	}
+	return &Channel{
+		eng:         eng,
+		name:        name,
+		bytesPerSec: bytesPerSec,
+		active:      make(map[*Transfer]struct{}),
+		lastUpdate:  eng.Now(),
+	}
+}
+
+// Name reports the channel's diagnostic name.
+func (c *Channel) Name() string { return c.name }
+
+// Capacity reports the channel capacity in bytes/second.
+func (c *Channel) Capacity() float64 { return c.bytesPerSec }
+
+// InFlight reports the number of active transfers.
+func (c *Channel) InFlight() int { return len(c.active) }
+
+// Transfer is one in-flight flow on a Channel.
+type Transfer struct {
+	ch        *Channel
+	seq       uint64  // start order, for deterministic completion callbacks
+	remaining float64 // bytes left to move
+	done      func()
+	finished  bool
+}
+
+// Start begins moving n bytes through the channel and invokes done when
+// the last byte lands. A zero-byte transfer completes after one event
+// (still asynchronously, preserving callback ordering invariants).
+func (c *Channel) Start(n int64, done func()) *Transfer {
+	if n < 0 {
+		panic(fmt.Sprintf("sim: negative transfer size %d", n))
+	}
+	c.advance()
+	t := &Transfer{ch: c, seq: c.seq, remaining: float64(n), done: done}
+	c.seq++
+	c.active[t] = struct{}{}
+	c.TotalBytes += n
+	c.reschedule()
+	return t
+}
+
+// Abort removes the transfer from the channel without invoking its
+// completion callback. Aborting a finished transfer is a no-op.
+func (t *Transfer) Abort() {
+	if t.finished {
+		return
+	}
+	c := t.ch
+	c.advance()
+	delete(c.active, t)
+	t.finished = true
+	c.reschedule()
+}
+
+// advance credits progress to all active transfers for the time elapsed
+// since the last update, at the fair-share rate that was in effect.
+func (c *Channel) advance() {
+	now := c.eng.Now()
+	dt := now.Sub(c.lastUpdate)
+	c.lastUpdate = now
+	if dt <= 0 || len(c.active) == 0 {
+		return
+	}
+	c.BusyTime += dt
+	share := c.bytesPerSec / float64(len(c.active))
+	moved := share * dt.Seconds()
+	for t := range c.active {
+		t.remaining -= moved
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+}
+
+// reschedule re-predicts the next completion under the current share.
+func (c *Channel) reschedule() {
+	if c.nextDone != nil {
+		c.nextDone.Cancel()
+		c.nextDone = nil
+	}
+	if len(c.active) == 0 {
+		return
+	}
+	var first *Transfer
+	for t := range c.active {
+		if first == nil || t.remaining < first.remaining {
+			first = t
+		}
+	}
+	share := c.bytesPerSec / float64(len(c.active))
+	wait := Duration(first.remaining / share * float64(Second))
+	c.nextDone = c.eng.Schedule(wait, c.complete)
+}
+
+// complete retires every transfer whose bytes have drained, then
+// reschedules. Multiple transfers can finish at the same instant (equal
+// sizes started together), so all are collected before callbacks run.
+func (c *Channel) complete() {
+	c.nextDone = nil
+	c.advance()
+	var finished []*Transfer
+	for t := range c.active {
+		// Fair-share arithmetic in float64 can leave a sub-byte residue;
+		// anything under one byte is done.
+		if t.remaining < 1.0 {
+			finished = append(finished, t)
+		}
+	}
+	for _, t := range finished {
+		delete(c.active, t)
+		t.finished = true
+	}
+	c.reschedule()
+	// Callbacks run after bookkeeping so they may start new transfers on
+	// this same channel re-entrantly. finished was collected in map order,
+	// which is random; sort by start sequence so completions at the same
+	// instant always fire in Start order, keeping runs reproducible.
+	sortTransfers(finished)
+	for _, t := range finished {
+		if t.done != nil {
+			done := t.done
+			c.eng.Schedule(0, done)
+		}
+	}
+}
+
+// sortTransfers orders transfers by start sequence (insertion sort; the
+// simultaneous-completion set is almost always tiny).
+func sortTransfers(ts []*Transfer) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].seq < ts[j-1].seq; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

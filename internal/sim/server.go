@@ -1,0 +1,82 @@
+package sim
+
+import "fmt"
+
+// Server models a FIFO service station with a fixed number of identical
+// slots: a pool of CPU cores executing restructuring jobs, a DRX
+// processing unit, an accelerator's execution engine. Jobs carry a
+// precomputed service time; if all slots are busy the job waits in
+// arrival order.
+type Server struct {
+	eng   *Engine
+	name  string
+	slots int
+	busy  int
+	queue []serverJob
+
+	// Jobs counts completed jobs; BusyTime integrates slot-seconds of
+	// service; WaitTime integrates queueing delay across jobs.
+	Jobs     int64
+	BusyTime Duration
+	WaitTime Duration
+}
+
+type serverJob struct {
+	service  Duration
+	done     func()
+	enqueued Time
+}
+
+// NewServer creates a server with the given number of service slots.
+func NewServer(eng *Engine, name string, slots int) *Server {
+	if slots <= 0 {
+		panic(fmt.Sprintf("sim: server %q needs at least one slot", name))
+	}
+	return &Server{eng: eng, name: name, slots: slots}
+}
+
+// Name reports the server's diagnostic name.
+func (s *Server) Name() string { return s.name }
+
+// Slots reports the number of service slots.
+func (s *Server) Slots() int { return s.slots }
+
+// QueueLen reports the number of jobs waiting (not in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Busy reports the number of slots currently serving a job.
+func (s *Server) Busy() int { return s.busy }
+
+// Submit enqueues a job that needs the given service time and calls done
+// on completion. Service begins immediately if a slot is free.
+func (s *Server) Submit(service Duration, done func()) {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: negative service time %v", service))
+	}
+	j := serverJob{service: service, done: done, enqueued: s.eng.Now()}
+	if s.busy < s.slots {
+		s.start(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+}
+
+func (s *Server) start(j serverJob) {
+	s.busy++
+	s.WaitTime += s.eng.Now().Sub(j.enqueued)
+	s.eng.Schedule(j.service, func() {
+		s.busy--
+		s.Jobs++
+		s.BusyTime += j.service
+		// Release the slot before the callback so that work triggered by
+		// the completion can enter service at the same instant.
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.start(next)
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package tensor
+
+import "testing"
+
+func TestDTypePredicates(t *testing.T) {
+	if !Complex64.IsComplex() || Float32.IsComplex() {
+		t.Error("IsComplex wrong")
+	}
+	if !Float32.IsFloat() || !Float64.IsFloat() || Int8.IsFloat() {
+		t.Error("IsFloat wrong")
+	}
+	for _, d := range []DType{Uint8, Int8, Int16, Int32, Int64} {
+		if !d.IsInteger() {
+			t.Errorf("%v should be integer", d)
+		}
+	}
+	if Float32.IsInteger() || Complex64.IsInteger() {
+		t.Error("IsInteger wrong")
+	}
+	if DType(99).String() == "" {
+		t.Error("unknown dtype String empty")
+	}
+}
+
+func TestDTypeSizePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown dtype size")
+		}
+	}()
+	DType(99).Size()
+}
+
+func TestCloneIndependence(t *testing.T) {
+	// Clone of a contiguous tensor must still copy.
+	x := FromFloat32([]float32{1, 2, 3, 4}, 4)
+	y := x.Clone()
+	y.Set(9, 0)
+	if x.At(0) == 9 {
+		t.Error("Clone aliased contiguous tensor")
+	}
+	// Clone of a view materializes it.
+	v := FromFloat32([]float32{1, 2, 3, 4}, 2, 2).Transpose(1, 0)
+	c := v.Clone()
+	if !c.IsContiguous() || c.At(1, 0) != 2 {
+		t.Error("Clone of view wrong")
+	}
+}
+
+func TestReinterpret(t *testing.T) {
+	x := FromBytes([]byte{1, 0, 0, 0, 2, 0, 0, 0}, 8)
+	y := x.Reinterpret(Int32, 2)
+	if y.At(0) != 1 || y.At(1) != 2 {
+		t.Errorf("reinterpret values %v %v", y.At(0), y.At(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("size-mismatched reinterpret accepted")
+		}
+	}()
+	x.Reinterpret(Int32, 3)
+}
+
+func TestFillAndGetters(t *testing.T) {
+	x := New(Float64, 2, 3)
+	x.Fill(7)
+	it := NewIter(x.Shape())
+	for it.Next() {
+		if x.At(it.Index()...) != 7 {
+			t.Fatal("Fill incomplete")
+		}
+	}
+	if x.Rank() != 2 || x.DType() != Float64 {
+		t.Error("getters wrong")
+	}
+	st := x.Strides()
+	if st[0] != 3 || st[1] != 1 {
+		t.Errorf("strides %v", st)
+	}
+}
+
+func TestFromFloat64AndFromInt32(t *testing.T) {
+	f := FromFloat64([]float64{1.5, -2.5}, 2)
+	if f.At(0) != 1.5 || f.At(1) != -2.5 {
+		t.Error("FromFloat64 wrong")
+	}
+	i := FromInt32([]int32{-7, 9}, 2)
+	if i.At(0) != -7 || i.At(1) != 9 {
+		t.Error("FromInt32 wrong")
+	}
+}
+
+func TestBytesPanicsOnView(t *testing.T) {
+	v := FromFloat32([]float32{1, 2, 3, 4}, 2, 2).Transpose(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes on view did not panic")
+		}
+	}()
+	v.Bytes()
+}
+
+func TestConstructorSizeMismatchesPanic(t *testing.T) {
+	cases := []func(){
+		func() { FromFloat32([]float32{1}, 2) },
+		func() { FromFloat64([]float64{1}, 2) },
+		func() { FromInt32([]int32{1}, 2) },
+		func() { FromBytes([]byte{1}, 2) },
+		func() { New(Float32, -1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTransposeInvalidPermPanics(t *testing.T) {
+	x := New(Float32, 2, 3)
+	for i, perm := range [][]int{{0}, {0, 0}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("perm case %d did not panic", i)
+				}
+			}()
+			x.Transpose(perm...)
+		}()
+	}
+}
+
+func TestSliceBoundsPanic(t *testing.T) {
+	x := New(Float32, 2, 3)
+	for i, f := range []func(){
+		func() { x.Slice(5, 0, 1) },
+		func() { x.Slice(1, 2, 1) },
+		func() { x.Slice(1, 0, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("slice case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAtIndexValidation(t *testing.T) {
+	x := New(Float32, 2, 3)
+	for i, f := range []func(){
+		func() { x.At(0) },               // wrong rank
+		func() { x.At(2, 0) },            // out of range
+		func() { x.At(0, -1) },           // negative
+		func() { x.SetComplex(1, 0, 0) }, // non-complex
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllCloseShapeMismatch(t *testing.T) {
+	a := New(Float32, 2)
+	b := New(Float32, 3)
+	c := New(Float32, 2, 1)
+	if AllClose(a, b, 1) || AllClose(a, c, 1) {
+		t.Error("AllClose accepted mismatched shapes")
+	}
+	if Equal(a, c) {
+		t.Error("Equal accepted mismatched ranks")
+	}
+}
