@@ -5,9 +5,13 @@
 //	dmxbench                 # run every experiment
 //	dmxbench -exp fig11      # run one (table1, fig3, fig5, fig11..fig19)
 //	dmxbench -list           # list experiment ids
+//	dmxbench -j 4            # cap the sweep worker pool at 4
 //
 // Output is the text rendering of each experiment — the same rows and
-// series the paper reports, regenerated from the simulation.
+// series the paper reports, regenerated from the simulation. Experiments
+// run concurrently on the sweep worker pool (all cores by default; -j
+// overrides), but results are always printed in registry order and each
+// rendering is bit-for-bit identical to a sequential run.
 package main
 
 import (
@@ -16,6 +20,9 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"dmx/internal/experiments"
+	"dmx/internal/sweep"
 )
 
 // renderer is any experiment result.
@@ -32,7 +39,10 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	quiet := flag.Bool("q", false, "suppress progress timing on stderr")
+	jobs := flag.Int("j", 0, "parallel sweep workers (default: all cores)")
 	flag.Parse()
+
+	sweep.SetWorkers(*jobs)
 
 	exps := registry()
 	if *list {
@@ -41,21 +51,74 @@ func main() {
 		}
 		return
 	}
-	var failed bool
-	for _, e := range exps {
-		if *exp != "" && !strings.EqualFold(*exp, e.id) {
-			continue
+
+	selected := exps
+	if *exp != "" {
+		selected = nil
+		for _, e := range exps {
+			if strings.EqualFold(*exp, e.id) {
+				selected = append(selected, e)
+			}
 		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "dmxbench: unknown experiment %q; valid ids:\n", *exp)
+			for _, e := range exps {
+				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.what)
+			}
+			os.Exit(1)
+		}
+	}
+
+	// Front-load the shared caches (benchmark corpora, DRX kernel
+	// timings) so concurrent experiments don't race to duplicate that
+	// work. Only worth it when more than one experiment runs.
+	if len(selected) > 1 {
 		start := time.Now()
-		res, err := e.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dmxbench: %s: %v\n", e.id, err)
+		if err := experiments.Warm(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmxbench: warm: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[caches warmed in %v]\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+
+	// Run experiments on the worker pool, but stream results to stdout
+	// strictly in registry order: slot i's rendering is delivered on its
+	// own channel and printed only once slots 0..i-1 are out.
+	type outcome struct {
+		text string
+		err  error
+		took time.Duration
+	}
+	results := make([]chan outcome, len(selected))
+	for i := range results {
+		results[i] = make(chan outcome, 1)
+	}
+	go func() {
+		_ = sweep.Each(len(selected), func(i int) error {
+			start := time.Now()
+			res, err := selected[i].run()
+			o := outcome{err: err, took: time.Since(start)}
+			if err == nil {
+				o.text = res.Render()
+			}
+			results[i] <- o
+			return nil
+		})
+	}()
+
+	var failed bool
+	for i, e := range selected {
+		o := <-results[i]
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "dmxbench: %s: %v\n", e.id, o.err)
 			failed = true
 			continue
 		}
-		fmt.Println(res.Render())
+		fmt.Println(o.text)
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "[%s regenerated in %v]\n\n", e.id, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "[%s regenerated in %v]\n\n", e.id, o.took.Round(time.Millisecond))
 		}
 	}
 	if failed {

@@ -10,6 +10,7 @@ import (
 	"dmx/internal/pcie"
 	"dmx/internal/restructure"
 	"dmx/internal/sim"
+	"dmx/internal/sweep"
 	"dmx/internal/tensor"
 )
 
@@ -222,31 +223,28 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 // drxTimeCache memoizes simulated DRX durations across System builds:
 // experiments sweep placements and concurrency over the same kernels,
 // and the machine-level simulation is deterministic per (kernel
-// signature, hardware config).
+// signature, hardware config). The sync.Map makes the cache safe under
+// the harness's parallel sweeps; a duplicated concurrent compute stores
+// the same deterministic value, so last-write-wins is harmless.
 var drxTimeCache sync.Map // string → sim.Duration
 
-// drxServiceTime compiles and simulates a restructuring kernel on the
-// configured DRX once, caching the resulting duration. DRX execution is
-// data-independent, so zero-filled inputs time identically to real data.
-func (s *System) drxKey(k *restructure.Kernel) string {
+// drxCacheKey identifies a (kernel signature, DRX hardware) timing.
+func drxCacheKey(dcfg drx.Config, k *restructure.Kernel) string {
 	return fmt.Sprintf("%s@lanes=%d,scratch=%d,clk=%g,bw=%g",
-		k.Signature(), s.cfg.DRX.Lanes, s.cfg.DRX.ScratchBytes, s.cfg.DRX.ClockHz, s.cfg.DRX.DRAMBytesPerSec)
+		k.Signature(), dcfg.Lanes, dcfg.ScratchBytes, dcfg.ClockHz, dcfg.DRAMBytesPerSec)
 }
 
-func (s *System) drxServiceTime(k *restructure.Kernel) (sim.Duration, error) {
-	key := s.drxKey(k)
-	if d, ok := s.drxTime[key]; ok {
-		return d, nil
-	}
-	if d, ok := drxTimeCache.Load(key); ok {
-		s.drxTime[key] = d.(sim.Duration)
-		return d.(sim.Duration), nil
-	}
-	c, err := drxc.Compile(k, s.cfg.DRX)
+// drxTimeFor compiles and simulates a restructuring kernel on a DRX
+// configuration. DRX execution is data-independent, so zero-filled
+// inputs time identically to real data. The compile and machine run are
+// entirely local state, so concurrent calls (for distinct or even equal
+// kernels) are race-free.
+func drxTimeFor(dcfg drx.Config, k *restructure.Kernel) (sim.Duration, error) {
+	c, err := drxc.Compile(k, dcfg)
 	if err != nil {
 		return 0, fmt.Errorf("dmxsys: compiling %s for DRX: %w", k.Name, err)
 	}
-	m, err := drx.New(s.cfg.DRX)
+	m, err := drx.New(dcfg)
 	if err != nil {
 		return 0, err
 	}
@@ -258,7 +256,54 @@ func (s *System) drxServiceTime(k *restructure.Kernel) (sim.Duration, error) {
 	if err != nil {
 		return 0, fmt.Errorf("dmxsys: timing %s on DRX: %w", k.Name, err)
 	}
-	d := sim.FromSeconds(res.Seconds(s.cfg.DRX.ClockHz))
+	return sim.FromSeconds(res.Seconds(dcfg.ClockHz)), nil
+}
+
+// WarmDRXTimes pre-computes the process-wide DRX timing cache for every
+// distinct kernel of the given pipelines under one DRX configuration,
+// compiling kernels concurrently on the sweep worker pool. Call it once
+// before a parallel sweep so workers hit a warm cache instead of
+// serializing on (or duplicating) the compile/simulate step.
+func WarmDRXTimes(dcfg drx.Config, pipelines []*Pipeline) error {
+	var kernels []*restructure.Kernel
+	seen := make(map[string]struct{})
+	for _, p := range pipelines {
+		for _, h := range p.Hops {
+			key := drxCacheKey(dcfg, h.Kernel)
+			if _, ok := seen[key]; ok {
+				continue
+			}
+			if _, ok := drxTimeCache.Load(key); ok {
+				continue
+			}
+			seen[key] = struct{}{}
+			kernels = append(kernels, h.Kernel)
+		}
+	}
+	return sweep.Each(len(kernels), func(i int) error {
+		k := kernels[i]
+		d, err := drxTimeFor(dcfg, k)
+		if err != nil {
+			return err
+		}
+		drxTimeCache.Store(drxCacheKey(dcfg, k), d)
+		return nil
+	})
+}
+
+func (s *System) drxServiceTime(k *restructure.Kernel) (sim.Duration, error) {
+	key := drxCacheKey(s.cfg.DRX, k)
+	if d, ok := s.drxTime[key]; ok {
+		return d, nil
+	}
+	if d, ok := drxTimeCache.Load(key); ok {
+		s.drxTime[key] = d.(sim.Duration)
+		return d.(sim.Duration), nil
+	}
+	d, err := drxTimeFor(s.cfg.DRX, k)
+	if err != nil {
+		return 0, err
+	}
 	s.drxTime[key] = d
 	drxTimeCache.Store(key, d)
 	return d, nil

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+
+	"dmx/internal/sweep"
+)
+
+// TestFig14DeterministicAcrossWorkerCounts is the parallel-harness
+// regression gate: the placement study rendered with the sweep pool
+// forced sequential must be byte-identical to renderings produced with
+// a concurrent pool, and two concurrent runs must agree with each
+// other. Fig14 exercises the full path — suite construction, nbJobs
+// enumeration, per-cell simulation fan-out and the ordered fold.
+func TestFig14DeterministicAcrossWorkerCounts(t *testing.T) {
+	prev := sweep.SetWorkers(1)
+	defer sweep.SetWorkers(prev)
+
+	seqRes, err := Fig14()
+	if err != nil {
+		t.Fatalf("sequential Fig14: %v", err)
+	}
+	seq := seqRes.Render()
+
+	sweep.SetWorkers(4)
+	par1Res, err := Fig14()
+	if err != nil {
+		t.Fatalf("parallel Fig14 (run 1): %v", err)
+	}
+	par2Res, err := Fig14()
+	if err != nil {
+		t.Fatalf("parallel Fig14 (run 2): %v", err)
+	}
+	par1, par2 := par1Res.Render(), par2Res.Render()
+
+	if par1 != seq {
+		t.Errorf("parallel rendering differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par1)
+	}
+	if par2 != par1 {
+		t.Errorf("two parallel runs disagree:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", par1, par2)
+	}
+}
+
+// TestFig17DeterministicAcrossWorkerCounts covers the collectives
+// sweep, whose jobs carry no shared benchmark state at all.
+func TestFig17DeterministicAcrossWorkerCounts(t *testing.T) {
+	prev := sweep.SetWorkers(1)
+	defer sweep.SetWorkers(prev)
+
+	seqRes, err := Fig17()
+	if err != nil {
+		t.Fatalf("sequential Fig17: %v", err)
+	}
+	sweep.SetWorkers(4)
+	parRes, err := Fig17()
+	if err != nil {
+		t.Fatalf("parallel Fig17: %v", err)
+	}
+	if seq, par := seqRes.Render(), parRes.Render(); par != seq {
+		t.Errorf("parallel rendering differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

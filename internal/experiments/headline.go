@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"dmx/internal/dmxsys"
-	"dmx/internal/workload"
+	"dmx/internal/sweep"
 )
 
 // Fig11Result is the headline latency comparison: DMX (bump-in-the-wire)
@@ -20,7 +20,9 @@ type Fig11Result struct {
 
 // Fig11 runs the headline experiment. Per the paper's per-benchmark
 // bars, each benchmark is measured homogeneously: n concurrent instances
-// of that application (a 15-app run uses 30 accelerators).
+// of that application (a 15-app run uses 30 accelerators). The
+// (concurrency × benchmark) cells are independent simulations and run on
+// the sweep worker pool.
 func Fig11() (*Fig11Result, error) {
 	res := &Fig11Result{
 		Speedup: make(map[int]map[string]float64),
@@ -30,28 +32,31 @@ func Fig11() (*Fig11Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range Concurrencies {
-		m := make(map[string]float64, len(benches))
-		var all []float64
-		for _, bench := range benches {
-			copies := make([]*workload.Benchmark, n)
-			for i := range copies {
-				copies[i] = bench
-			}
-			base, err := runSystem(dmxsys.MultiAxl, copies)
-			if err != nil {
-				return nil, err
-			}
-			dmx, err := runSystem(dmxsys.BumpInTheWire, copies)
-			if err != nil {
-				return nil, err
-			}
-			s := base.MeanTotal().Seconds() / dmx.MeanTotal().Seconds()
-			m[bench.Name] = s
-			all = append(all, s)
+	jobs := nbJobs(benches)
+	speedups, err := sweep.Map(jobs, func(_ int, j nbJob) (float64, error) {
+		copies := homogeneous(j.bench, j.n)
+		base, err := runSystem(dmxsys.MultiAxl, copies)
+		if err != nil {
+			return 0, err
 		}
-		res.Speedup[n] = m
-		res.Average[n] = geomean(all)
+		dmx, err := runSystem(dmxsys.BumpInTheWire, copies)
+		if err != nil {
+			return 0, err
+		}
+		return base.MeanTotal().Seconds() / dmx.MeanTotal().Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		if res.Speedup[j.n] == nil {
+			res.Speedup[j.n] = make(map[string]float64, len(benches))
+		}
+		res.Speedup[j.n][j.bench.Name] = speedups[i]
+	}
+	for i, n := 0, 0; i < len(jobs); i += len(benches) {
+		n = jobs[i].n
+		res.Average[n] = geomean(speedups[i : i+len(benches)])
 	}
 	return res, nil
 }
@@ -117,15 +122,11 @@ type Fig12Result struct {
 // homogeneous per-benchmark runs (the paper's bars are means over the
 // five applications).
 func Fig12() (*Fig12Result, error) {
-	res := &Fig12Result{}
-	for _, n := range Concurrencies {
-		rows, _, err := breakdownSweep(n, dmxsys.MultiAxl, dmxsys.BumpInTheWire)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, rows...)
+	rows, _, err := breakdownSweep(dmxsys.MultiAxl, dmxsys.BumpInTheWire)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig12Result{Rows: rows}, nil
 }
 
 // Share returns the restructure share for a config at a concurrency.
@@ -157,7 +158,8 @@ type Fig13Result struct {
 	Average     map[int]float64
 }
 
-// Fig13 compares steady-state pipeline throughput.
+// Fig13 compares steady-state pipeline throughput across the
+// (concurrency × benchmark) cells on the sweep worker pool.
 func Fig13() (*Fig13Result, error) {
 	res := &Fig13Result{
 		Improvement: make(map[int]map[string]float64),
@@ -167,37 +169,39 @@ func Fig13() (*Fig13Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range Concurrencies {
-		imp := make(map[string]float64, len(benches))
-		var all []float64
-		for _, bench := range benches {
-			copies := make([]*workload.Benchmark, n)
-			for i := range copies {
-				copies[i] = bench
-			}
-			base, err := runSystem(dmxsys.MultiAxl, copies)
-			if err != nil {
-				return nil, err
-			}
-			dmx, err := runSystem(dmxsys.BumpInTheWire, copies)
-			if err != nil {
-				return nil, err
-			}
-			// Throughput per app = 1 / slowest pipeline stage, geomeaned
-			// over instances.
-			thr := func(rep dmxsys.RunReport) float64 {
-				var xs []float64
-				for _, a := range rep.Apps {
-					xs = append(xs, a.Throughput(len(bench.Pipeline.Stages)))
-				}
-				return geomean(xs)
-			}
-			v := thr(dmx) / thr(base)
-			imp[bench.Name] = v
-			all = append(all, v)
+	jobs := nbJobs(benches)
+	vals, err := sweep.Map(jobs, func(_ int, j nbJob) (float64, error) {
+		copies := homogeneous(j.bench, j.n)
+		base, err := runSystem(dmxsys.MultiAxl, copies)
+		if err != nil {
+			return 0, err
 		}
-		res.Improvement[n] = imp
-		res.Average[n] = geomean(all)
+		dmx, err := runSystem(dmxsys.BumpInTheWire, copies)
+		if err != nil {
+			return 0, err
+		}
+		// Throughput per app = 1 / slowest pipeline stage, geomeaned
+		// over instances.
+		thr := func(rep dmxsys.RunReport) float64 {
+			var xs []float64
+			for _, a := range rep.Apps {
+				xs = append(xs, a.Throughput(len(j.bench.Pipeline.Stages)))
+			}
+			return geomean(xs)
+		}
+		return thr(dmx) / thr(base), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		if res.Improvement[j.n] == nil {
+			res.Improvement[j.n] = make(map[string]float64, len(benches))
+		}
+		res.Improvement[j.n][j.bench.Name] = vals[i]
+	}
+	for i := 0; i < len(jobs); i += len(benches) {
+		res.Average[jobs[i].n] = geomean(vals[i : i+len(benches)])
 	}
 	return res, nil
 }

@@ -5,7 +5,7 @@ import (
 
 	"dmx/internal/cpu"
 	"dmx/internal/dmxsys"
-	"dmx/internal/workload"
+	"dmx/internal/sweep"
 )
 
 // Table1Result inventories the five benchmarks (Table I).
@@ -90,64 +90,79 @@ func Fig3() (*Fig3Result, error) {
 	}
 	res.PerKernelSpeedup = geomean(speedups)
 
-	for _, n := range Concurrencies {
-		rows, ratio, err := breakdownSweep(n, dmxsys.AllCPU, dmxsys.MultiAxl)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, rows...)
-		res.EndToEnd[n] = ratio
+	rows, ratios, err := breakdownSweep(dmxsys.AllCPU, dmxsys.MultiAxl)
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
+	res.EndToEnd = ratios
 	return res, nil
 }
 
-// breakdownSweep runs n homogeneous instances of every benchmark under
-// two configurations, averaging component shares across benchmarks and
-// reporting the geomean latency ratio (configA over configB).
-func breakdownSweep(n int, a, bCfg dmxsys.Placement) ([]Fig3Row, float64, error) {
+// breakdownCell is one (concurrency, benchmark) measurement under the
+// two compared placements: component shares and mean latency for each.
+type breakdownCell struct {
+	k, re, mv, lat [2]float64
+}
+
+// breakdownSweep runs every (concurrency × benchmark) cell of the
+// Concurrencies sweep homogeneously under two configurations on the
+// sweep worker pool, then folds per concurrency: component shares
+// averaged across benchmarks, mean latency and the A-over-B latency
+// ratio geomeaned across benchmarks. Rows come out grouped by
+// concurrency, configuration A before B — the paper's bar order.
+func breakdownSweep(a, bCfg dmxsys.Placement) ([]Fig3Row, map[int]float64, error) {
 	benches, err := suite(5)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	type agg struct {
-		k, re, mv, lat []float64
-	}
-	sums := map[dmxsys.Placement]*agg{a: {}, bCfg: {}}
-	var ratios []float64
-	for _, bench := range benches {
-		copies := make([]*workload.Benchmark, n)
-		for i := range copies {
-			copies[i] = bench
-		}
-		var lats [2]float64
+	jobs := nbJobs(benches)
+	cells, err := sweep.Map(jobs, func(_ int, j nbJob) (breakdownCell, error) {
+		copies := homogeneous(j.bench, j.n)
+		var cell breakdownCell
 		for pi, p := range []dmxsys.Placement{a, bCfg} {
 			rep, err := runSystem(p, copies)
 			if err != nil {
-				return nil, 0, err
+				return cell, err
 			}
-			k, re, mv := rep.ComponentShares()
-			s := sums[p]
-			s.k = append(s.k, k)
-			s.re = append(s.re, re)
-			s.mv = append(s.mv, mv)
-			s.lat = append(s.lat, rep.MeanTotal().Seconds())
-			lats[pi] = rep.MeanTotal().Seconds()
+			cell.k[pi], cell.re[pi], cell.mv[pi] = rep.ComponentShares()
+			cell.lat[pi] = rep.MeanTotal().Seconds()
 		}
-		ratios = append(ratios, lats[0]/lats[1])
+		return cell, nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	var rows []Fig3Row
-	for _, p := range []dmxsys.Placement{a, bCfg} {
-		s := sums[p]
-		rows = append(rows, Fig3Row{
-			Config:          p.String(),
-			Apps:            n,
-			KernelShare:     mean(s.k),
-			RestructShare:   mean(s.re),
-			MovementShare:   mean(s.mv),
-			MeanLatencySecs: geomean(s.lat),
-		})
+	ratios := make(map[int]float64, len(Concurrencies))
+	nb := len(benches)
+	for base := 0; base < len(jobs); base += nb {
+		n := jobs[base].n
+		group := cells[base : base+nb]
+		for pi, p := range []dmxsys.Placement{a, bCfg} {
+			k := make([]float64, nb)
+			re := make([]float64, nb)
+			mv := make([]float64, nb)
+			lat := make([]float64, nb)
+			for i, c := range group {
+				k[i], re[i], mv[i], lat[i] = c.k[pi], c.re[pi], c.mv[pi], c.lat[pi]
+			}
+			rows = append(rows, Fig3Row{
+				Config:          p.String(),
+				Apps:            n,
+				KernelShare:     mean(k),
+				RestructShare:   mean(re),
+				MovementShare:   mean(mv),
+				MeanLatencySecs: geomean(lat),
+			})
+		}
+		rr := make([]float64, nb)
+		for i, c := range group {
+			rr[i] = c.lat[0] / c.lat[1]
+		}
+		ratios[n] = geomean(rr)
 	}
-	return rows, geomean(ratios), nil
+	return rows, ratios, nil
 }
 
 func mean(xs []float64) float64 {

@@ -4,12 +4,52 @@ import (
 	"fmt"
 
 	"dmx/internal/dmxsys"
-	"dmx/internal/workload"
+	"dmx/internal/sweep"
 )
 
 // placements under study in Figs. 14/15.
 var placementSweep = []dmxsys.Placement{
 	dmxsys.Integrated, dmxsys.Standalone, dmxsys.BumpInTheWire, dmxsys.PCIeIntegrated,
+}
+
+// placementCell runs one (concurrency, benchmark) cell: the Multi-Axl
+// baseline plus every placement under study, returning the per-placement
+// ratio of the given metric (baseline over placement).
+func placementCell(j nbJob, sweepP []dmxsys.Placement, metric func(dmxsys.RunReport) float64) ([]float64, error) {
+	copies := homogeneous(j.bench, j.n)
+	base, err := runSystem(dmxsys.MultiAxl, copies)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(sweepP))
+	for pi, p := range sweepP {
+		rep, err := runSystem(p, copies)
+		if err != nil {
+			return nil, err
+		}
+		out[pi] = metric(base) / metric(rep)
+	}
+	return out, nil
+}
+
+// foldPlacements geomeans per-benchmark ratios into [placement][n] maps,
+// preserving the sequential benchmark order within each concurrency.
+func foldPlacements(jobs []nbJob, cells [][]float64, sweepP []dmxsys.Placement, nb int) map[dmxsys.Placement]map[int]float64 {
+	out := make(map[dmxsys.Placement]map[int]float64, len(sweepP))
+	for _, p := range sweepP {
+		out[p] = make(map[int]float64, len(Concurrencies))
+	}
+	for base := 0; base < len(jobs); base += nb {
+		n := jobs[base].n
+		for pi, p := range sweepP {
+			per := make([]float64, nb)
+			for i, cell := range cells[base : base+nb] {
+				per[i] = cell[pi]
+			}
+			out[p][n] = geomean(per)
+		}
+	}
+	return out
 }
 
 // Fig14Result compares latency speedup (over Multi-Axl) across DRX
@@ -21,40 +61,23 @@ type Fig14Result struct {
 
 // Fig14 runs the placement study: per benchmark, n homogeneous
 // instances under each placement; the reported number is the geometric
-// mean of per-benchmark speedups over the Multi-Axl baseline.
+// mean of per-benchmark speedups over the Multi-Axl baseline. The
+// (concurrency × benchmark) cells run on the sweep worker pool.
 func Fig14() (*Fig14Result, error) {
-	res := &Fig14Result{Speedup: make(map[dmxsys.Placement]map[int]float64)}
-	for _, p := range placementSweep {
-		res.Speedup[p] = make(map[int]float64)
-	}
 	benches, err := suite(5)
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range Concurrencies {
-		per := make(map[dmxsys.Placement][]float64)
-		for _, bench := range benches {
-			copies := make([]*workload.Benchmark, n)
-			for i := range copies {
-				copies[i] = bench
-			}
-			base, err := runSystem(dmxsys.MultiAxl, copies)
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range placementSweep {
-				rep, err := runSystem(p, copies)
-				if err != nil {
-					return nil, err
-				}
-				per[p] = append(per[p], base.MeanTotal().Seconds()/rep.MeanTotal().Seconds())
-			}
-		}
-		for _, p := range placementSweep {
-			res.Speedup[p][n] = geomean(per[p])
-		}
+	jobs := nbJobs(benches)
+	cells, err := sweep.Map(jobs, func(_ int, j nbJob) ([]float64, error) {
+		return placementCell(j, placementSweep, func(rep dmxsys.RunReport) float64 {
+			return rep.MeanTotal().Seconds()
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig14Result{Speedup: foldPlacements(jobs, cells, placementSweep, len(benches))}, nil
 }
 
 // Render implements the experiment result interface.
@@ -79,39 +102,21 @@ type Fig15Result struct {
 
 // Fig15 runs the energy study.
 func Fig15() (*Fig15Result, error) {
-	sweep := []dmxsys.Placement{dmxsys.Integrated, dmxsys.Standalone, dmxsys.BumpInTheWire}
-	res := &Fig15Result{Reduction: make(map[dmxsys.Placement]map[int]float64)}
-	for _, p := range sweep {
-		res.Reduction[p] = make(map[int]float64)
-	}
+	sweepP := []dmxsys.Placement{dmxsys.Integrated, dmxsys.Standalone, dmxsys.BumpInTheWire}
 	benches, err := suite(5)
 	if err != nil {
 		return nil, err
 	}
-	for _, n := range Concurrencies {
-		per := make(map[dmxsys.Placement][]float64)
-		for _, bench := range benches {
-			copies := make([]*workload.Benchmark, n)
-			for i := range copies {
-				copies[i] = bench
-			}
-			base, err := runSystem(dmxsys.MultiAxl, copies)
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range sweep {
-				rep, err := runSystem(p, copies)
-				if err != nil {
-					return nil, err
-				}
-				per[p] = append(per[p], base.EnergyJ/rep.EnergyJ)
-			}
-		}
-		for _, p := range sweep {
-			res.Reduction[p][n] = geomean(per[p])
-		}
+	jobs := nbJobs(benches)
+	cells, err := sweep.Map(jobs, func(_ int, j nbJob) ([]float64, error) {
+		return placementCell(j, sweepP, func(rep dmxsys.RunReport) float64 {
+			return rep.EnergyJ
+		})
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig15Result{Reduction: foldPlacements(jobs, cells, sweepP, len(benches))}, nil
 }
 
 // Render implements the experiment result interface.

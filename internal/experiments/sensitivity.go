@@ -5,6 +5,7 @@ import (
 
 	"dmx/internal/dmxsys"
 	"dmx/internal/pcie"
+	"dmx/internal/sweep"
 	"dmx/internal/workload"
 )
 
@@ -18,38 +19,60 @@ type Fig16Result struct {
 	Speedup map[int]float64
 }
 
-// Fig16 runs the three-kernel pipeline across the concurrency sweep.
+// fig16Cell is one concurrency point of the three-kernel study.
+type fig16Cell struct {
+	baseName, dmxName   string
+	baseShare, dmxShare float64
+	speedup             float64
+}
+
+// Fig16 runs the three-kernel pipeline across the concurrency sweep,
+// one concurrency point per sweep worker.
 func Fig16() (*Fig16Result, error) {
-	res := &Fig16Result{
-		KernelShare: map[string]map[int]float64{},
-		Speedup:     make(map[int]float64),
-	}
-	for _, n := range Concurrencies {
+	cells, err := sweep.Map(Concurrencies, func(_ int, n int) (fig16Cell, error) {
 		benches := make([]*workload.Benchmark, n)
 		for i := range benches {
 			b, err := workload.PIRWithNER(workload.PaperScale)
 			if err != nil {
-				return nil, err
+				return fig16Cell{}, err
 			}
 			benches[i] = b
 		}
 		base, err := runSystem(dmxsys.MultiAxl, benches)
 		if err != nil {
-			return nil, err
+			return fig16Cell{}, err
 		}
 		dmx, err := runSystem(dmxsys.BumpInTheWire, benches)
 		if err != nil {
-			return nil, err
+			return fig16Cell{}, err
 		}
-		for _, rep := range []dmxsys.RunReport{base, dmx} {
-			k, _, _ := rep.ComponentShares()
-			name := rep.Placement.String()
-			if res.KernelShare[name] == nil {
-				res.KernelShare[name] = make(map[int]float64)
+		var cell fig16Cell
+		cell.baseShare, _, _ = base.ComponentShares()
+		cell.dmxShare, _, _ = dmx.ComponentShares()
+		cell.baseName = base.Placement.String()
+		cell.dmxName = dmx.Placement.String()
+		cell.speedup = base.MeanTotal().Seconds() / dmx.MeanTotal().Seconds()
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{
+		KernelShare: map[string]map[int]float64{},
+		Speedup:     make(map[int]float64),
+	}
+	for i, n := range Concurrencies {
+		c := cells[i]
+		for _, e := range []struct {
+			name  string
+			share float64
+		}{{c.baseName, c.baseShare}, {c.dmxName, c.dmxShare}} {
+			if res.KernelShare[e.name] == nil {
+				res.KernelShare[e.name] = make(map[int]float64)
 			}
-			res.KernelShare[name][n] = k
+			res.KernelShare[e.name][n] = e.share
 		}
-		res.Speedup[n] = base.MeanTotal().Seconds() / dmx.MeanTotal().Seconds()
+		res.Speedup[n] = c.speedup
 	}
 	return res, nil
 }
@@ -79,48 +102,51 @@ type Fig17Result struct {
 }
 
 // Fig17 runs the collectives study. The payload mirrors the benchmark
-// batch scale; all-reduce adds a DRX-side summation kernel.
+// batch scale; all-reduce adds a DRX-side summation kernel. Every
+// (size, configuration, operation) run is an isolated simulation, so all
+// of them fan out on the sweep worker pool.
 func Fig17() (*Fig17Result, error) {
+	const payload = 8 << 20
+	type job struct {
+		n         int
+		useDMX    bool
+		allReduce bool
+	}
+	var jobs []job
+	for _, n := range CollectiveSizes {
+		// Enumerated in the sequential run order: baseline broadcast, DMX
+		// broadcast, baseline all-reduce, DMX all-reduce.
+		jobs = append(jobs,
+			job{n, false, false}, job{n, true, false},
+			job{n, false, true}, job{n, true, true})
+	}
+	secs, err := sweep.Map(jobs, func(_ int, j job) (float64, error) {
+		cs, err := dmxsys.NewCollective(dmxsys.CollectiveConfig{
+			Accels: j.n,
+			Bytes:  payload,
+			Reduce: j.allReduce,
+			UseDMX: j.useDMX,
+			Sys:    dmxsys.DefaultConfig(dmxsys.BumpInTheWire),
+		})
+		if err != nil {
+			return 0, err
+		}
+		if j.allReduce {
+			return cs.AllReduce().Seconds(), nil
+		}
+		return cs.Broadcast().Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig17Result{
 		Broadcast: make(map[int]float64),
 		AllReduce: make(map[int]float64),
 	}
-	const payload = 8 << 20
-	for _, n := range CollectiveSizes {
-		run := func(useDMX bool, allReduce bool) (float64, error) {
-			cs, err := dmxsys.NewCollective(dmxsys.CollectiveConfig{
-				Accels: n,
-				Bytes:  payload,
-				Reduce: allReduce,
-				UseDMX: useDMX,
-				Sys:    dmxsys.DefaultConfig(dmxsys.BumpInTheWire),
-			})
-			if err != nil {
-				return 0, err
-			}
-			if allReduce {
-				return cs.AllReduce().Seconds(), nil
-			}
-			return cs.Broadcast().Seconds(), nil
-		}
-		bb, err := run(false, false)
-		if err != nil {
-			return nil, err
-		}
-		bd, err := run(true, false)
-		if err != nil {
-			return nil, err
-		}
-		res.Broadcast[n] = bb / bd
-		ab, err := run(false, true)
-		if err != nil {
-			return nil, err
-		}
-		ad, err := run(true, true)
-		if err != nil {
-			return nil, err
-		}
-		res.AllReduce[n] = ab / ad
+	for i, n := range CollectiveSizes {
+		g := secs[4*i : 4*i+4]
+		res.Broadcast[n] = g[0] / g[1]
+		res.AllReduce[n] = g[2] / g[3]
 	}
 	return res, nil
 }
@@ -145,26 +171,37 @@ type Fig18Result struct {
 	Speedup map[int]float64
 }
 
-// Fig18 sweeps the RE lane count.
+// Fig18 sweeps the RE lane count. The Multi-Axl baseline and the four
+// lane points are five independent simulations run on the worker pool.
 func Fig18() (*Fig18Result, error) {
 	const napps = 10
 	benches, err := suite(napps)
 	if err != nil {
 		return nil, err
 	}
-	base, err := runSystem(dmxsys.MultiAxl, benches)
+	// Job 0 is the baseline; jobs 1..len(LaneSweep) are the lane points.
+	lats, err := sweep.Map(make([]struct{}, 1+len(LaneSweep)), func(i int, _ struct{}) (float64, error) {
+		if i == 0 {
+			base, err := runSystem(dmxsys.MultiAxl, benches)
+			if err != nil {
+				return 0, err
+			}
+			return base.MeanTotal().Seconds(), nil
+		}
+		cfg := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
+		cfg.DRX = cfg.DRX.WithLanes(LaneSweep[i-1])
+		rep, err := runSystemCfg(cfg, benches)
+		if err != nil {
+			return 0, err
+		}
+		return rep.MeanTotal().Seconds(), nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig18Result{Speedup: make(map[int]float64)}
-	for _, lanes := range LaneSweep {
-		cfg := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
-		cfg.DRX = cfg.DRX.WithLanes(lanes)
-		rep, err := runSystemCfg(cfg, benches)
-		if err != nil {
-			return nil, err
-		}
-		res.Speedup[lanes] = base.MeanTotal().Seconds() / rep.MeanTotal().Seconds()
+	for i, lanes := range LaneSweep {
+		res.Speedup[lanes] = lats[0] / lats[1+i]
 	}
 	return res, nil
 }
@@ -188,39 +225,56 @@ type Fig19Result struct {
 	Speedup map[pcie.Gen]map[int]float64
 }
 
-// Fig19 sweeps the PCIe generation for both baseline and DMX.
+// Fig19 sweeps the PCIe generation for both baseline and DMX, fanning
+// the (generation × concurrency) grid out on the worker pool.
 func Fig19() (*Fig19Result, error) {
-	res := &Fig19Result{Speedup: make(map[pcie.Gen]map[int]float64)}
+	type job struct {
+		g pcie.Gen
+		n int
+	}
+	var jobs []job
 	for _, g := range GenSweep {
-		res.Speedup[g] = make(map[int]float64)
 		for _, n := range Concurrencies {
-			benches, err := suite(n)
-			if err != nil {
-				return nil, err
-			}
-			baseCfg := dmxsys.DefaultConfig(dmxsys.MultiAxl)
-			baseCfg.Gen = g
-			// Newer platforms also expose more root-port lanes (the
-			// paper's second effect: baselines reduce their CPU-link
-			// contention on Gen4/Gen5 hosts).
-			if g != pcie.Gen3 {
-				baseCfg.UplinkLanes = 16
-			}
-			base, err := runSystemCfg(baseCfg, benches)
-			if err != nil {
-				return nil, err
-			}
-			dmxCfg := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
-			dmxCfg.Gen = g
-			if g != pcie.Gen3 {
-				dmxCfg.UplinkLanes = 16
-			}
-			rep, err := runSystemCfg(dmxCfg, benches)
-			if err != nil {
-				return nil, err
-			}
-			res.Speedup[g][n] = base.MeanTotal().Seconds() / rep.MeanTotal().Seconds()
+			jobs = append(jobs, job{g, n})
 		}
+	}
+	vals, err := sweep.Map(jobs, func(_ int, j job) (float64, error) {
+		benches, err := suite(j.n)
+		if err != nil {
+			return 0, err
+		}
+		baseCfg := dmxsys.DefaultConfig(dmxsys.MultiAxl)
+		baseCfg.Gen = j.g
+		// Newer platforms also expose more root-port lanes (the
+		// paper's second effect: baselines reduce their CPU-link
+		// contention on Gen4/Gen5 hosts).
+		if j.g != pcie.Gen3 {
+			baseCfg.UplinkLanes = 16
+		}
+		base, err := runSystemCfg(baseCfg, benches)
+		if err != nil {
+			return 0, err
+		}
+		dmxCfg := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
+		dmxCfg.Gen = j.g
+		if j.g != pcie.Gen3 {
+			dmxCfg.UplinkLanes = 16
+		}
+		rep, err := runSystemCfg(dmxCfg, benches)
+		if err != nil {
+			return 0, err
+		}
+		return base.MeanTotal().Seconds() / rep.MeanTotal().Seconds(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig19Result{Speedup: make(map[pcie.Gen]map[int]float64)}
+	for i, j := range jobs {
+		if res.Speedup[j.g] == nil {
+			res.Speedup[j.g] = make(map[int]float64)
+		}
+		res.Speedup[j.g][j.n] = vals[i]
 	}
 	return res, nil
 }

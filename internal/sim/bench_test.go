@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the DES scheduling hot loop: every
+// simulated kernel completion, DMA, and driver delay passes through
+// Schedule + Step. The fan pattern (each fired event schedules two more
+// up to a horizon) approximates the branching callback chains the system
+// model generates.
+func BenchmarkEngineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		depth := 0
+		var fan func()
+		fan = func() {
+			if depth >= 4096 {
+				return
+			}
+			depth++
+			e.Schedule(10*Nanosecond, fan)
+			e.Schedule(20*Nanosecond, fan)
+		}
+		e.Schedule(0, fan)
+		e.Run()
+	}
+}
+
+// BenchmarkEngineScheduleFlat measures the steady-state cost of one
+// schedule+fire pair with a warm engine (the free-list regime: events
+// are continuously recycled rather than freshly allocated).
+func BenchmarkEngineScheduleFlat(b *testing.B) {
+	e := NewEngine()
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Nanosecond, nop)
+		e.Step()
+	}
+}
+
+// BenchmarkChannelContention measures the fair-share channel under the
+// contention pattern of a loaded fabric link: a rotating population of
+// overlapping transfers, each completion starting the next. Every
+// membership change re-predicts completion, which is the channel's hot
+// path.
+func BenchmarkChannelContention(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		ch := NewChannel(e, "bench", 1e9)
+		started := 0
+		var launch func()
+		launch = func() {
+			if started >= 512 {
+				return
+			}
+			started++
+			ch.Start(1<<16, launch)
+		}
+		// Eight initial flows keep the channel continuously contended.
+		for k := 0; k < 8; k++ {
+			launch()
+		}
+		e.Run()
+	}
+}

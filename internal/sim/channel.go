@@ -13,10 +13,22 @@ type Channel struct {
 	eng         *Engine
 	name        string
 	bytesPerSec float64
-	active      map[*Transfer]struct{}
-	seq         uint64
-	lastUpdate  Time
-	nextDone    *Event
+	// active holds in-flight transfers in start order (ascending seq),
+	// which makes simultaneous-completion callbacks fire in Start order
+	// without sorting.
+	active     []*Transfer
+	seq        uint64
+	lastUpdate Time
+	nextDone   EventRef
+	// completeFn is the bound complete method, materialized once so that
+	// reschedule doesn't allocate a fresh method-value closure per call.
+	completeFn func()
+
+	// free recycles retired Transfers: the channel hot loop (start,
+	// advance, complete, restart) then runs without allocating.
+	free []*Transfer
+	// finished is scratch for complete(), reused across calls.
+	finished []*Transfer
 
 	// TotalBytes accumulates every byte the channel has carried; the
 	// energy model charges transfer energy against it.
@@ -31,13 +43,14 @@ func NewChannel(eng *Engine, name string, bytesPerSec float64) *Channel {
 	if bytesPerSec <= 0 {
 		panic("sim: channel capacity must be positive")
 	}
-	return &Channel{
+	c := &Channel{
 		eng:         eng,
 		name:        name,
 		bytesPerSec: bytesPerSec,
-		active:      make(map[*Transfer]struct{}),
 		lastUpdate:  eng.Now(),
 	}
+	c.completeFn = c.complete
+	return c
 }
 
 // Name reports the channel's diagnostic name.
@@ -49,41 +62,85 @@ func (c *Channel) Capacity() float64 { return c.bytesPerSec }
 // InFlight reports the number of active transfers.
 func (c *Channel) InFlight() int { return len(c.active) }
 
-// Transfer is one in-flight flow on a Channel.
+// Transfer is one in-flight flow on a Channel. The channel owns every
+// Transfer and reuses retired ones; callers interact through the
+// TransferRef handle returned by Start.
 type Transfer struct {
 	ch        *Channel
 	seq       uint64  // start order, for deterministic completion callbacks
+	gen       uint64  // recycle generation, validates TransferRef handles
 	remaining float64 // bytes left to move
 	done      func()
-	finished  bool
+}
+
+// TransferRef is a caller's handle to an in-flight transfer. Like
+// EventRef it is a small value that stays safe after the underlying
+// Transfer retires: Abort on a finished (possibly recycled) transfer is
+// a no-op, as on the zero ref.
+type TransferRef struct {
+	t   *Transfer
+	gen uint64
+}
+
+// Abort removes the transfer from the channel without invoking its
+// completion callback. Aborting a finished transfer is a no-op.
+func (r TransferRef) Abort() {
+	if r.t != nil && r.t.gen == r.gen {
+		r.t.ch.abort(r.t)
+	}
 }
 
 // Start begins moving n bytes through the channel and invokes done when
 // the last byte lands. A zero-byte transfer completes after one event
 // (still asynchronously, preserving callback ordering invariants).
-func (c *Channel) Start(n int64, done func()) *Transfer {
+func (c *Channel) Start(n int64, done func()) TransferRef {
 	if n < 0 {
 		panic(fmt.Sprintf("sim: negative transfer size %d", n))
 	}
 	c.advance()
-	t := &Transfer{ch: c, seq: c.seq, remaining: float64(n), done: done}
+	var t *Transfer
+	if ln := len(c.free); ln > 0 {
+		t = c.free[ln-1]
+		c.free[ln-1] = nil
+		c.free = c.free[:ln-1]
+	} else {
+		t = &Transfer{ch: c}
+	}
+	t.seq = c.seq
+	t.remaining = float64(n)
+	t.done = done
 	c.seq++
-	c.active[t] = struct{}{}
+	c.active = append(c.active, t)
 	c.TotalBytes += n
 	c.reschedule()
-	return t
+	return TransferRef{t: t, gen: t.gen}
 }
 
-// Abort removes the transfer from the channel without invoking its
-// completion callback. Aborting a finished transfer is a no-op.
-func (t *Transfer) Abort() {
-	if t.finished {
-		return
+// recycle retires a transfer to the free list, invalidating outstanding
+// TransferRefs via the gen bump.
+func (c *Channel) recycle(t *Transfer) {
+	t.gen++
+	t.done = nil
+	c.free = append(c.free, t)
+}
+
+// remove deletes the transfer from the active slice, preserving start
+// order.
+func (c *Channel) remove(t *Transfer) {
+	for i, a := range c.active {
+		if a == t {
+			copy(c.active[i:], c.active[i+1:])
+			c.active[len(c.active)-1] = nil
+			c.active = c.active[:len(c.active)-1]
+			return
+		}
 	}
-	c := t.ch
+}
+
+func (c *Channel) abort(t *Transfer) {
 	c.advance()
-	delete(c.active, t)
-	t.finished = true
+	c.remove(t)
+	c.recycle(t)
 	c.reschedule()
 }
 
@@ -99,7 +156,7 @@ func (c *Channel) advance() {
 	c.BusyTime += dt
 	share := c.bytesPerSec / float64(len(c.active))
 	moved := share * dt.Seconds()
-	for t := range c.active {
+	for _, t := range c.active {
 		t.remaining -= moved
 		if t.remaining < 0 {
 			t.remaining = 0
@@ -109,62 +166,53 @@ func (c *Channel) advance() {
 
 // reschedule re-predicts the next completion under the current share.
 func (c *Channel) reschedule() {
-	if c.nextDone != nil {
-		c.nextDone.Cancel()
-		c.nextDone = nil
-	}
+	c.nextDone.Cancel()
+	c.nextDone = EventRef{}
 	if len(c.active) == 0 {
 		return
 	}
-	var first *Transfer
-	for t := range c.active {
-		if first == nil || t.remaining < first.remaining {
-			first = t
+	least := c.active[0].remaining
+	for _, t := range c.active[1:] {
+		if t.remaining < least {
+			least = t.remaining
 		}
 	}
 	share := c.bytesPerSec / float64(len(c.active))
-	wait := Duration(first.remaining / share * float64(Second))
-	c.nextDone = c.eng.Schedule(wait, c.complete)
+	wait := Duration(least / share * float64(Second))
+	c.nextDone = c.eng.Schedule(wait, c.completeFn)
 }
 
 // complete retires every transfer whose bytes have drained, then
 // reschedules. Multiple transfers can finish at the same instant (equal
 // sizes started together), so all are collected before callbacks run.
 func (c *Channel) complete() {
-	c.nextDone = nil
+	c.nextDone = EventRef{}
 	c.advance()
-	var finished []*Transfer
-	for t := range c.active {
+	// active is kept in start order, so the finished set is collected —
+	// and its callbacks fire — in Start order, keeping runs reproducible.
+	finished := c.finished[:0]
+	kept := c.active[:0]
+	for _, t := range c.active {
 		// Fair-share arithmetic in float64 can leave a sub-byte residue;
 		// anything under one byte is done.
 		if t.remaining < 1.0 {
 			finished = append(finished, t)
+		} else {
+			kept = append(kept, t)
 		}
 	}
-	for _, t := range finished {
-		delete(c.active, t)
-		t.finished = true
+	for i := len(kept); i < len(c.active); i++ {
+		c.active[i] = nil
 	}
+	c.active = kept
 	c.reschedule()
 	// Callbacks run after bookkeeping so they may start new transfers on
-	// this same channel re-entrantly. finished was collected in map order,
-	// which is random; sort by start sequence so completions at the same
-	// instant always fire in Start order, keeping runs reproducible.
-	sortTransfers(finished)
+	// this same channel re-entrantly.
 	for _, t := range finished {
 		if t.done != nil {
-			done := t.done
-			c.eng.Schedule(0, done)
+			c.eng.Schedule(0, t.done)
 		}
+		c.recycle(t)
 	}
-}
-
-// sortTransfers orders transfers by start sequence (insertion sort; the
-// simultaneous-completion set is almost always tiny).
-func sortTransfers(ts []*Transfer) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j].seq < ts[j-1].seq; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
+	c.finished = finished[:0]
 }

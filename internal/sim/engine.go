@@ -5,31 +5,54 @@ import (
 	"fmt"
 )
 
-// Event is a scheduled callback. Events are created by Engine.Schedule and
-// Engine.At and may be canceled before they fire.
-type Event struct {
+// event is one scheduled callback. The engine owns every event: fired
+// and discarded events return to a per-engine free list and are reused
+// by later Schedule/At calls, so the steady-state scheduling hot loop
+// allocates nothing. gen increments on every recycle, which is what
+// keeps stale EventRef handles inert.
+type event struct {
 	at       Time
 	seq      uint64 // tie-break: FIFO among events at the same instant
+	gen      uint64 // recycle generation, validates EventRef handles
 	fn       func()
 	canceled bool
 	index    int // position in the heap, -1 once popped
 }
 
-// Time reports when the event will fire (or would have fired, if canceled).
-func (ev *Event) Time() Time { return ev.at }
+// EventRef is a caller's handle to a scheduled event. It is a small
+// value (safe to copy, compare against the zero value, or drop) whose
+// Cancel and Time stay correct even after the engine recycles the
+// underlying event: a ref to an event that already fired or was already
+// canceled simply no-ops.
+type EventRef struct {
+	ev  *event
+	gen uint64
+	at  Time
+}
+
+// Time reports when the event will fire (or would have fired, if
+// canceled).
+func (r EventRef) Time() Time { return r.at }
 
 // Cancel prevents the event from firing. Canceling an event that has
-// already fired or was already canceled is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+// already fired or was already canceled is a no-op, as is canceling the
+// zero EventRef.
+func (r EventRef) Cancel() {
+	if r.ev != nil && r.ev.gen == r.gen {
+		r.ev.canceled = true
+	}
+}
 
 // Engine is a deterministic discrete-event scheduler. The zero value is
 // ready to use. Engine is not safe for concurrent use; the simulation
-// models are single-threaded by design.
+// models are single-threaded by design (harness-level parallelism runs
+// whole engines independently).
 type Engine struct {
 	now    Time
 	queue  eventHeap
 	seq    uint64
 	nfired uint64
+	free   []*event // recycled events, reused by At
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -48,7 +71,7 @@ func (e *Engine) Pending() int { return e.queue.Len() }
 
 // Schedule arranges for fn to run after delay. A negative delay panics:
 // the simulated causality would be violated.
-func (e *Engine) Schedule(delay Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay Duration, fn func()) EventRef {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
@@ -57,30 +80,57 @@ func (e *Engine) Schedule(delay Duration, fn func()) *Event {
 
 // At arranges for fn to run at absolute time t, which must not precede
 // the current clock.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
 	if fn == nil {
 		panic("sim: nil event callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.canceled = false
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return EventRef{ev: ev, gen: ev.gen, at: t}
+}
+
+// recycle returns a popped event to the free list. Bumping gen first
+// invalidates every outstanding EventRef to it.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
 	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+		ev := heap.Pop(&e.queue).(*event)
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.nfired++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running the callback: fn frequently reschedules,
+		// and reusing this very event keeps the hot loop allocation-free.
+		// Any EventRef to it is invalidated by the gen bump, so a late
+		// Cancel from inside fn cannot touch the recycled slot's new owner
+		// by accident.
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -97,7 +147,7 @@ func (e *Engine) RunUntil(t Time) {
 	for e.queue.Len() > 0 {
 		next := e.queue[0]
 		if next.canceled {
-			heap.Pop(&e.queue)
+			e.recycle(heap.Pop(&e.queue).(*event))
 			continue
 		}
 		if next.at > t {
@@ -112,7 +162,7 @@ func (e *Engine) RunUntil(t Time) {
 
 // eventHeap orders events by (time, seq). seq guarantees FIFO execution of
 // simultaneous events, which is what makes runs reproducible.
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 
@@ -130,7 +180,7 @@ func (h eventHeap) Swap(i, j int) {
 }
 
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*event)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }

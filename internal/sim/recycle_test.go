@@ -1,0 +1,112 @@
+package sim
+
+import "testing"
+
+// A fired event's slot is reused by later Schedule calls. A stale
+// EventRef held across the fire must not be able to cancel the slot's
+// new occupant.
+func TestStaleEventRefCancelIsInert(t *testing.T) {
+	e := NewEngine()
+	var fired []string
+	refA := e.Schedule(Nanosecond, func() { fired = append(fired, "A") })
+	if !e.Step() {
+		t.Fatal("A did not fire")
+	}
+	// B reuses A's recycled event object.
+	e.Schedule(Nanosecond, func() { fired = append(fired, "B") })
+	refA.Cancel() // stale: A already fired
+	e.Run()
+	if len(fired) != 2 || fired[0] != "A" || fired[1] != "B" {
+		t.Fatalf("fired = %v, want [A B]", fired)
+	}
+}
+
+func TestZeroEventRefCancelIsNoop(t *testing.T) {
+	var r EventRef
+	r.Cancel() // must not panic
+	if r.Time() != 0 {
+		t.Fatalf("zero ref time = %v", r.Time())
+	}
+}
+
+func TestEventRefTimeSurvivesRecycle(t *testing.T) {
+	e := NewEngine()
+	ref := e.Schedule(5*Nanosecond, func() {})
+	e.Run()
+	e.Schedule(90*Nanosecond, func() {}) // reuses the slot at another time
+	if ref.Time() != Time(5*Nanosecond) {
+		t.Fatalf("stale ref time = %v, want 5ns", ref.Time())
+	}
+}
+
+// Canceled-then-discarded events are recycled too; scheduling afterwards
+// must reuse them without resurrecting the canceled state.
+func TestCanceledEventSlotIsReusable(t *testing.T) {
+	e := NewEngine()
+	ref := e.Schedule(Nanosecond, func() { t.Fatal("canceled event fired") })
+	ref.Cancel()
+	e.Run() // discards + recycles
+	fired := false
+	e.Schedule(Nanosecond, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("recycled slot did not fire its new event")
+	}
+}
+
+// The steady-state schedule/fire loop must not allocate once the free
+// list is warm.
+func TestEngineSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	nop := func() {}
+	e.Schedule(Nanosecond, nop)
+	e.Step()
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(Nanosecond, nop)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/fire allocates %.1f per op, want 0", avg)
+	}
+}
+
+// A stale TransferRef.Abort after the transfer completed must not abort
+// the recycled slot's new transfer.
+func TestStaleTransferRefAbortIsInert(t *testing.T) {
+	e := NewEngine()
+	ch := NewChannel(e, "c", 1e9)
+	doneA := false
+	refA := ch.Start(1e6, func() { doneA = true })
+	e.Run()
+	if !doneA {
+		t.Fatal("first transfer did not complete")
+	}
+	doneB := false
+	ch.Start(1e6, func() { doneB = true }) // reuses A's Transfer
+	refA.Abort()                           // stale: A already finished
+	e.Run()
+	if !doneB {
+		t.Fatal("stale Abort killed the recycled slot's new transfer")
+	}
+}
+
+func TestZeroTransferRefAbortIsNoop(t *testing.T) {
+	var r TransferRef
+	r.Abort() // must not panic
+}
+
+// The channel's start/complete/restart loop must be allocation-free in
+// steady state (events and transfers both come from free lists).
+func TestChannelSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	ch := NewChannel(e, "c", 1e9)
+	ch.Start(1e3, nil)
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		ch.Start(1e3, nil)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("channel round allocates %.1f per op, want 0", avg)
+	}
+}

@@ -1,0 +1,113 @@
+// Package sweep is the parallel job layer of the evaluation harness.
+//
+// The paper's evaluation is a large configuration sweep: every figure is
+// (application × concurrency × placement × hardware knob), and each cell
+// is an isolated, deterministic dmxsys simulation with its own event
+// engine. sweep exploits exactly that shape — jobs are enumerated up
+// front, executed by a worker pool sized to GOMAXPROCS, and results are
+// slotted by job index, so the folded (and rendered) output of a
+// parallel run is bit-for-bit identical to a sequential one.
+// Parallelism exists only *across* simulations, never inside one engine.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride, when positive, pins the pool size; zero means "size by
+// GOMAXPROCS". It exists so tests can force a sequential run (workers=1)
+// and the dmxbench -j flag can pin an explicit width.
+var workerOverride atomic.Int64
+
+// Workers reports the pool size the next Map/Each call will use.
+func Workers() int {
+	if n := workerOverride.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers pins the pool size and returns the previous override (0 if
+// the pool was sized by GOMAXPROCS). n <= 0 restores the GOMAXPROCS
+// default.
+func SetWorkers(n int) int {
+	prev := workerOverride.Load()
+	if n <= 0 {
+		workerOverride.Store(0)
+	} else {
+		workerOverride.Store(int64(n))
+	}
+	return int(prev)
+}
+
+// Map runs fn over every item on the worker pool and returns the results
+// slotted by item index. All jobs run to completion even if some fail;
+// if any failed, the error of the lowest-indexed failing job is returned
+// (a deterministic choice, independent of scheduling order).
+//
+// With one worker, Map degenerates to an inline sequential loop — no
+// goroutines — so a workers=1 run is sequential in the strictest sense.
+func Map[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	run := func(i int) {
+		out[i], errs[i] = fn(i, items[i])
+	}
+	dispatch(len(items), run)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Each runs fn for i in [0, n) on the worker pool. Like Map, every job
+// runs to completion and the lowest-indexed error is returned.
+func Each(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	dispatch(n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dispatch executes run(0..n-1) on min(Workers, n) goroutines pulling
+// job indices from a shared counter. Each run(i) writes only to its own
+// slot, so no further synchronization is needed beyond the final Wait.
+func dispatch(n int, run func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

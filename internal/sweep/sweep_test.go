@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapSlotsResultsByIndex(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(items, func(i, v int) (int, error) { return v * v, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	e7 := errors.New("job 7")
+	e3 := errors.New("job 3")
+	_, err := Map(make([]struct{}, 16), func(i int, _ struct{}) (int, error) {
+		switch i {
+		case 7:
+			return 0, e7
+		case 3:
+			return 0, e3
+		}
+		return i, nil
+	})
+	if err != e3 {
+		t.Fatalf("err = %v, want lowest-indexed %v", err, e3)
+	}
+}
+
+func TestMapRunsEveryJobDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(make([]struct{}, 32), func(i int, _ struct{}) (int, error) {
+		ran.Add(1)
+		if i%2 == 0 {
+			return 0, fmt.Errorf("job %d", i)
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := ran.Load(); got != 32 {
+		t.Fatalf("ran %d jobs, want all 32", got)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(nil, func(i int, v int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: out=%v err=%v", out, err)
+	}
+}
+
+func TestEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := Each(64, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 64*63/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	if prev := SetWorkers(1); prev != 0 {
+		t.Fatalf("initial override = %d, want 0", prev)
+	}
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(1)", Workers())
+	}
+	if prev := SetWorkers(0); prev != 1 {
+		t.Fatalf("restore returned %d, want 1", prev)
+	}
+	if Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS", Workers())
+	}
+}
+
+func TestSequentialModeRunsInline(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(1)
+	// With one worker the jobs must run in index order on this goroutine.
+	var order []int
+	_, err := Map(make([]struct{}, 10), func(i int, _ struct{}) (int, error) {
+		order = append(order, i) // safe: inline sequential execution
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	defer SetWorkers(0)
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i * 3
+	}
+	fn := func(i, v int) (string, error) { return fmt.Sprintf("%d:%d", i, v), nil }
+	SetWorkers(1)
+	seq, err := Map(items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(8)
+	par, err := Map(items, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("slot %d: sequential %q vs parallel %q", i, seq[i], par[i])
+		}
+	}
+}

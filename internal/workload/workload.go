@@ -15,6 +15,7 @@ import (
 
 	"dmx/internal/dmxsys"
 	"dmx/internal/restructure"
+	"dmx/internal/sweep"
 	"dmx/internal/tensor"
 )
 
@@ -92,29 +93,21 @@ func keys(m map[string]*tensor.Tensor) []string {
 	return out
 }
 
-// Suite returns all five Table I benchmarks at the given scale.
+// Suite returns all five Table I benchmarks at the given scale, in
+// Table I order. The five constructors are independent but individually
+// expensive at paper scale — video RLE-encodes a ~12 MB YUV batch and
+// hash-join gzip-compresses a ~16 MB table just to size their
+// bitstreams — so they are built concurrently on the sweep worker pool.
+// Each constructor seeds its own RNGs, so the result is identical to a
+// sequential build.
 func Suite(sc Scale) ([]*Benchmark, error) {
-	sound, err := SoundDetection(sc)
-	if err != nil {
-		return nil, err
+	builders := []func(Scale) (*Benchmark, error){
+		VideoSurveillance, SoundDetection, BrainStimulation,
+		PersonalInfoRedaction, DatabaseHashJoin,
 	}
-	video, err := VideoSurveillance(sc)
-	if err != nil {
-		return nil, err
-	}
-	brain, err := BrainStimulation(sc)
-	if err != nil {
-		return nil, err
-	}
-	pir, err := PersonalInfoRedaction(sc)
-	if err != nil {
-		return nil, err
-	}
-	db, err := DatabaseHashJoin(sc)
-	if err != nil {
-		return nil, err
-	}
-	return []*Benchmark{video, sound, brain, pir, db}, nil
+	return sweep.Map(builders, func(_ int, build func(Scale) (*Benchmark, error)) (*Benchmark, error) {
+		return build(sc)
+	})
 }
 
 // Scale selects workload geometry. PaperScale matches the 6–16 MB
