@@ -7,15 +7,24 @@
 //	dmxsim -app sound-detection -apps 4 -placement bump
 //	dmxsim -app all -apps 15 -placement multiaxl -gen 4
 //	dmxsim -app database-hash-join -placement bump -lanes 64 -v
+//	dmxsim -app sound-detection -trace-out trace.json -stats
+//
+// -trace-out writes the structured trace as Chrome trace-event JSON;
+// open it at ui.perfetto.dev. -stats prints per-device utilization and
+// per-stage latency histograms aggregated from the same event stream.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"dmx/internal/dmxsys"
+	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/sim"
 	"dmx/internal/workload"
@@ -30,22 +39,54 @@ var placements = map[string]dmxsys.Placement{
 	"bump":       dmxsys.BumpInTheWire,
 }
 
+// options collects every flag so that run is testable with a fixed
+// configuration and an in-memory writer.
+type options struct {
+	app       string
+	napps     int
+	placement string
+	gen       int
+	lanes     int
+	verbose   bool
+	trace     bool
+	stats     bool
+	traceOut  string
+}
+
 func main() {
-	app := flag.String("app", "all", "benchmark name or 'all' (video-surveillance, sound-detection, brain-stimulation, personal-info-redaction, database-hash-join, pir-ner, genai-rag)")
-	napps := flag.Int("apps", 1, "concurrent application instances")
-	placement := flag.String("placement", "bump", "allcpu | multiaxl | integrated | standalone | pcie | bump")
-	gen := flag.Int("gen", 3, "PCIe generation (3, 4, 5)")
-	lanes := flag.Int("lanes", 128, "DRX RE lanes (power of two)")
-	verbose := flag.Bool("v", false, "print per-app breakdowns")
-	trace := flag.Bool("trace", false, "print the Fig. 10 event trace")
+	var o options
+	flag.StringVar(&o.app, "app", "all", "benchmark name or 'all' (video-surveillance, sound-detection, brain-stimulation, personal-info-redaction, database-hash-join, pir-ner, genai-rag)")
+	flag.IntVar(&o.napps, "apps", 1, "concurrent application instances")
+	flag.StringVar(&o.placement, "placement", "bump", "allcpu | multiaxl | integrated | standalone | pcie | bump")
+	flag.IntVar(&o.gen, "gen", 3, "PCIe generation (3, 4, 5)")
+	flag.IntVar(&o.lanes, "lanes", 128, "DRX RE lanes (power of two)")
+	flag.BoolVar(&o.verbose, "v", false, "print per-app breakdowns")
+	flag.BoolVar(&o.trace, "trace", false, "print the Fig. 10 event trace")
+	flag.BoolVar(&o.stats, "stats", false, "print device utilization and per-stage latency histograms")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Perfetto-loadable trace (Chrome trace-event JSON) to this file")
 	flag.Parse()
 
-	p, ok := placements[strings.ToLower(*placement)]
+	// One buffered writer carries everything — the event trace, the
+	// report, and the energy line — so output order is exactly emission
+	// order regardless of how the pieces are produced.
+	out := bufio.NewWriter(os.Stdout)
+	err := run(o, out)
+	if ferr := out.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmxsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, out io.Writer) error {
+	p, ok := placements[strings.ToLower(o.placement)]
 	if !ok {
-		fail("unknown placement %q (want one of allcpu, multiaxl, integrated, standalone, pcie, bump)", *placement)
+		return fmt.Errorf("unknown placement %q (want one of allcpu, multiaxl, integrated, standalone, pcie, bump)", o.placement)
 	}
 	cfg := dmxsys.DefaultConfig(p)
-	switch *gen {
+	switch o.gen {
 	case 3:
 		cfg.Gen = pcie.Gen3
 	case 4:
@@ -53,45 +94,73 @@ func main() {
 	case 5:
 		cfg.Gen = pcie.Gen5
 	default:
-		fail("unsupported PCIe generation %d", *gen)
+		return fmt.Errorf("unsupported PCIe generation %d", o.gen)
 	}
-	cfg.DRX = cfg.DRX.WithLanes(*lanes)
-	if *trace {
+	cfg.DRX = cfg.DRX.WithLanes(o.lanes)
+	if o.trace {
 		cfg.Trace = func(at sim.Time, app, event string) {
-			fmt.Printf("  [%12v] %-24s %s\n", at, app, event)
+			fmt.Fprintf(out, "  [%12v] %-24s %s\n", at, app, event)
 		}
 	}
-
-	benches, err := selectBenchmarks(*app)
-	if err != nil {
-		fail("%v", err)
+	if o.traceOut != "" || o.stats {
+		cfg.Obs = obs.New()
 	}
-	pipes := make([]*dmxsys.Pipeline, 0, *napps*len(benches))
-	for i := 0; i < *napps; i++ {
+
+	benches, err := selectBenchmarks(o.app)
+	if err != nil {
+		return err
+	}
+	pipes := make([]*dmxsys.Pipeline, 0, o.napps*len(benches))
+	for i := 0; i < o.napps; i++ {
 		for _, b := range benches {
 			pipes = append(pipes, b.Pipeline)
 		}
 	}
-	fmt.Printf("simulating %d app instance(s) of %s under %v (PCIe %v, %d RE lanes)...\n",
-		len(pipes), *app, p, cfg.Gen, *lanes)
+	fmt.Fprintf(out, "simulating %d app instance(s) of %s under %v (PCIe %v, %d RE lanes)...\n",
+		len(pipes), o.app, p, cfg.Gen, o.lanes)
 	sys, err := dmxsys.New(cfg, pipes)
 	if err != nil {
-		fail("%v", err)
+		return err
 	}
 	rep := sys.Run()
-	fmt.Println(rep)
-	if *verbose {
+	fmt.Fprintln(out, rep)
+	if o.verbose {
 		for _, a := range rep.Apps {
 			thr := a.Throughput(2)
-			fmt.Printf("  %-26s total %-12v kernel %-12v restructure %-12v movement %-12v (%.1f req/s)\n",
+			fmt.Fprintf(out, "  %-26s total %-12v kernel %-12v restructure %-12v movement %-12v (%.1f req/s)\n",
 				a.App, a.Total, a.KernelTime, a.RestructureTime, a.MovementTime, thr)
 		}
 	}
-	fmt.Printf("energy: %.2f J ", rep.EnergyJ)
-	for k, v := range rep.EnergyBreakdown {
-		fmt.Printf("%s=%.2f ", k, v)
+	fmt.Fprintf(out, "energy: %.2f J ", rep.EnergyJ)
+	keys := make([]string, 0, len(rep.EnergyBreakdown))
+	for k := range rep.EnergyBreakdown {
+		keys = append(keys, k)
 	}
-	fmt.Println()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "%s=%.2f ", k, rep.EnergyBreakdown[k])
+	}
+	fmt.Fprintln(out)
+	if o.stats {
+		fmt.Fprintln(out, rep.Metrics)
+	}
+	if o.traceOut != "" {
+		rec := cfg.Obs
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteTrace(f, rec.Events())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace: %w", werr)
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s (open at ui.perfetto.dev)\n",
+			rec.Len(), o.traceOut)
+	}
+	return nil
 }
 
 func selectBenchmarks(name string) ([]*workload.Benchmark, error) {
@@ -122,9 +191,4 @@ func selectBenchmarks(name string) ([]*workload.Benchmark, error) {
 		}
 	}
 	return nil, fmt.Errorf("unknown benchmark %q", name)
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "dmxsim: "+format+"\n", args...)
-	os.Exit(1)
 }

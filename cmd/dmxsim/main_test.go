@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dmx/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func opts() options {
+	return options{
+		app:       "sound-detection",
+		napps:     1,
+		placement: "bump",
+		gen:       3,
+		lanes:     128,
+		verbose:   true,
+		trace:     true,
+	}
+}
+
+// The full CLI output — event trace, report, per-app breakdown, energy
+// line — must be byte-stable run over run. This pins the fix for the
+// nondeterministic energy-breakdown ordering (map iteration) and the
+// single-writer routing of the trace and the report.
+func TestRunOutputIsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(opts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "sound_bump.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (run with -update to regenerate)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestRunOutputIsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(opts(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(opts(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two identical runs produced different output")
+	}
+}
+
+// -trace-out must emit a file that the validator accepts and that is
+// byte-identical across runs.
+func TestTraceOutValidatesAndIsStable(t *testing.T) {
+	dir := t.TempDir()
+	capture := func(name string) []byte {
+		o := opts()
+		o.trace = false
+		o.verbose = false
+		o.stats = true
+		o.traceOut = filepath.Join(dir, name)
+		var buf bytes.Buffer
+		if err := run(o, &buf); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(o.traceOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	first := capture("a.json")
+	if _, err := obs.ValidateTrace(first); err != nil {
+		t.Fatalf("exported trace does not validate: %v", err)
+	}
+	if !bytes.Equal(first, capture("b.json")) {
+		t.Error("trace bytes differ between identical runs")
+	}
+}

@@ -1,0 +1,39 @@
+// Command dmxtrace validates a trace file produced by dmxsim
+// -trace-out (or any obs.WriteTrace output): the JSON must parse as
+// Chrome trace-event format, slices on each track must nest properly,
+// and every flow arrow must have matched begin/end events. On success
+// it prints a one-line summary; on failure it exits nonzero with the
+// first violation. CI runs it against a freshly captured trace so the
+// exported schema can never silently regress.
+//
+// Usage:
+//
+//	dmxtrace trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dmx/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dmxtrace <trace.json>")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmxtrace: %v\n", err)
+		os.Exit(1)
+	}
+	sum, err := obs.ValidateTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmxtrace: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid trace: %d tracks, %d slices, %d instants, %d flows, %d counters\n",
+		path, sum.Tracks, sum.Slices, sum.Instants, sum.Flows, sum.Counters)
+}

@@ -25,9 +25,12 @@
 package dmx
 
 import (
+	"io"
+
 	"dmx/internal/accel"
 	"dmx/internal/dmxsys"
 	"dmx/internal/drx"
+	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/restructure"
 	"dmx/internal/sim"
@@ -66,6 +69,15 @@ type (
 	DRXConfig = drx.Config
 	// Benchmark is one of the paper's end-to-end applications.
 	Benchmark = workload.Benchmark
+	// Recorder collects the structured trace of a simulation. Set one on
+	// Config.Obs before Simulate, then feed it to WriteTrace or read the
+	// Metrics already attached to the RunReport.
+	Recorder = obs.Recorder
+	// Metrics is the observability aggregate a traced RunReport carries:
+	// per-device utilization, per-stage latency histograms, bytes moved.
+	Metrics = obs.Metrics
+	// TraceEvent is one structured observability event.
+	TraceEvent = obs.Event
 )
 
 // Placements.
@@ -115,6 +127,16 @@ func SimulateStream(cfg Config, requests int, pipelines ...*Pipeline) (StreamRep
 		return StreamReport{}, err
 	}
 	return sys.RunStream(requests), nil
+}
+
+// NewRecorder returns an empty trace recorder for Config.Obs.
+func NewRecorder() *Recorder { return obs.New() }
+
+// WriteTrace renders a recorded event stream as Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Output is
+// deterministic: the same simulation always produces identical bytes.
+func WriteTrace(w io.Writer, rec *Recorder) error {
+	return obs.WriteTrace(w, rec.Events())
 }
 
 // Suite returns the five Table I benchmark applications at paper scale

@@ -1,17 +1,3 @@
-// Package accel implements the application-kernel accelerators of the
-// five Table I benchmarks.
-//
-// Each accelerator has two faces. The functional face is a real Go
-// implementation of the kernel (a working FFT, AES-GCM decryptor, regex
-// redactor, hash join, ...) so that chained pipelines can be executed and
-// checked end-to-end. The performance face is a calibrated analytic model
-// of the FPGA implementation the paper deploys (Vitis HLS / RTL at
-// 250 MHz on a VU9P) plus its CPU-execution counterpart for the All-CPU
-// baseline: the paper reports a 6.5× geometric-mean per-kernel speedup
-// of the accelerators over the Xeon host, and the per-kernel ratios here
-// reproduce that mean while preserving the paper's outliers (the video
-// hard-IP gains least — Fig. 11 — and regex limits Personal Info
-// Redaction's throughput — Fig. 13).
 package accel
 
 import (

@@ -1,0 +1,105 @@
+package dmxrt
+
+import (
+	"bytes"
+	"testing"
+
+	"dmx/internal/drx"
+	"dmx/internal/obs"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// A traced host program produces one enqueue instant and one execution
+// span per command, stamped on the context's logical clock in
+// dependency-resolved execution order.
+func TestRecorderCapturesCommandStream(t *testing.T) {
+	ctx, fftQ, drxQ, svmQ, d := buildSoundChain(t)
+	rec := obs.New()
+	ctx.SetRecorder(rec)
+	bins := d.win / 2
+
+	audio := ctx.CreateBuffer("audio", genAudio(d))
+	spectrum := ctx.CreateEmptyBuffer("spectrum", tensor.Complex64, d.frames, bins)
+	melw := ctx.CreateBuffer("melw", restructure.MelWeights(bins, d.mels))
+	logmel := ctx.CreateEmptyBuffer("logmel", tensor.Float32, d.frames, d.mels)
+	labels := ctx.CreateEmptyBuffer("labels", tensor.Int32, d.frames)
+
+	e1 := fftQ.EnqueueKernel(map[string]*Buffer{"audio": audio}, map[string]*Buffer{"spectrum": spectrum})
+	e2 := drxQ.EnqueueRestructure(restructure.MelSpectrogram(d.frames, bins, d.mels),
+		map[string]*Buffer{"spectrum": spectrum, "melw": melw},
+		map[string]*Buffer{"logmel": logmel}, e1)
+	svmQ.EnqueueKernel(map[string]*Buffer{"features": logmel}, map[string]*Buffer{"labels": labels}, e2)
+	if rec.Len() != 3 {
+		t.Fatalf("want 3 enqueue instants before Finish, got %d events", rec.Len())
+	}
+	if err := ctx.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	var instants, spans int
+	var lastEnd obs.Time
+	for _, ev := range rec.Events() {
+		if ev.Type != obs.TypeCommand {
+			t.Fatalf("unexpected event type %v", ev.Type)
+		}
+		switch ev.Kind {
+		case obs.KindInstant:
+			instants++
+		case obs.KindSpan:
+			spans++
+			if ev.TS != lastEnd {
+				t.Errorf("span %q starts at %d, want contiguous from %d", ev.Name, ev.TS, lastEnd)
+			}
+			lastEnd = ev.TS + obs.Time(ev.Dur)
+			if ev.Track == "" || ev.Name == "" {
+				t.Errorf("span missing track/name: %+v", ev)
+			}
+		}
+	}
+	if instants != 3 || spans != 3 {
+		t.Fatalf("want 3 instants + 3 spans, got %d + %d", instants, spans)
+	}
+
+	// The span order is dependency-resolved execution order: FFT kernel,
+	// DRX restructure, SVM kernel.
+	var order []string
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.KindSpan {
+			order = append(order, ev.Track)
+		}
+	}
+	if order[0] != fftQ.Device().Name() || order[1] != drxQ.Device().Name() || order[2] != svmQ.Device().Name() {
+		t.Errorf("execution order %v", order)
+	}
+
+	// The stream renders to a valid Perfetto trace.
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("runtime trace does not validate: %v", err)
+	}
+}
+
+// An untraced context must behave exactly as before: no recorder, no
+// events, identical results.
+func TestNilRecorderIsDefault(t *testing.T) {
+	p := NewPlatform()
+	drxDev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := p.NewContext()
+	if ctx.rec != nil {
+		t.Fatal("fresh context has a recorder")
+	}
+	in := ctx.CreateBuffer("in", tensor.FromBytes([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 8))
+	out := ctx.CreateEmptyBuffer("out", tensor.Uint8, 2, 4)
+	ev := ctx.Queue(drxDev).EnqueueRestructure(restructure.RecordFrame(2, 4),
+		map[string]*Buffer{"plain": in}, map[string]*Buffer{"records": out})
+	if err := ev.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,17 +1,3 @@
-// Package dmxrt implements the OpenCL-style host programming model of
-// Sec. V: a host program creates a context over accelerators and DRXs,
-// allocates buffers, and enqueues kernels and data restructuring on
-// per-device command queues. Commands execute in order within a queue;
-// events express cross-queue dependencies; execution is deferred until a
-// Flush/Finish/Wait, mirroring the non-blocking enqueue semantics the
-// paper describes — so the control plane stays a plain CPU program while
-// the data plane runs on devices.
-//
-// The runtime is *functional*: enqueued kernels execute the real
-// accelerator implementations, and restructuring kernels targeted at a
-// DRX device compile and run on the machine simulator, so a host
-// program's results are actual bytes. (System-level timing lives in
-// internal/dmxsys; this package is the programmability layer.)
 package dmxrt
 
 import (
@@ -20,6 +6,7 @@ import (
 	"dmx/internal/accel"
 	"dmx/internal/drx"
 	"dmx/internal/drxc"
+	"dmx/internal/obs"
 	"dmx/internal/restructure"
 	"dmx/internal/tensor"
 )
@@ -87,13 +74,29 @@ type Buffer struct {
 // Tensor exposes the buffer's current contents.
 func (b *Buffer) Tensor() *tensor.Tensor { return b.t }
 
+// commandTick is the logical-clock increment per executed command. The
+// runtime has no simulated time (timing lives in internal/dmxsys), so
+// its trace advances a logical clock: one microsecond of trace time per
+// command, which renders legibly in Perfetto while making clear the
+// spans order commands rather than measure them.
+const commandTick = obs.Duration(1_000_000) // 1 µs in picoseconds
+
 // Context owns buffers and queues for one application.
 type Context struct {
 	platform *Platform
 	buffers  []*Buffer
 	queues   []*CommandQueue
 	pending  []*Event // global submission order for deterministic execution
+	rec      *obs.Recorder
+	clock    obs.Time
 }
+
+// SetRecorder attaches a structured trace recorder. Every subsequently
+// executed command emits one TypeCommand span on its device's track,
+// stamped on the context's logical clock (see commandTick); enqueues
+// emit TypeCommand instants at the clock's current value. A nil
+// recorder (the default) records nothing and costs one branch.
+func (c *Context) SetRecorder(r *obs.Recorder) { c.rec = r }
 
 // NewContext creates an execution context on the platform.
 func (p *Platform) NewContext() *Context { return &Context{platform: p} }
@@ -121,6 +124,7 @@ func (c *Context) Queue(d *Device) *CommandQueue {
 // command and everything it depends on.
 type Event struct {
 	ctx  *Context
+	dev  *Device
 	desc string
 	deps []*Event
 	run  func() error
@@ -149,9 +153,15 @@ func (e *Event) Wait() error {
 		}
 	}
 	e.done = true
+	begin := e.ctx.clock
 	e.err = e.run()
 	if e.err != nil {
 		e.err = fmt.Errorf("dmxrt: %s: %w", e.desc, e.err)
+	}
+	if e.ctx.rec != nil && e.dev != nil {
+		e.ctx.clock += obs.Time(commandTick)
+		e.ctx.rec.Span(begin, commandTick, obs.TypeCommand, obs.PhaseNone, 0,
+			e.dev.name, "", e.desc, 0)
 	}
 	return e.err
 }
@@ -173,9 +183,10 @@ func (q *CommandQueue) enqueue(desc string, deps []*Event, run func() error) *Ev
 	if q.last != nil {
 		all = append(append([]*Event(nil), deps...), q.last)
 	}
-	ev := &Event{ctx: q.ctx, desc: desc, deps: all, run: run}
+	ev := &Event{ctx: q.ctx, dev: q.dev, desc: desc, deps: all, run: run}
 	q.last = ev
 	q.ctx.pending = append(q.ctx.pending, ev)
+	q.ctx.rec.Instant(q.ctx.clock, obs.TypeCommand, 0, q.dev.name, "", "", desc, 0)
 	return ev
 }
 

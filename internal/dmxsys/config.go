@@ -1,17 +1,3 @@
-// Package dmxsys integrates the DMX system model: it assembles the PCIe
-// topology for each DRX placement, runs chained-accelerator applications
-// through a discrete-event simulation of kernels, data restructuring,
-// drivers, and DMA, and reports the latency/throughput/energy metrics
-// the paper's evaluation section is built from.
-//
-// The five system configurations correspond to the paper's:
-//
-//   - AllCPU: every kernel and every restructuring step on the host
-//     (Fig. 3's All-CPU bar);
-//   - MultiAxl: kernels on accelerators, restructuring on the host CPU
-//     with CPU-mediated DMA (the baseline everywhere);
-//   - Integrated / Standalone / PCIeIntegrated / BumpInTheWire: the four
-//     DRX placements of Sec. III (Fig. 4).
 package dmxsys
 
 import (
@@ -20,6 +6,7 @@ import (
 	"dmx/internal/cpu"
 	"dmx/internal/drx"
 	"dmx/internal/energy"
+	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/sim"
 )
@@ -106,10 +93,21 @@ type Config struct {
 	// stagger avoids the measurement artifact where every app hits every
 	// shared resource at the same instant.
 	StartStagger sim.Duration
-	// Trace, when set, receives one line per simulation event (kernel
+	// Obs, when set, receives the structured event stream: typed Fig. 10
+	// protocol instants, per-device occupancy spans, DMA spans with flow
+	// arrows, per-app phase attribution spans, and link occupancy
+	// counters. Feed the recorded stream to obs.WriteTrace for a
+	// Perfetto-loadable trace or obs.Aggregate for metrics (RunReport
+	// carries the aggregate automatically). Tracing never perturbs
+	// timing: emission only appends, and a nil recorder costs one branch.
+	Obs *obs.Recorder
+	// Trace, when set, receives one line per protocol event (kernel
 	// start/finish, DMA, restructuring, queue operations) with the
-	// virtual timestamp — the Fig. 10 interaction sequence as a log.
-	// Tracing does not perturb timing.
+	// virtual timestamp — the Fig. 10 interaction sequence as a log. It
+	// is a text renderer over the structured stream (obs.RenderText
+	// streamed through the recorder's OnEvent hook); when only Trace is
+	// set, the System creates the recorder internally. Tracing does not
+	// perturb timing.
 	Trace func(at sim.Time, app, event string)
 	// AppsPerStandaloneCard is how many applications share one standalone
 	// DRX PCIe card. Sharing is what makes the standalone placement

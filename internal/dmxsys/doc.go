@@ -1,0 +1,23 @@
+// Package dmxsys integrates the DMX system model: it assembles the PCIe
+// topology for each DRX placement, runs chained-accelerator applications
+// through a discrete-event simulation of kernels, data restructuring,
+// drivers, and DMA, and reports the latency/throughput/energy metrics
+// the paper's evaluation section is built from.
+//
+// The five system configurations correspond to the paper's:
+//
+//   - AllCPU: every kernel and every restructuring step on the host
+//     (Fig. 3's All-CPU bar);
+//   - MultiAxl: kernels on accelerators, restructuring on the host CPU
+//     with CPU-mediated DMA (the baseline everywhere);
+//   - Integrated / Standalone / PCIeIntegrated / BumpInTheWire: the four
+//     DRX placements of Sec. III (Fig. 4).
+//
+// Every run can be observed through internal/obs: set Config.Obs and the
+// flow emits the Fig. 10 protocol sequence as typed instants (with step
+// ids ①–⑪), per-request phase-attribution spans (kernel / restructure /
+// movement, the Fig. 12 components), DMA spans with flow arrows between
+// device tracks, and — via the sim layer — device service spans and link
+// occupancy counters. Config.Trace, the human-readable event log, is a
+// text rendering of the same stream; RunReport.Metrics is its aggregate.
+package dmxsys

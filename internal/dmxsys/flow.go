@@ -3,6 +3,7 @@ package dmxsys
 import (
 	"fmt"
 
+	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/sim"
 )
@@ -12,6 +13,12 @@ import (
 // the event engine: kernel → data motion hop → kernel → ... with each
 // segment's duration attributed to one of the three runtime components
 // the paper's breakdowns use (kernel, restructuring, movement).
+//
+// Every protocol step also emits a structured obs event (see
+// internal/obs): an instant at the moment the old text trace logged a
+// line, a span when an interval closes (DMA legs, per-phase laps), and a
+// flow pair linking the two endpoints of a DMA. The text trace is a
+// rendering of these events, never a separate code path.
 
 // phase tags attribute elapsed time in the app report.
 type phase int
@@ -22,24 +29,57 @@ const (
 	phaseMovement
 )
 
-// trace emits an event to the configured trace hook.
-func (s *System) trace(a *appInstance, format string, args ...any) {
-	if s.cfg.Trace == nil {
-		return
+// obsPhase maps the report phase onto the obs taxonomy.
+func (p phase) obsPhase() obs.Phase {
+	switch p {
+	case phaseKernel:
+		return obs.PhaseKernel
+	case phaseRestructure:
+		return obs.PhaseRestructure
 	}
-	s.cfg.Trace(s.Eng.Now(), a.pipe.Name, fmt.Sprintf(format, args...))
+	return obs.PhaseMovement
 }
 
-// tracker measures contiguous segments of one app's timeline.
+// obsInstant emits one protocol instant (a Fig. 10 moment) for app a.
+func (s *System) obsInstant(a *appInstance, typ obs.Type, step uint8, track, peer, name string, bytes int64) {
+	s.rec.Instant(obs.Time(s.Eng.Now()), typ, step, track, peer, a.pipe.Name, name, bytes)
+}
+
+// obsDMA records a completed DMA leg: a span on the request's trace
+// track plus a flow arrow between the source and destination device
+// tracks. Call it from the transfer's completion callback with the
+// leg's start time.
+func (s *System) obsDMA(tr *tracker, typ obs.Type, step uint8, from, to string, n int64, begin sim.Time) {
+	if s.rec == nil {
+		return
+	}
+	now := s.Eng.Now()
+	s.rec.Span(obs.Time(begin), obs.Duration(now.Sub(begin)), typ, obs.PhaseNone,
+		step, tr.track, tr.a.pipe.Name, "", n)
+	if from != to {
+		s.rec.FlowPair(obs.Time(begin), obs.Time(now), typ, from, to, tr.a.pipe.Name, "", n)
+	}
+}
+
+// tracker measures contiguous segments of one request's timeline.
 type tracker struct {
-	s    *System
-	a    *appInstance
-	mark sim.Time
+	s *System
+	a *appInstance
+	// track is the request's trace timeline (the app track, suffixed
+	// with a request ordinal under streamed execution so concurrent
+	// requests never interleave spans on one track).
+	track string
+	mark  sim.Time
 }
 
 func (t *tracker) lap(p phase) {
 	now := t.s.Eng.Now()
 	d := now.Sub(t.mark)
+	if d > 0 {
+		op := p.obsPhase()
+		t.s.rec.Span(obs.Time(t.mark), obs.Duration(d), obs.TypePhase, op, 0,
+			t.track, t.a.pipe.Name, op.String(), 0)
+	}
 	t.mark = now
 	switch p {
 	case phaseKernel:
@@ -55,7 +95,12 @@ func (t *tracker) lap(p phase) {
 // at completion.
 func (s *System) startApp(a *appInstance, done func()) {
 	a.start = s.Eng.Now()
-	tr := &tracker{s: s, a: a, mark: s.Eng.Now()}
+	track := a.track
+	if a.requests > 0 {
+		track = fmt.Sprintf("%s/r%d", a.track, a.requests)
+	}
+	a.requests++
+	tr := &tracker{s: s, a: a, track: track, mark: s.Eng.Now()}
 	finish := func() {
 		a.rep.Total = s.Eng.Now().Sub(a.start)
 		done()
@@ -69,10 +114,14 @@ func (s *System) startApp(a *appInstance, done func()) {
 	var runStage func(k int)
 	runStage = func(k int) {
 		st := a.pipe.Stages[k]
-		s.trace(a, "kernel %s enqueued on %s", st.Accel.Name, a.accelDev[k])
+		step := uint8(0)
+		if k > 0 {
+			step = obs.StepNextKernel
+		}
+		s.obsInstant(a, obs.TypeKernelEnqueued, step, a.accelDev[k], "", st.Accel.Name, st.InBytes)
 		s.servers[a.accelDev[k]].Submit(st.Accel.Latency(st.InBytes), func() {
 			tr.lap(phaseKernel)
-			s.trace(a, "kernel %s finished; interrupt raised", st.Accel.Name)
+			s.obsInstant(a, obs.TypeKernelDone, obs.StepKernelDone, a.accelDev[k], "", st.Accel.Name, 0)
 			if k == len(a.pipe.Stages)-1 {
 				// Return the final result to the host.
 				s.transferToHost(a, tr, finish)
@@ -81,8 +130,10 @@ func (s *System) startApp(a *appInstance, done func()) {
 			s.runHop(a, tr, k, func() { runStage(k + 1) })
 		})
 	}
-	s.trace(a, "request input DMA host→%s (%d B)", a.accelDev[0], a.pipe.InputBytes)
+	s.obsInstant(a, obs.TypeInputDMA, 0, pcie.Root, a.accelDev[0], "", a.pipe.InputBytes)
+	begin := s.Eng.Now()
 	if err := s.Fabric.Transfer(pcie.Root, a.accelDev[0], a.pipe.InputBytes, func() {
+		s.obsDMA(tr, obs.TypeInputDMA, 0, pcie.Root, a.accelDev[0], a.pipe.InputBytes, begin)
 		tr.lap(phaseMovement)
 		runStage(0)
 	}); err != nil {
@@ -93,7 +144,10 @@ func (s *System) startApp(a *appInstance, done func()) {
 func (s *System) transferToHost(a *appInstance, tr *tracker, done func()) {
 	last := a.accelDev[len(a.accelDev)-1]
 	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+		s.obsInstant(a, obs.TypeOutputDMA, 0, last, pcie.Root, "", a.pipe.OutputBytes)
+		begin := s.Eng.Now()
 		if err := s.Fabric.Transfer(last, pcie.Root, a.pipe.OutputBytes, func() {
+			s.obsDMA(tr, obs.TypeOutputDMA, 0, last, pcie.Root, a.pipe.OutputBytes, begin)
 			tr.lap(phaseMovement)
 			done()
 		}); err != nil {
@@ -115,8 +169,10 @@ func (s *System) runAllCPU(a *appInstance, tr *tracker, done func()) {
 		if work < 1 {
 			work = 1
 		}
+		s.obsInstant(a, obs.TypeKernelEnqueued, 0, pcie.Root, "", st.Accel.Name, st.InBytes)
 		s.cpuJob(work, st.InBytes, func() {
 			tr.lap(phaseKernel)
+			s.obsInstant(a, obs.TypeKernelDone, 0, pcie.Root, "", st.Accel.Name, 0)
 			if k == len(a.pipe.Stages)-1 {
 				a.rep.Total = s.Eng.Now().Sub(a.start)
 				done()
@@ -124,6 +180,7 @@ func (s *System) runAllCPU(a *appInstance, tr *tracker, done func()) {
 			}
 			h := a.pipe.Hops[k]
 			ops, bytes := s.restructureWork(h.Kernel)
+			s.obsInstant(a, obs.TypeHostRestructure, 0, pcie.Root, "", h.Kernel.Name, h.InBytes)
 			s.cpuJob(ops, bytes, func() {
 				tr.lap(phaseRestructure)
 				step(k + 1)
@@ -143,14 +200,20 @@ func (s *System) runHop(a *appInstance, tr *tracker, k int, done func()) {
 	case MultiAxl, Integrated:
 		// (S1) interrupt; DMA accel → host memory.
 		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+			s.obsInstant(a, obs.TypeHostDMA, 0, from, pcie.Root, "", h.InBytes)
+			begin := s.Eng.Now()
 			s.mustTransfer(from, pcie.Root, h.InBytes, func() {
+				s.obsDMA(tr, obs.TypeHostDMA, 0, from, pcie.Root, h.InBytes, begin)
 				tr.lap(phaseMovement)
 				// (S2) restructure on the host (CPU or integrated DRX).
 				s.hostRestructure(a, k, func() {
 					tr.lap(phaseRestructure)
 					// (S3) DMA host → next accelerator; (S4) kernel fires.
 					s.Eng.Schedule(DMASetupLatency, func() {
+						s.obsInstant(a, obs.TypeHostDMA, 0, pcie.Root, to, "", h.OutBytes)
+						begin := s.Eng.Now()
 						s.mustTransfer(pcie.Root, to, h.OutBytes, func() {
+							s.obsDMA(tr, obs.TypeHostDMA, 0, pcie.Root, to, h.OutBytes, begin)
 							tr.lap(phaseMovement)
 							done()
 						})
@@ -161,12 +224,18 @@ func (s *System) runHop(a *appInstance, tr *tracker, k int, done func()) {
 	case Standalone:
 		// P2P DMA accel → the app's DRX card, restructure, P2P to next.
 		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+			s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, a.sdrxDev, "", h.InBytes)
+			begin := s.Eng.Now()
 			s.mustTransfer(from, a.sdrxDev, h.InBytes, func() {
+				s.obsDMA(tr, obs.TypeP2PDMA, obs.StepRXDMA, from, a.sdrxDev, h.InBytes, begin)
 				tr.lap(phaseMovement)
 				s.drxRestructure(a, k, func() {
 					tr.lap(phaseRestructure)
 					s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+						s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, a.sdrxDev, to, "", h.OutBytes)
+						begin := s.Eng.Now()
 						s.mustTransfer(a.sdrxDev, to, h.OutBytes, func() {
+							s.obsDMA(tr, obs.TypeP2PDMA, obs.StepP2PDMA, a.sdrxDev, to, h.OutBytes, begin)
 							tr.lap(phaseMovement)
 							done()
 						})
@@ -177,12 +246,19 @@ func (s *System) runHop(a *appInstance, tr *tracker, k int, done func()) {
 	case PCIeIntegrated:
 		// Up into the switch, restructure at line rate, down to the peer
 		// (saves the DRX round trip; Sec. VII-B).
+		drxTrack := "drx." + a.sw
 		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+			s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
+			begin := s.Eng.Now()
 			s.mustUp(from, h.InBytes, func() {
+				s.obsDMA(tr, obs.TypeP2PDMA, obs.StepRXDMA, from, drxTrack, h.InBytes, begin)
 				tr.lap(phaseMovement)
 				s.drxRestructure(a, k, func() {
 					tr.lap(phaseRestructure)
+					s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, drxTrack, to, "", h.OutBytes)
+					begin := s.Eng.Now()
 					s.mustDown(to, h.OutBytes, func() {
+						s.obsDMA(tr, obs.TypeP2PDMA, obs.StepP2PDMA, drxTrack, to, h.OutBytes, begin)
 						tr.lap(phaseMovement)
 						done()
 					})
@@ -199,14 +275,16 @@ func (s *System) runHop(a *appInstance, tr *tracker, k int, done func()) {
 		if err != nil {
 			panic(fmt.Sprintf("dmxsys: %v", err))
 		}
+		drxTrack := "drx." + from
 		link := pcie.LinkConfig{Gen: s.cfg.Gen, Lanes: s.cfg.AccelLanes}
 		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
 			s.queueAdmit(rx, h.InBytes, func() {
-				s.trace(a, "P2P DMA %s→RX queue of DRX (%d B)", from, h.InBytes)
+				s.obsInstant(a, obs.TypeQueueDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
+				begin := s.Eng.Now()
 				s.localBytes += h.InBytes
 				s.Eng.Schedule(sim.BytesAt(h.InBytes, link.Bandwidth()), func() {
+					s.obsDMA(tr, obs.TypeQueueDMA, obs.StepRXDMA, from, drxTrack, h.InBytes, begin)
 					tr.lap(phaseMovement)
-					s.trace(a, "DRX restructuring %s", h.Kernel.Name)
 					s.drxRestructure(a, k, func() {
 						s.queueAdmit(tx, h.OutBytes, func() {
 							if rx != nil {
@@ -215,15 +293,17 @@ func (s *System) runHop(a *appInstance, tr *tracker, k int, done func()) {
 								}
 							}
 							tr.lap(phaseRestructure)
-							s.trace(a, "restructured into TX queue; interrupt raised")
+							s.obsInstant(a, obs.TypeTXReady, obs.StepTXReady, drxTrack, "", "", h.OutBytes)
 							s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
-								s.trace(a, "P2P DMA %s→%s (%d B)", from, to, h.OutBytes)
+								s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, from, to, "", h.OutBytes)
+								begin := s.Eng.Now()
 								s.mustTransfer(from, to, h.OutBytes, func() {
 									if tx != nil {
 										if err := tx.Dequeue(h.OutBytes); err != nil {
 											panic(fmt.Sprintf("dmxsys: %v", err))
 										}
 									}
+									s.obsDMA(tr, obs.TypeP2PDMA, obs.StepP2PDMA, from, to, h.OutBytes, begin)
 									tr.lap(phaseMovement)
 									done()
 								})
@@ -246,13 +326,18 @@ func (s *System) hostRestructure(a *appInstance, k int, done func()) {
 		s.drxRestructure(a, k, done)
 		return
 	}
-	ops, bytes := s.restructureWork(a.pipe.Hops[k].Kernel)
+	h := a.pipe.Hops[k]
+	s.obsInstant(a, obs.TypeHostRestructure, 0, pcie.Root, "", h.Kernel.Name, h.InBytes)
+	ops, bytes := s.restructureWork(h.Kernel)
 	s.cpuJob(ops, bytes, done)
 }
 
 // drxRestructure queues hop k's kernel on the app's DRX unit.
 func (s *System) drxRestructure(a *appInstance, k int, done func()) {
-	d, err := s.drxServiceTime(a.pipe.Hops[k].Kernel)
+	kern := a.pipe.Hops[k].Kernel
+	s.obsInstant(a, obs.TypeRestructure, obs.StepRestructure,
+		a.drxServer[k].Name(), "", kern.Name, a.pipe.Hops[k].InBytes)
+	d, err := s.drxServiceTime(kern)
 	if err != nil {
 		panic(fmt.Sprintf("dmxsys: %v", err)) // cache warmed in New; unreachable
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dmx/internal/obs"
 	"dmx/internal/sim"
 )
 
@@ -56,6 +57,10 @@ type RunReport struct {
 	EnergyBreakdown map[string]float64
 	Switches        int
 	DRXCount        int
+	// Metrics is the observability aggregate (per-device utilization,
+	// per-stage latency histograms, bytes moved), populated when the run
+	// was traced (Config.Obs or Config.Trace set); nil otherwise.
+	Metrics *obs.Metrics
 }
 
 // MeanTotal reports the arithmetic mean end-to-end latency across apps.
@@ -121,5 +126,8 @@ func (s *System) Run() RunReport {
 		rep.Apps = append(rep.Apps, a.rep)
 	}
 	rep.EnergyJ, rep.EnergyBreakdown = s.energyReport(rep.Makespan)
+	if s.rec != nil {
+		rep.Metrics = obs.Aggregate(s.rec.Events(), obs.Duration(rep.Makespan))
+	}
 	return rep
 }

@@ -7,6 +7,7 @@ import (
 	"dmx/internal/drx"
 	"dmx/internal/drxc"
 	"dmx/internal/energy"
+	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/restructure"
 	"dmx/internal/sim"
@@ -47,6 +48,11 @@ type System struct {
 	// drxTime caches the simulated DRX execution time per restructuring
 	// kernel (timing is data-independent, so one machine run suffices).
 	drxTime map[string]sim.Duration
+
+	// rec is the structured event sink (nil = tracing disabled). It is
+	// cfg.Obs, or an internal recorder when only the text Trace hook is
+	// configured.
+	rec *obs.Recorder
 }
 
 // appInstance is one running application.
@@ -61,6 +67,12 @@ type appInstance struct {
 	sdrxDev string
 	// switch the app's devices live on.
 	sw string
+
+	// track is the app instance's trace timeline name.
+	track string
+	// requests counts startApp calls, giving each streamed request its
+	// own trace track (spans of one track must nest).
+	requests int
 
 	rep   AppReport
 	start sim.Time
@@ -84,6 +96,28 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 		queueSets: make(map[string]*QueueSet),
 		drxTime:   make(map[string]sim.Duration),
 	}
+	// Wire the structured trace sink. A text-only Trace hook gets an
+	// internal recorder; the classic line log is a streamed rendering of
+	// the structured events (obs.RenderText), so both sinks always agree.
+	s.rec = cfg.Obs
+	if s.rec == nil && cfg.Trace != nil {
+		s.rec = obs.New()
+	}
+	if s.rec != nil {
+		if trace := cfg.Trace; trace != nil {
+			prev := s.rec.OnEvent
+			s.rec.OnEvent = func(ev *obs.Event) {
+				if prev != nil {
+					prev(ev)
+				}
+				if line, ok := obs.RenderText(ev); ok {
+					trace(sim.Time(ev.TS), ev.App, line)
+				}
+			}
+		}
+		eng.Obs = s.rec
+	}
+
 	m := cfg.CPU
 	opsPerSec := float64(m.Cores) * m.FreqHz * float64(m.SIMDLanes) * m.IssueEff
 	s.cpuCompute = sim.NewChannel(eng, "cpu.compute", opsPerSec)
@@ -113,6 +147,7 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 		}
 		a := &appInstance{id: i, pipe: p}
 		a.rep.App = p.Name
+		a.track = fmt.Sprintf("%s#%d", p.Name, i)
 		// Slot accounting covers accelerator ports; standalone DRX cards
 		// ride dedicated card slots on the same switch so every placement
 		// packs applications identically (the comparison isolates data

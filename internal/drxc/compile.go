@@ -1,13 +1,3 @@
-// Package drxc compiles restructuring kernels (internal/restructure) to
-// DRX programs (internal/isa).
-//
-// The compiler mirrors the paper's description (Sec. IV-B): it maps the
-// high-level kernel to an intermediate form, picks tile sizes against the
-// scratchpad capacity and lane count from the hardware configuration,
-// partitions multidimensional arrays across the REs (so no pack/unpack
-// instructions are needed), and emits hardware-loop nests whose stream
-// configurations drive the Strided Scratchpad Address Calculator and the
-// Off-chip Data Access Engine.
 package drxc
 
 import (

@@ -1,0 +1,9 @@
+// Package energy accounts system-wide energy for the placement study.
+//
+// The paper measures CPU energy with RAPL, accelerator energy as
+// post-synthesis power × runtime, and adds PCIe switch power and
+// per-byte transfer energy (Sec. VI, "Energy evaluation"). This package
+// reproduces that accounting analytically: a Meter accumulates component
+// energies from busy/idle times and fabric traffic, and reports the
+// breakdown Fig. 15 compares across placements.
+package energy

@@ -1,14 +1,3 @@
-// Package isa defines the DRX instruction set architecture.
-//
-// The ISA follows the paper's Fig. 7 taxonomy: loop instructions that
-// drive the hardware Instruction Repeater, compute instructions over the
-// vector Restructuring Engines (REs), off-chip memory access instructions
-// for the Off-chip Data Access Engine, synchronization instructions, and
-// a small scalar subset for serial tasks. It departs from classic SIMD in
-// exactly the ways Sec. IV-B describes: operands are software-managed
-// scratchpad streams instead of vector registers, loops are hardware
-// loops instead of branches, and data packing is implicit in the stream
-// configuration rather than explicit pack/unpack instructions.
 package isa
 
 import "fmt"

@@ -1,0 +1,39 @@
+// Package obs is the structured tracing and metrics layer of the DMX
+// simulator — typed events instead of printf, with two sinks.
+//
+// The paper's argument is a breakdown: where chained-accelerator time
+// goes between kernels, restructuring, and movement (Fig. 10–12). obs
+// makes that breakdown observable on real runs. Producers across the
+// stack emit typed Events into a Recorder:
+//
+//   - internal/sim: Server occupancy spans (TypeService) and Channel
+//     in-flight counters (TypeOccupancy) — the resource view;
+//   - internal/dmxsys: the Fig. 10 protocol instants (kernel enqueue /
+//     done, RX-queue DMA, restructuring, TX-ready, P2P DMA), DMA spans
+//     with flow arrows between device tracks, and per-application phase
+//     spans (TypePhase) attributing every interval to kernel,
+//     restructure, or movement;
+//   - internal/dmxrt: command-queue execution on a logical clock.
+//
+// Two sinks consume the stream. WriteTrace renders Chrome trace-event
+// JSON loadable in Perfetto (one track per device/link/app, DMA hops as
+// flow arrows); Aggregate folds the same events into per-device
+// utilization, per-stage latency histograms, and bytes moved. RenderText
+// reproduces the classic one-line `dmxsim -trace` log, so the legacy
+// text trace is just a third renderer over the same events.
+//
+// Two invariants govern the design:
+//
+//   - Zero overhead when disabled: a nil *Recorder is the off switch;
+//     every emit method no-ops after a nil check, callers build Event
+//     values on the stack, and the discrete-event hot loops stay
+//     allocation-free (pinned by AllocsPerRun tests in internal/sim).
+//   - No timing perturbation, ever: emission only appends to a slice —
+//     it never schedules, blocks, or reads the clock destructively —
+//     so traced and untraced runs produce identical reports, and traces
+//     are byte-identical at any sweep worker count.
+//
+// obs imports only the standard library and sits below internal/sim in
+// the import graph (Time/Duration mirror sim's picosecond units), which
+// is what lets the simulation kernel itself emit events.
+package obs

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// The in-memory metrics sink: Aggregate folds an event stream into
+// per-device utilization, per-stage latency histograms, and bytes moved
+// — the numbers `dmxsim -stats` prints and RunReport carries. It reads
+// the same events the Perfetto writer renders, so the two sinks can
+// never disagree.
+
+// HistBuckets is the number of power-of-two latency buckets: bucket i
+// holds durations in [2^(i-1), 2^i) microseconds (bucket 0 is < 1 µs).
+const HistBuckets = 24
+
+// Histogram is a fixed log2-bucketed latency distribution.
+type Histogram struct {
+	Count    int64
+	Sum      Duration
+	Min, Max Duration
+	Buckets  [HistBuckets]int64
+}
+
+// Add records one duration.
+func (h *Histogram) Add(d Duration) {
+	if h.Count == 0 || d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Count++
+	h.Sum += d
+	us := uint64(d) / 1e6
+	i := bits.Len64(us)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Buckets[i]++
+}
+
+// Mean reports the arithmetic mean duration.
+func (h *Histogram) Mean() Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / Duration(h.Count)
+}
+
+// Quantile reports the upper bound of the bucket holding the q-quantile
+// (0 < q ≤ 1) — a deterministic, bucket-resolution estimate.
+func (h *Histogram) Quantile(q float64) Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= rank {
+			if i == 0 {
+				return Duration(1e6) // < 1 µs
+			}
+			return Duration(uint64(1)<<uint(i)) * 1e6
+		}
+	}
+	return h.Max
+}
+
+// DeviceMetric is one track's occupancy summary.
+type DeviceMetric struct {
+	Name string
+	// Busy integrates TypeService span time; Utilization divides it by
+	// the makespan.
+	Busy        Duration
+	Utilization float64
+	Jobs        int64
+	// BytesOut sums DMA payloads whose source track is this device.
+	BytesOut int64
+}
+
+// PhaseMetric is the latency distribution of one runtime component's
+// contiguous segments across all applications.
+type PhaseMetric struct {
+	Phase Phase
+	Hist  Histogram
+}
+
+// Metrics is the aggregated view of one run's event stream.
+type Metrics struct {
+	Makespan Duration
+	// Devices is sorted by name.
+	Devices []DeviceMetric
+	// Phases holds kernel, restructure, movement — in that order.
+	Phases []PhaseMetric
+	// BytesMoved sums every DMA span payload (fabric and local hops).
+	BytesMoved int64
+}
+
+// isDMA reports whether the type moves bytes between tracks.
+func isDMA(t Type) bool {
+	switch t {
+	case TypeInputDMA, TypeQueueDMA, TypeP2PDMA, TypeHostDMA, TypeOutputDMA:
+		return true
+	}
+	return false
+}
+
+// Aggregate folds an event stream into Metrics. makespan scales
+// utilization; pass the run's end time.
+func Aggregate(events []Event, makespan Duration) *Metrics {
+	m := &Metrics{Makespan: makespan}
+	devs := make(map[string]*DeviceMetric)
+	dev := func(name string) *DeviceMetric {
+		d, ok := devs[name]
+		if !ok {
+			d = &DeviceMetric{Name: name}
+			devs[name] = d
+		}
+		return d
+	}
+	m.Phases = []PhaseMetric{{Phase: PhaseKernel}, {Phase: PhaseRestructure}, {Phase: PhaseMovement}}
+	for i := range events {
+		ev := &events[i]
+		switch {
+		case ev.Kind == KindSpan && ev.Type == TypeService:
+			d := dev(ev.Track)
+			d.Busy += ev.Dur
+			d.Jobs++
+		case ev.Kind == KindSpan && ev.Type == TypePhase:
+			for j := range m.Phases {
+				if m.Phases[j].Phase == ev.Phase {
+					m.Phases[j].Hist.Add(ev.Dur)
+				}
+			}
+		case ev.Kind == KindSpan && isDMA(ev.Type):
+			m.BytesMoved += ev.Bytes
+			dev(ev.Track).BytesOut += ev.Bytes
+		}
+	}
+	for _, d := range devs {
+		if makespan > 0 {
+			d.Utilization = float64(d.Busy) / float64(makespan)
+		}
+		m.Devices = append(m.Devices, *d)
+	}
+	sort.Slice(m.Devices, func(i, j int) bool { return m.Devices[i].Name < m.Devices[j].Name })
+	return m
+}
+
+// String renders the utilization table and per-stage histograms.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "observability: makespan %s, %d devices, %s moved\n",
+		fmtDur(m.Makespan), len(m.Devices), fmtBytes(m.BytesMoved))
+	b.WriteString("device utilization:\n")
+	for _, d := range m.Devices {
+		fmt.Fprintf(&b, "  %-28s busy %-10s util %5.1f%%  jobs %-4d out %s\n",
+			d.Name, fmtDur(d.Busy), 100*d.Utilization, d.Jobs, fmtBytes(d.BytesOut))
+	}
+	b.WriteString("stage latency (contiguous app segments):\n")
+	for _, p := range m.Phases {
+		h := p.Hist
+		if h.Count == 0 {
+			fmt.Fprintf(&b, "  %-12s n=0\n", p.Phase)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-12s n=%-4d min %-10s mean %-10s p50 ≤%-10s p99 ≤%-10s max %s\n",
+			p.Phase, h.Count, fmtDur(h.Min), fmtDur(h.Mean()),
+			fmtDur(h.Quantile(0.50)), fmtDur(h.Quantile(0.99)), fmtDur(h.Max))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// fmtDur renders a picosecond duration with an adaptive unit.
+func fmtDur(d Duration) string {
+	ps := float64(d)
+	switch {
+	case d >= 1e12:
+		return fmt.Sprintf("%.3gs", ps/1e12)
+	case d >= 1e9:
+		return fmt.Sprintf("%.4gms", ps/1e9)
+	case d >= 1e6:
+		return fmt.Sprintf("%.4gµs", ps/1e6)
+	case d >= 1e3:
+		return fmt.Sprintf("%.4gns", ps/1e3)
+	}
+	return fmt.Sprintf("%dps", int64(d))
+}
+
+// fmtBytes renders a byte count with an adaptive binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

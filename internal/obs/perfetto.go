@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// This file renders an event stream as Chrome trace-event JSON — the
+// format Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+// One process ("dmx") holds one thread per track, so every device, DRX
+// unit, link, and application instance becomes its own timeline row;
+// KindSpan events become complete ("X") slices, DMA FlowPairs become
+// flow arrows ("s"/"f") between device tracks, and KindCounter events
+// become counter series.
+//
+// The writer is deliberately hand-rendered rather than encoding/json
+// over maps: field order, float formatting, and track numbering are all
+// fixed functions of the event stream, so a trace's bytes are identical
+// across runs, platforms, and sweep worker counts — the determinism
+// tests compare whole files.
+
+// perfettoPID is the single synthetic process all tracks live under.
+const perfettoPID = 1
+
+// WriteTrace renders events as Chrome trace-event JSON. Track ids are
+// assigned in first-appearance order of Event.Track; events are ordered
+// by (timestamp, emission sequence).
+func WriteTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+
+	// Assign tids in first-appearance order; remember it for sort_index
+	// metadata so Perfetto shows tracks in creation order.
+	tid := make(map[string]int)
+	var tracks []string
+	for i := range events {
+		for _, t := range []string{events[i].Track, events[i].Peer} {
+			if t == "" {
+				continue
+			}
+			if _, ok := tid[t]; !ok {
+				tid[t] = len(tracks) + 1
+				tracks = append(tracks, t)
+			}
+		}
+	}
+
+	ordered := make([]*Event, len(events))
+	for i := range events {
+		ordered[i] = &events[i]
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].TS != ordered[j].TS {
+			return ordered[i].TS < ordered[j].TS
+		}
+		return ordered[i].Seq < ordered[j].Seq
+	})
+
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"dmx\"}}", perfettoPID)
+	for _, t := range tracks {
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":%s}}",
+			perfettoPID, tid[t], jstr(t))
+		fmt.Fprintf(bw, ",\n{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"sort_index\":%d}}",
+			perfettoPID, tid[t], tid[t])
+	}
+	for _, ev := range ordered {
+		if ev.Track == "" {
+			continue
+		}
+		switch ev.Kind {
+		case KindSpan:
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{%s}}",
+				jstr(spanName(ev)), jstr(ev.Type.String()), usec(int64(ev.TS)), usec(int64(ev.Dur)),
+				perfettoPID, tid[ev.Track], argsJSON(ev))
+		case KindInstant:
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"cat\":%s,\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{%s}}",
+				jstr(spanName(ev)), jstr(ev.Type.String()), usec(int64(ev.TS)),
+				perfettoPID, tid[ev.Track], argsJSON(ev))
+		case KindFlowBegin:
+			// A zero-duration anchor slice gives the flow origin a slice to
+			// bind to on the source track.
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"cat\":\"send\",\"ph\":\"X\",\"ts\":%s,\"dur\":0,\"pid\":%d,\"tid\":%d,\"args\":{%s}}",
+				jstr("send "+flowName(ev)), usec(int64(ev.TS)), perfettoPID, tid[ev.Track], argsJSON(ev))
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"cat\":\"dma\",\"ph\":\"s\",\"id\":%d,\"ts\":%s,\"pid\":%d,\"tid\":%d}",
+				jstr(flowName(ev)), ev.Flow, usec(int64(ev.TS)), perfettoPID, tid[ev.Track])
+		case KindFlowEnd:
+			// A zero-duration anchor slice gives the flow terminus a slice
+			// to bind to on the destination track.
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"cat\":\"recv\",\"ph\":\"X\",\"ts\":%s,\"dur\":0,\"pid\":%d,\"tid\":%d,\"args\":{%s}}",
+				jstr("recv "+flowName(ev)), usec(int64(ev.TS)), perfettoPID, tid[ev.Track], argsJSON(ev))
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"cat\":\"dma\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%s,\"pid\":%d,\"tid\":%d}",
+				jstr(flowName(ev)), ev.Flow, usec(int64(ev.TS)), perfettoPID, tid[ev.Track])
+		case KindCounter:
+			fmt.Fprintf(bw, ",\n{\"name\":%s,\"ph\":\"C\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{%s:%s}}",
+				jstr(ev.Track+":"+ev.Name), usec(int64(ev.TS)), perfettoPID, tid[ev.Track],
+				jstr(ev.Name), strconv.FormatFloat(ev.Value, 'g', -1, 64))
+		}
+	}
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+// spanName labels a slice: the event's Name when set, its type otherwise.
+func spanName(ev *Event) string {
+	if ev.Name != "" {
+		return ev.Name
+	}
+	return ev.Type.String()
+}
+
+// flowName labels a DMA arrow by its endpoints.
+func flowName(ev *Event) string {
+	if ev.Kind == KindFlowEnd {
+		return ev.Peer + "→" + ev.Track
+	}
+	return ev.Track + "→" + ev.Peer
+}
+
+// argsJSON renders the metadata args of one event with fixed key order.
+func argsJSON(ev *Event) string {
+	s := "\"app\":" + jstr(ev.App)
+	if ev.Phase != PhaseNone {
+		s += ",\"phase\":" + jstr(ev.Phase.String())
+	}
+	if ev.Step != 0 {
+		s += ",\"fig10_step\":" + strconv.Itoa(int(ev.Step))
+	}
+	if ev.Bytes != 0 {
+		s += ",\"bytes\":" + strconv.FormatInt(ev.Bytes, 10)
+	}
+	if ev.Peer != "" && (ev.Kind == KindSpan || ev.Kind == KindInstant) {
+		s += ",\"peer\":" + jstr(ev.Peer)
+	}
+	return s
+}
+
+// usec renders a picosecond count as a microsecond decimal with fixed
+// six-digit fraction, via integer math (no float rounding).
+func usec(ps int64) string {
+	neg := ""
+	if ps < 0 {
+		neg, ps = "-", -ps
+	}
+	return fmt.Sprintf("%s%d.%06d", neg, ps/1e6, ps%1e6)
+}
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // a string never fails to marshal
+		panic(err)
+	}
+	return string(b)
+}

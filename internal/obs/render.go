@@ -1,0 +1,38 @@
+package obs
+
+import "fmt"
+
+// RenderText renders one event as the classic one-line Fig. 10 trace —
+// the format the pre-structured `Config.Trace` hook printed. It is the
+// single text renderer over the event stream: only protocol instants
+// produce lines (spans, flows, and counters are for the Perfetto sink
+// and the metrics aggregator), so a streamed rendering reproduces the
+// historical line sequence exactly.
+func RenderText(ev *Event) (string, bool) {
+	if ev.Kind != KindInstant {
+		return "", false
+	}
+	switch ev.Type {
+	case TypeInputDMA:
+		return fmt.Sprintf("request input DMA host→%s (%d B)", ev.Peer, ev.Bytes), true
+	case TypeKernelEnqueued:
+		return fmt.Sprintf("kernel %s enqueued on %s", ev.Name, ev.Track), true
+	case TypeKernelDone:
+		return fmt.Sprintf("kernel %s finished; interrupt raised", ev.Name), true
+	case TypeQueueDMA:
+		return fmt.Sprintf("P2P DMA %s→RX queue of DRX (%d B)", ev.Track, ev.Bytes), true
+	case TypeRestructure:
+		return fmt.Sprintf("DRX restructuring %s", ev.Name), true
+	case TypeHostRestructure:
+		return fmt.Sprintf("host restructuring %s", ev.Name), true
+	case TypeTXReady:
+		return "restructured into TX queue; interrupt raised", true
+	case TypeP2PDMA:
+		return fmt.Sprintf("P2P DMA %s→%s (%d B)", ev.Track, ev.Peer, ev.Bytes), true
+	case TypeHostDMA:
+		return fmt.Sprintf("CPU-mediated DMA %s→%s (%d B)", ev.Track, ev.Peer, ev.Bytes), true
+	case TypeOutputDMA:
+		return fmt.Sprintf("result output DMA %s→host (%d B)", ev.Track, ev.Bytes), true
+	}
+	return "", false
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ValidateTrace checks an exported Chrome trace-event JSON document: it
+// must parse, every event must carry the required fields, complete
+// slices must nest properly within each track (no partial overlap —
+// a span that straddles another's boundary means begin/end bookkeeping
+// broke), and every flow arrow must have matching begin/end with
+// non-negative duration. CI runs this over a freshly captured trace.
+
+// TraceSummary reports what a validated trace contains.
+type TraceSummary struct {
+	Tracks   int
+	Slices   int
+	Instants int
+	Flows    int
+	Counters int
+}
+
+func (s *TraceSummary) String() string {
+	return fmt.Sprintf("%d tracks, %d slices, %d instants, %d flow arrows, %d counter samples",
+		s.Tracks, s.Slices, s.Instants, s.Flows, s.Counters)
+}
+
+type rawEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	Ts   *float64 `json:"ts"`
+	Dur  float64  `json:"dur"`
+	Pid  *int     `json:"pid"`
+	Tid  int      `json:"tid"`
+	ID   uint64   `json:"id"`
+}
+
+type rawTrace struct {
+	TraceEvents []rawEvent `json:"traceEvents"`
+}
+
+type slice struct{ ts, end float64 }
+
+// ValidateTrace parses and checks the trace, returning a content summary.
+func ValidateTrace(data []byte) (*TraceSummary, error) {
+	var tr rawTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("trace does not parse: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return nil, fmt.Errorf("trace has no events")
+	}
+	sum := &TraceSummary{}
+	byTrack := make(map[[2]int][]slice)
+	flowBegin := make(map[uint64]float64)
+	flowEnd := make(map[uint64]float64)
+	tracks := make(map[[2]int]bool)
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph == "" {
+			return nil, fmt.Errorf("event %d (%q) has no phase", i, ev.Name)
+		}
+		if ev.Pid == nil {
+			return nil, fmt.Errorf("event %d (%q) has no pid", i, ev.Name)
+		}
+		if ev.Ph != "M" && ev.Ts == nil {
+			return nil, fmt.Errorf("event %d (%q) has no timestamp", i, ev.Name)
+		}
+		key := [2]int{*ev.Pid, ev.Tid}
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				return nil, fmt.Errorf("slice %q has negative duration %g", ev.Name, ev.Dur)
+			}
+			byTrack[key] = append(byTrack[key], slice{ts: *ev.Ts, end: *ev.Ts + ev.Dur})
+			tracks[key] = true
+			sum.Slices++
+		case "i", "I":
+			tracks[key] = true
+			sum.Instants++
+		case "s":
+			flowBegin[ev.ID] = *ev.Ts
+			sum.Flows++
+		case "f":
+			flowEnd[ev.ID] = *ev.Ts
+		case "C":
+			tracks[key] = true
+			sum.Counters++
+		case "M":
+			// metadata carries no timeline content
+		default:
+			return nil, fmt.Errorf("event %d (%q) has unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	sum.Tracks = len(tracks)
+
+	// Slices on one track must nest: sorted by (start asc, longest
+	// first), every slice must lie entirely inside or entirely outside
+	// every enclosing slice still open on the stack.
+	const eps = 1e-6 // µs; below the ps resolution of the writer
+	for key, ss := range byTrack {
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].ts != ss[j].ts {
+				return ss[i].ts < ss[j].ts
+			}
+			return ss[i].end > ss[j].end
+		})
+		var stack []slice
+		for _, s := range ss {
+			for len(stack) > 0 && stack[len(stack)-1].end <= s.ts+eps {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && s.end > stack[len(stack)-1].end+eps {
+				return nil, fmt.Errorf("track %v: slice [%g,%g] partially overlaps enclosing slice ending at %g",
+					key, s.ts, s.end, stack[len(stack)-1].end)
+			}
+			stack = append(stack, s)
+		}
+	}
+
+	for id, ts := range flowBegin {
+		end, ok := flowEnd[id]
+		if !ok {
+			return nil, fmt.Errorf("flow %d has no end event", id)
+		}
+		if end < ts-eps {
+			return nil, fmt.Errorf("flow %d ends (%g) before it begins (%g)", id, end, ts)
+		}
+	}
+	for id := range flowEnd {
+		if _, ok := flowBegin[id]; !ok {
+			return nil, fmt.Errorf("flow %d has no begin event", id)
+		}
+	}
+	return sum, nil
+}

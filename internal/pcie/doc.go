@@ -1,0 +1,10 @@
+// Package pcie simulates the PCIe fabric of the multi-accelerator server.
+//
+// The fabric is where the paper's DRX-placement study happens: the four
+// placements differ only in which links a chained transfer must cross and
+// who contends for them. The model captures what matters for that study —
+// per-generation per-lane bandwidth, full-duplex links, fair-share
+// contention on shared upstream ports, and the ~110 ns port-to-port
+// latency tax of every switch hop (Sec. VII-B cites [123]) — and nothing
+// below the transaction layer.
+package pcie

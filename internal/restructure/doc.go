@@ -1,0 +1,12 @@
+// Package restructure defines the data restructuring kernel IR.
+//
+// A restructuring kernel describes how the output tensors of one
+// accelerator become the input tensors of the next: layout permutations,
+// dtype conversions, spectrogram/mel transforms, record framing, column
+// packing, and the other "data motion" computations the paper identifies
+// (Sec. IV). The IR is an affine loop-nest language: every stage iterates
+// a rectangular index space and reads its inputs through affine access
+// maps. That restriction is what makes the kernels compilable to the DRX
+// ISA (internal/drxc), costable on the CPU model (internal/cpu), and
+// executable by the reference interpreter in this package.
+package restructure

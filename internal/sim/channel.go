@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"dmx/internal/obs"
+)
 
 // Channel models a bandwidth-shared transport (a PCIe link direction, a
 // DRAM channel, a memory bus). Concurrent transfers receive an equal
@@ -112,8 +116,16 @@ func (c *Channel) Start(n int64, done func()) TransferRef {
 	c.seq++
 	c.active = append(c.active, t)
 	c.TotalBytes += n
+	c.occupancy()
 	c.reschedule()
 	return TransferRef{t: t, gen: t.gen}
+}
+
+// occupancy samples the in-flight transfer count on every membership
+// change. With a nil recorder this is one branch — the channel hot loop
+// stays allocation-free (pinned by TestChannelSteadyStateDoesNotAllocate).
+func (c *Channel) occupancy() {
+	c.eng.Obs.Counter(obs.Time(c.eng.Now()), c.name, "inflight", float64(len(c.active)))
 }
 
 // recycle retires a transfer to the free list, invalidating outstanding
@@ -141,6 +153,7 @@ func (c *Channel) abort(t *Transfer) {
 	c.advance()
 	c.remove(t)
 	c.recycle(t)
+	c.occupancy()
 	c.reschedule()
 }
 
@@ -205,6 +218,9 @@ func (c *Channel) complete() {
 		c.active[i] = nil
 	}
 	c.active = kept
+	if len(finished) > 0 {
+		c.occupancy()
+	}
 	c.reschedule()
 	// Callbacks run after bookkeeping so they may start new transfers on
 	// this same channel re-entrantly.

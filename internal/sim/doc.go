@@ -1,0 +1,17 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate for every timing model in this repository:
+// PCIe links, DRX execution, CPU restructuring, accelerator kernels, and
+// driver latencies all advance a single virtual clock owned by an Engine.
+// Determinism is a hard requirement (experiments must reproduce
+// bit-for-bit), so the kernel is callback-based — no goroutines, no
+// wall-clock reads — and ties are broken by schedule order.
+//
+// The kernel is also the lowest-level producer of the observability
+// stream (internal/obs): Engine carries an optional *obs.Recorder;
+// Server emits a service span per completed job (per-slot sub-tracks
+// keep multi-slot stations nest-safe) and Channel emits in-flight
+// occupancy counters. With the recorder nil — the default — every
+// emission path is a single branch, and the steady-state schedule/fire
+// loop stays allocation-free (pinned by AllocsPerRun tests).
+package sim

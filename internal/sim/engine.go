@@ -3,6 +3,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"dmx/internal/obs"
 )
 
 // event is one scheduled callback. The engine owns every event: fired
@@ -53,6 +55,14 @@ type Engine struct {
 	seq    uint64
 	nfired uint64
 	free   []*event // recycled events, reused by At
+
+	// Obs, when non-nil, receives structured occupancy events from every
+	// Server and Channel bound to this engine (the engine itself emits
+	// nothing — it only carries the recorder so model components share
+	// one sink). A nil recorder is the zero-overhead disabled state: the
+	// emit paths are a nil check, and the scheduling hot loop stays
+	// allocation-free (pinned by TestEngineSteadyStateDoesNotAllocate).
+	Obs *obs.Recorder
 }
 
 // NewEngine returns an engine with the clock at zero.

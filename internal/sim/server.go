@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"dmx/internal/obs"
+)
 
 // Server models a FIFO service station with a fixed number of identical
 // slots: a pool of CPU cores executing restructuring jobs, a DRX
@@ -19,6 +23,13 @@ type Server struct {
 	Jobs     int64
 	BusyTime Duration
 	WaitTime Duration
+
+	// tracks holds one trace-track name per slot so that concurrent jobs
+	// on a multi-slot server never overlap on a single track; free is a
+	// preallocated stack of idle slot indices (lowest on top), so slot
+	// assignment is deterministic and allocation-free.
+	tracks []string
+	free   []int
 }
 
 type serverJob struct {
@@ -32,7 +43,18 @@ func NewServer(eng *Engine, name string, slots int) *Server {
 	if slots <= 0 {
 		panic(fmt.Sprintf("sim: server %q needs at least one slot", name))
 	}
-	return &Server{eng: eng, name: name, slots: slots}
+	s := &Server{eng: eng, name: name, slots: slots}
+	s.tracks = make([]string, slots)
+	s.free = make([]int, slots)
+	for i := 0; i < slots; i++ {
+		if slots == 1 {
+			s.tracks[i] = name
+		} else {
+			s.tracks[i] = fmt.Sprintf("%s/%d", name, i)
+		}
+		s.free[i] = slots - 1 - i
+	}
+	return s
 }
 
 // Name reports the server's diagnostic name.
@@ -64,10 +86,18 @@ func (s *Server) Submit(service Duration, done func()) {
 func (s *Server) start(j serverJob) {
 	s.busy++
 	s.WaitTime += s.eng.Now().Sub(j.enqueued)
+	slot := s.free[len(s.free)-1]
+	s.free = s.free[:len(s.free)-1]
+	begin := s.eng.Now()
 	s.eng.Schedule(j.service, func() {
 		s.busy--
 		s.Jobs++
 		s.BusyTime += j.service
+		s.free = append(s.free, slot)
+		// Occupancy span: one job in service on this slot's track.
+		// The nil-recorder path is a single branch (no allocation).
+		s.eng.Obs.Span(obs.Time(begin), obs.Duration(j.service),
+			obs.TypeService, obs.PhaseNone, 0, s.tracks[slot], "", s.name, 0)
 		// Release the slot before the callback so that work triggered by
 		// the completion can enter service at the same instant.
 		if len(s.queue) > 0 {

@@ -1,11 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// The kernel is the substrate for every timing model in this repository:
-// PCIe links, DRX execution, CPU restructuring, accelerator kernels, and
-// driver latencies all advance a single virtual clock owned by an Engine.
-// Determinism is a hard requirement (experiments must reproduce
-// bit-for-bit), so the kernel is callback-based — no goroutines, no
-// wall-clock reads — and ties are broken by schedule order.
 package sim
 
 import (

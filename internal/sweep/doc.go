@@ -1,0 +1,11 @@
+// Package sweep is the parallel job layer of the evaluation harness.
+//
+// The paper's evaluation is a large configuration sweep: every figure is
+// (application × concurrency × placement × hardware knob), and each cell
+// is an isolated, deterministic dmxsys simulation with its own event
+// engine. sweep exploits exactly that shape — jobs are enumerated up
+// front, executed by a worker pool sized to GOMAXPROCS, and results are
+// slotted by job index, so the folded (and rendered) output of a
+// parallel run is bit-for-bit identical to a sequential one.
+// Parallelism exists only *across* simulations, never inside one engine.
+package sweep

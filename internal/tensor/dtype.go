@@ -1,13 +1,3 @@
-// Package tensor implements dense N-dimensional arrays with explicit
-// dtypes, strides, and zero-copy views.
-//
-// Tensors are the currency of data restructuring in DMX: every
-// accelerator in a chain produces and consumes tensors in its own layout
-// and dtype, and the restructuring kernels that DRX executes are
-// transformations between such tensors. The package deliberately mirrors
-// the small feature set those kernels need — strided views, reshape,
-// transpose, typecast, gather — rather than a general array-programming
-// library.
 package tensor
 
 import "fmt"

@@ -1,13 +1,3 @@
-// Package workload defines the five end-to-end benchmark applications of
-// Table I plus the Fig. 16 three-kernel extension.
-//
-// Each benchmark couples two things: a dmxsys.Pipeline (the performance
-// description the system simulator runs — accelerators, restructuring
-// kernels, and wire byte counts) and a functional path (deterministic
-// input generation plus an Exec that chains the real accelerator
-// implementations through the reference restructuring interpreter), so
-// that the same object both regenerates the paper's numbers and proves
-// the chained computation is actually correct.
 package workload
 
 import (
