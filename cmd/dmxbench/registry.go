@@ -42,5 +42,8 @@ func registry() []experiment {
 		{"fig19", "PCIe generation sensitivity", func() (renderer, error) {
 			return experiments.Fig19()
 		}},
+		{"load", "serving: latency vs offered load with saturation check", func() (renderer, error) {
+			return experiments.Load()
+		}},
 	}
 }

@@ -8,10 +8,18 @@
 //	dmxsim -app all -apps 15 -placement multiaxl -gen 4
 //	dmxsim -app database-hash-join -placement bump -lanes 64 -v
 //	dmxsim -app sound-detection -trace-out trace.json -stats
+//	dmxsim -app sound-detection -apps 4 -arrival poisson -rate 2000 -requests 64 -seed 7
 //
 // -trace-out writes the structured trace as Chrome trace-event JSON;
 // open it at ui.perfetto.dev. -stats prints per-device utilization and
 // per-stage latency histograms aggregated from the same event stream.
+//
+// -arrival switches to load-generation mode: each application receives
+// -requests requests under the chosen arrival process (closed-loop
+// burst, open-loop fixed rate, or seeded Poisson at -rate req/s), and
+// the report shows per-app offered vs achieved throughput and latency
+// quantiles. -discipline selects how contended stations order waiting
+// jobs (fifo, priority, wfq).
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/sim"
+	"dmx/internal/traffic"
 	"dmx/internal/workload"
 )
 
@@ -51,6 +60,13 @@ type options struct {
 	trace     bool
 	stats     bool
 	traceOut  string
+
+	// Load-generation mode (empty arrival = classic one-shot run).
+	arrival    string
+	rate       float64
+	requests   int
+	seed       uint64
+	discipline string
 }
 
 func main() {
@@ -64,6 +80,11 @@ func main() {
 	flag.BoolVar(&o.trace, "trace", false, "print the Fig. 10 event trace")
 	flag.BoolVar(&o.stats, "stats", false, "print device utilization and per-stage latency histograms")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Perfetto-loadable trace (Chrome trace-event JSON) to this file")
+	flag.StringVar(&o.arrival, "arrival", "", "load-generation arrival process: closed | open | poisson (empty = one request per app)")
+	flag.Float64Var(&o.rate, "rate", 1000, "offered request rate per app in req/s (open and poisson arrivals)")
+	flag.IntVar(&o.requests, "requests", 16, "requests per app in load-generation mode")
+	flag.Uint64Var(&o.seed, "seed", 1, "PRNG seed for poisson arrivals")
+	flag.StringVar(&o.discipline, "discipline", "fifo", "service discipline at contended stations: fifo | priority | wfq")
 	flag.Parse()
 
 	// One buffered writer carries everything — the event trace, the
@@ -97,6 +118,13 @@ func run(o options, out io.Writer) error {
 		return fmt.Errorf("unsupported PCIe generation %d", o.gen)
 	}
 	cfg.DRX = cfg.DRX.WithLanes(o.lanes)
+	if o.discipline != "" {
+		sched, err := dmxsys.ParseSched(o.discipline)
+		if err != nil {
+			return err
+		}
+		cfg.Sched = sched
+	}
 	if o.trace {
 		cfg.Trace = func(at sim.Time, app, event string) {
 			fmt.Fprintf(out, "  [%12v] %-24s %s\n", at, app, event)
@@ -116,13 +144,26 @@ func run(o options, out io.Writer) error {
 			pipes = append(pipes, b.Pipeline)
 		}
 	}
+	if cfg.Sched == dmxsys.SchedPriority {
+		// Default priority order: app index (earlier instances first).
+		cfg.AppPriority = make([]int, len(pipes))
+		for i := range cfg.AppPriority {
+			cfg.AppPriority[i] = i
+		}
+	}
 	fmt.Fprintf(out, "simulating %d app instance(s) of %s under %v (PCIe %v, %d RE lanes)...\n",
 		len(pipes), o.app, p, cfg.Gen, o.lanes)
 	sys, err := dmxsys.New(cfg, pipes)
 	if err != nil {
 		return err
 	}
-	rep := sys.Run()
+	if o.arrival != "" {
+		return runLoad(o, cfg, sys, out)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(out, rep)
 	if o.verbose {
 		for _, a := range rep.Apps {
@@ -144,22 +185,47 @@ func run(o options, out io.Writer) error {
 	if o.stats {
 		fmt.Fprintln(out, rep.Metrics)
 	}
-	if o.traceOut != "" {
-		rec := cfg.Obs
-		f, err := os.Create(o.traceOut)
-		if err != nil {
-			return err
-		}
-		werr := obs.WriteTrace(f, rec.Events())
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return fmt.Errorf("writing trace: %w", werr)
-		}
-		fmt.Fprintf(out, "trace: %d events written to %s (open at ui.perfetto.dev)\n",
-			rec.Len(), o.traceOut)
+	return writeTraceFile(o, cfg, out)
+}
+
+// runLoad drives the assembled system in load-generation mode.
+func runLoad(o options, cfg dmxsys.Config, sys *dmxsys.System, out io.Writer) error {
+	arr, err := traffic.ParseArrival(o.arrival)
+	if err != nil {
+		return err
 	}
+	spec := traffic.Spec{Arrival: arr, Rate: o.rate, Requests: o.requests, Seed: o.seed}
+	rep, err := sys.RunLoad(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, rep)
+	if o.stats && cfg.Obs != nil {
+		fmt.Fprintln(out, obs.Aggregate(cfg.Obs.Events(), obs.Duration(rep.Makespan)))
+	}
+	return writeTraceFile(o, cfg, out)
+}
+
+// writeTraceFile dumps the recorded event stream as Perfetto JSON when
+// -trace-out was given.
+func writeTraceFile(o options, cfg dmxsys.Config, out io.Writer) error {
+	if o.traceOut == "" {
+		return nil
+	}
+	rec := cfg.Obs
+	f, err := os.Create(o.traceOut)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteTrace(f, rec.Events())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("writing trace: %w", werr)
+	}
+	fmt.Fprintf(out, "trace: %d events written to %s (open at ui.perfetto.dev)\n",
+		rec.Len(), o.traceOut)
 	return nil
 }
 

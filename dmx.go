@@ -35,6 +35,7 @@ import (
 	"dmx/internal/restructure"
 	"dmx/internal/sim"
 	"dmx/internal/tensor"
+	"dmx/internal/traffic"
 	"dmx/internal/workload"
 )
 
@@ -112,7 +113,7 @@ func Simulate(cfg Config, pipelines ...*Pipeline) (RunReport, error) {
 	if err != nil {
 		return RunReport{}, err
 	}
-	return sys.Run(), nil
+	return sys.Run()
 }
 
 // StreamReport aggregates a streamed (back-to-back request) simulation.
@@ -126,7 +127,52 @@ func SimulateStream(cfg Config, requests int, pipelines ...*Pipeline) (StreamRep
 	if err != nil {
 		return StreamReport{}, err
 	}
-	return sys.RunStream(requests), nil
+	return sys.RunStream(requests)
+}
+
+// Serving-layer surface: load generation with explicit arrival
+// processes and latency/throughput reporting.
+type (
+	// TrafficSpec parameterizes a load run: arrival process (closed,
+	// open, Poisson), per-app request rate and count, PRNG seed, and an
+	// optional per-request deadline.
+	TrafficSpec = traffic.Spec
+	// Arrival selects the request generation process.
+	Arrival = traffic.Arrival
+	// LoadReport summarizes a load run: per-app offered vs achieved
+	// throughput and latency quantiles.
+	LoadReport = traffic.LoadReport
+	// AppLoad is one application's serving summary.
+	AppLoad = traffic.AppLoad
+	// SchedPolicy selects how contended stations order waiting jobs
+	// (Config.Sched): FIFO, priority, or weighted-fair round-robin.
+	SchedPolicy = dmxsys.SchedPolicy
+)
+
+// Arrival processes.
+const (
+	ClosedLoop = traffic.ClosedLoop
+	OpenLoop   = traffic.OpenLoop
+	Poisson    = traffic.Poisson
+)
+
+// Scheduling policies.
+const (
+	SchedFIFO     = dmxsys.SchedFIFO
+	SchedPriority = dmxsys.SchedPriority
+	SchedWFQ      = dmxsys.SchedWFQ
+)
+
+// SimulateLoad drives the pipelines with the spec's arrival process on
+// a freshly assembled system and reports per-app offered vs achieved
+// throughput and latency quantiles. The same cfg, spec, and pipelines
+// always produce an identical report.
+func SimulateLoad(cfg Config, spec TrafficSpec, pipelines ...*Pipeline) (LoadReport, error) {
+	sys, err := dmxsys.New(cfg, pipelines)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	return sys.RunLoad(spec)
 }
 
 // NewRecorder returns an empty trace recorder for Config.Obs.

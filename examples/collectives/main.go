@@ -38,8 +38,14 @@ func run(n int, useDMX, reduce bool) sim.Duration {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var d sim.Duration
 	if reduce {
-		return cs.AllReduce()
+		d, err = cs.AllReduce()
+	} else {
+		d, err = cs.Broadcast()
 	}
-	return cs.Broadcast()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return d
 }

@@ -104,7 +104,8 @@ func (cs *CollectiveSystem) reduceDelay(onDRX bool, fanIn int, done func()) {
 	if onDRX {
 		d, err := s.drxServiceTime(k)
 		if err != nil {
-			panic(fmt.Sprintf("dmxsys: collective DRX timing: %v", err))
+			s.fail(fmt.Errorf("dmxsys: collective DRX timing: %w", err))
+			return
 		}
 		s.Eng.Schedule(d, done)
 		return
@@ -140,14 +141,22 @@ func (cs *CollectiveSystem) fanout(src string, dsts []string, done func()) {
 	for i, dst := range dsts {
 		dst := dst
 		s.Eng.Schedule(DMASetupLatency*sim.Duration(i+1), func() {
-			s.mustTransfer(src, dst, cs.cfg.Bytes, done)
+			s.transferOrFail(src, dst, cs.cfg.Bytes, done)
 		})
+	}
+}
+
+// transferOrFail starts a fabric DMA, recording a flow error on an
+// invalid route (surfaced by Broadcast/AllReduce after the drain).
+func (s *System) transferOrFail(from, to string, n int64, done func()) {
+	if err := s.Fabric.Transfer(from, to, n, done); err != nil {
+		s.fail(fmt.Errorf("dmxsys: transfer %s→%s: %w", from, to, err))
 	}
 }
 
 // Broadcast runs a one-to-many transfer from accelerator 0 to all others
 // and returns the completion latency.
-func (cs *CollectiveSystem) Broadcast() sim.Duration {
+func (cs *CollectiveSystem) Broadcast() (sim.Duration, error) {
 	s := cs.sys
 	n := len(cs.devs)
 	remaining := n - 1
@@ -177,7 +186,7 @@ func (cs *CollectiveSystem) Broadcast() sim.Duration {
 					// Remote switch: relay receives, then re-broadcasts.
 					relay := group[0]
 					s.Eng.Schedule(DMASetupLatency, func() {
-						s.mustTransfer(cs.devs[0], relay, cs.cfg.Bytes, func() {
+						s.transferOrFail(cs.devs[0], relay, cs.cfg.Bytes, func() {
 							complete()
 							cs.fanout(relay, group[1:], complete)
 						})
@@ -190,7 +199,7 @@ func (cs *CollectiveSystem) Broadcast() sim.Duration {
 		// host, then for each destination the driver memcpys the payload
 		// into a DMA buffer and initiates the transfer, sequentially.
 		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
-			s.mustTransfer(cs.devs[0], pcie.Root, cs.cfg.Bytes, func() {
+			s.transferOrFail(cs.devs[0], pcie.Root, cs.cfg.Bytes, func() {
 				func(after func()) { after() }(func() {
 					var next func(i int)
 					next = func(i int) {
@@ -199,7 +208,7 @@ func (cs *CollectiveSystem) Broadcast() sim.Duration {
 						}
 						s.cpuJob(1, 2*cs.cfg.Bytes, func() { // driver buffer copy
 							s.Eng.Schedule(DMASetupLatency, func() {
-								s.mustTransfer(pcie.Root, cs.devs[i], cs.cfg.Bytes, func() {
+								s.transferOrFail(pcie.Root, cs.devs[i], cs.cfg.Bytes, func() {
 									s.Eng.Schedule(s.driverDelay(), func() {
 										complete()
 										next(i + 1)
@@ -214,15 +223,18 @@ func (cs *CollectiveSystem) Broadcast() sim.Duration {
 		})
 	}
 	s.Eng.Run()
-	if remaining != 0 {
-		panic("dmxsys: broadcast never completed")
+	if s.err != nil {
+		return 0, s.err
 	}
-	return sim.Duration(finished)
+	if remaining != 0 {
+		return 0, fmt.Errorf("dmxsys: broadcast never completed (%d transfers pending)", remaining)
+	}
+	return sim.Duration(finished), nil
 }
 
 // AllReduce runs scatter-reduce + all-gather across the accelerators and
 // returns the completion latency.
-func (cs *CollectiveSystem) AllReduce() sim.Duration {
+func (cs *CollectiveSystem) AllReduce() (sim.Duration, error) {
 	s := cs.sys
 	n := len(cs.devs)
 	var finished sim.Time
@@ -250,7 +262,7 @@ func (cs *CollectiveSystem) AllReduce() sim.Duration {
 				}
 				relay := group[0]
 				s.Eng.Schedule(DMASetupLatency, func() {
-					s.mustTransfer(rootRelay, relay, cs.cfg.Bytes, func() {
+					s.transferOrFail(rootRelay, relay, cs.cfg.Bytes, func() {
 						complete()
 						cs.fanout(relay, group[1:], complete)
 					})
@@ -280,7 +292,7 @@ func (cs *CollectiveSystem) AllReduce() sim.Duration {
 							return
 						}
 						s.Eng.Schedule(DMASetupLatency, func() {
-							s.mustTransfer(relay, rootRelay, cs.cfg.Bytes, func() {
+							s.transferOrFail(relay, rootRelay, cs.cfg.Bytes, func() {
 								arrivedAtRoot++
 								if arrivedAtRoot == len(groups) {
 									rootReduce()
@@ -298,16 +310,19 @@ func (cs *CollectiveSystem) AllReduce() sim.Duration {
 				for _, dev := range group[1:] {
 					dev := dev
 					s.Eng.Schedule(DMASetupLatency, func() {
-						s.mustTransfer(dev, relay, cs.cfg.Bytes, localDone)
+						s.transferOrFail(dev, relay, cs.cfg.Bytes, localDone)
 					})
 				}
 			}
 		})
 		s.Eng.Run()
-		if finished == 0 {
-			panic("dmxsys: all-reduce never completed")
+		if s.err != nil {
+			return 0, s.err
 		}
-		return sim.Duration(finished)
+		if finished == 0 {
+			return 0, fmt.Errorf("dmxsys: all-reduce never completed")
+		}
+		return sim.Duration(finished), nil
 	}
 	// Baseline: every accelerator DMAs to the host, the CPU sums and
 	// restructures, then the driver memcpys and scatters sequentially.
@@ -316,7 +331,7 @@ func (cs *CollectiveSystem) AllReduce() sim.Duration {
 	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
 		for i := 0; i < n; i++ {
 			src := cs.devs[i]
-			s.mustTransfer(src, pcie.Root, cs.cfg.Bytes, func() {
+			s.transferOrFail(src, pcie.Root, cs.cfg.Bytes, func() {
 				arrived++
 				if arrived == n {
 					cs.reduceDelay(false, n, func() {
@@ -327,7 +342,7 @@ func (cs *CollectiveSystem) AllReduce() sim.Duration {
 							}
 							s.cpuJob(1, 2*cs.cfg.Bytes, func() {
 								s.Eng.Schedule(DMASetupLatency, func() {
-									s.mustTransfer(pcie.Root, cs.devs[j], cs.cfg.Bytes, func() {
+									s.transferOrFail(pcie.Root, cs.devs[j], cs.cfg.Bytes, func() {
 										s.Eng.Schedule(s.driverDelay(), func() {
 											gathered++
 											if gathered == n {
@@ -346,8 +361,11 @@ func (cs *CollectiveSystem) AllReduce() sim.Duration {
 		}
 	})
 	s.Eng.Run()
-	if finished == 0 {
-		panic("dmxsys: all-reduce never completed")
+	if s.err != nil {
+		return 0, s.err
 	}
-	return sim.Duration(finished)
+	if finished == 0 {
+		return 0, fmt.Errorf("dmxsys: all-reduce never completed")
+	}
+	return sim.Duration(finished), nil
 }

@@ -71,6 +71,46 @@ const (
 	CoalesceWindow = 200 * sim.Microsecond
 )
 
+// SchedPolicy selects the service discipline every contended station
+// (accelerator engines, DRX units) uses to order waiting jobs.
+type SchedPolicy uint8
+
+// Service disciplines.
+const (
+	// SchedFIFO serves jobs strictly in arrival order (the default; the
+	// historical behavior, preserved bit-for-bit).
+	SchedFIFO SchedPolicy = iota
+	// SchedPriority serves the waiting app with the smallest
+	// Config.AppPriority value first.
+	SchedPriority
+	// SchedWFQ is weighted-fair round-robin across apps with
+	// Config.AppWeight shares.
+	SchedWFQ
+)
+
+var schedNames = [...]string{
+	SchedFIFO:     "fifo",
+	SchedPriority: "priority",
+	SchedWFQ:      "wfq",
+}
+
+func (p SchedPolicy) String() string {
+	if int(p) < len(schedNames) {
+		return schedNames[p]
+	}
+	return fmt.Sprintf("SchedPolicy(%d)", int(p))
+}
+
+// ParseSched maps a CLI token to a scheduling policy.
+func ParseSched(s string) (SchedPolicy, error) {
+	for i, name := range schedNames {
+		if s == name {
+			return SchedPolicy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("dmxsys: unknown discipline %q (want fifo, priority, or wfq)", s)
+}
+
 // Config parameterizes a system build.
 type Config struct {
 	Placement Placement
@@ -109,6 +149,16 @@ type Config struct {
 	// set, the System creates the recorder internally. Tracing does not
 	// perturb timing.
 	Trace func(at sim.Time, app, event string)
+	// Sched is the service discipline of every contended station. The
+	// zero value (SchedFIFO) preserves the classic arrival-order
+	// behavior exactly.
+	Sched SchedPolicy
+	// AppPriority maps app index → priority under SchedPriority (lower
+	// is served first; apps beyond the slice get sim.DefaultPriority).
+	AppPriority []int
+	// AppWeight maps app index → jobs-per-turn share under SchedWFQ
+	// (values below 1, and apps beyond the slice, act as 1).
+	AppWeight []int
 	// AppsPerStandaloneCard is how many applications share one standalone
 	// DRX PCIe card. Sharing is what makes the standalone placement
 	// oversubscribe its card link and unit (Sec. III: "the PCIe link to a
@@ -164,5 +214,22 @@ func (c Config) Validate() error {
 	if c.Placement == Standalone && c.AppsPerStandaloneCard < 1 {
 		return fmt.Errorf("dmxsys: standalone cards must serve at least 1 app")
 	}
+	switch c.Sched {
+	case SchedFIFO, SchedPriority, SchedWFQ:
+	default:
+		return fmt.Errorf("dmxsys: unknown scheduling policy %d", int(c.Sched))
+	}
 	return nil
+}
+
+// discipline builds a fresh Discipline instance for one station (each
+// server orders its own backlog independently).
+func (c Config) discipline() sim.Discipline {
+	switch c.Sched {
+	case SchedPriority:
+		return sim.NewPriority(c.AppPriority)
+	case SchedWFQ:
+		return sim.NewWRR(c.AppWeight)
+	}
+	return sim.NewFIFO()
 }

@@ -48,7 +48,11 @@ func run(t *testing.T, p Placement, napps int) RunReport {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return s.Run()
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
 }
 
 func TestAllPlacementsCompleteAndAttributeTime(t *testing.T) {
@@ -249,7 +253,11 @@ func TestCollectiveBroadcastDMXFaster(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return cs.Broadcast()
+			d, err := cs.Broadcast()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
 		}
 		base, dmx := mk(false), mk(true)
 		if dmx >= base {
@@ -271,7 +279,11 @@ func TestCollectiveAllReduceDMXFaster(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			return cs.AllReduce()
+			d, err := cs.AllReduce()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
 		}
 		base, dmx := mk(false), mk(true)
 		if dmx >= base {

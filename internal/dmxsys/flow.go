@@ -9,16 +9,29 @@ import (
 )
 
 // This file implements the end-to-end request flow for every system
-// configuration. A request walks its pipeline as a chain of callbacks on
-// the event engine: kernel → data motion hop → kernel → ... with each
-// segment's duration attributed to one of the three runtime components
-// the paper's breakdowns use (kernel, restructuring, movement).
+// configuration as an explicit state machine. Each in-flight request is
+// a *request value carrying its own cursor through the pipeline (the
+// stage index), its phase tracker, and its deadline; the machine
+// advances through small step methods, one per protocol action:
+//
+//	stepInput → stepKernel → kernelDone → hop* → (k++) stepKernel → ... → stepOutput → finish
+//
+// with a placement-specific hop sequence between kernels and a pure-CPU
+// chain (stepCPUKernel/cpuKernelDone/cpuRestructured) for the AllCPU
+// baseline. Run, RunStream, and RunLoad are thin front-ends over the
+// same machine: they differ only in the arrival offsets they feed the
+// shared drive loop.
 //
 // Every protocol step also emits a structured obs event (see
 // internal/obs): an instant at the moment the old text trace logged a
 // line, a span when an interval closes (DMA legs, per-phase laps), and a
 // flow pair linking the two endpoints of a DMA. The text trace is a
 // rendering of these events, never a separate code path.
+//
+// Errors (fabric transfer failures, queue accounting violations, DRX
+// timing failures) do not panic: the request records the first error on
+// the System via fail and stops advancing; the drive loop surfaces it
+// from Run/RunStream/RunLoad after the engine drains.
 
 // phase tags attribute elapsed time in the app report.
 type phase int
@@ -45,319 +58,531 @@ func (s *System) obsInstant(a *appInstance, typ obs.Type, step uint8, track, pee
 	s.rec.Instant(obs.Time(s.Eng.Now()), typ, step, track, peer, a.pipe.Name, name, bytes)
 }
 
-// obsDMA records a completed DMA leg: a span on the request's trace
-// track plus a flow arrow between the source and destination device
-// tracks. Call it from the transfer's completion callback with the
-// leg's start time.
-func (s *System) obsDMA(tr *tracker, typ obs.Type, step uint8, from, to string, n int64, begin sim.Time) {
-	if s.rec == nil {
-		return
-	}
-	now := s.Eng.Now()
-	s.rec.Span(obs.Time(begin), obs.Duration(now.Sub(begin)), typ, obs.PhaseNone,
-		step, tr.track, tr.a.pipe.Name, "", n)
-	if from != to {
-		s.rec.FlowPair(obs.Time(begin), obs.Time(now), typ, from, to, tr.a.pipe.Name, "", n)
-	}
-}
-
-// tracker measures contiguous segments of one request's timeline.
-type tracker struct {
+// request is one in-flight request walking its application's pipeline.
+type request struct {
 	s *System
 	a *appInstance
+
+	// k is the stage cursor: the index of the pipeline stage the request
+	// is currently executing (or moving its output away from).
+	k int
+
 	// track is the request's trace timeline (the app track, suffixed
 	// with a request ordinal under streamed execution so concurrent
 	// requests never interleave spans on one track).
 	track string
-	mark  sim.Time
+	// mark is the phase tracker: the start of the current contiguous
+	// segment, closed by lap into one of the three report components.
+	mark sim.Time
+
+	// start is the admission instant; deadline is the absolute latency
+	// budget (zero = none). RunLoad reads both when the request retires.
+	start    sim.Time
+	deadline sim.Time
+
+	// legBegin is the start time of the DMA leg currently in flight
+	// (legs within one request are strictly sequential).
+	legBegin sim.Time
+	// rx, tx are the bump-in-the-wire data queues of the hop in
+	// progress.
+	rx, tx *DataQueue
+
+	// done retires the request (nil once failed).
+	done func(*request)
 }
 
-func (t *tracker) lap(p phase) {
-	now := t.s.Eng.Now()
-	d := now.Sub(t.mark)
-	if d > 0 {
-		op := p.obsPhase()
-		t.s.rec.Span(obs.Time(t.mark), obs.Duration(d), obs.TypePhase, op, 0,
-			t.track, t.a.pipe.Name, op.String(), 0)
-	}
-	t.mark = now
-	switch p {
-	case phaseKernel:
-		t.a.rep.KernelTime += d
-	case phaseRestructure:
-		t.a.rep.RestructureTime += d
-	case phaseMovement:
-		t.a.rep.MovementTime += d
-	}
-}
-
-// startApp launches one request through an app's pipeline, calling done
-// at completion.
-func (s *System) startApp(a *appInstance, done func()) {
-	a.start = s.Eng.Now()
+// startRequest admits one request into app a's pipeline, calling done at
+// completion. deadline, when positive, is the per-request latency
+// budget relative to now.
+func (s *System) startRequest(a *appInstance, deadline sim.Duration, done func(*request)) {
+	now := s.Eng.Now()
 	track := a.track
 	if a.requests > 0 {
 		track = fmt.Sprintf("%s/r%d", a.track, a.requests)
 	}
 	a.requests++
-	tr := &tracker{s: s, a: a, track: track, mark: s.Eng.Now()}
-	finish := func() {
-		a.rep.Total = s.Eng.Now().Sub(a.start)
-		done()
+	r := &request{s: s, a: a, track: track, mark: now, start: now, done: done}
+	if deadline > 0 {
+		r.deadline = now.Add(deadline)
 	}
 	if s.cfg.Placement == AllCPU {
-		s.runAllCPU(a, tr, finish)
+		r.stepCPUKernel()
 		return
 	}
-	// Ship the request payload host → first accelerator, then enter the
-	// kernel/hop chain.
-	var runStage func(k int)
-	runStage = func(k int) {
-		st := a.pipe.Stages[k]
-		step := uint8(0)
-		if k > 0 {
-			step = obs.StepNextKernel
-		}
-		s.obsInstant(a, obs.TypeKernelEnqueued, step, a.accelDev[k], "", st.Accel.Name, st.InBytes)
-		s.servers[a.accelDev[k]].Submit(st.Accel.Latency(st.InBytes), func() {
-			tr.lap(phaseKernel)
-			s.obsInstant(a, obs.TypeKernelDone, obs.StepKernelDone, a.accelDev[k], "", st.Accel.Name, 0)
-			if k == len(a.pipe.Stages)-1 {
-				// Return the final result to the host.
-				s.transferToHost(a, tr, finish)
-				return
-			}
-			s.runHop(a, tr, k, func() { runStage(k + 1) })
-		})
+	r.stepInput()
+}
+
+// lap closes the current contiguous segment, attributing it to phase p.
+func (r *request) lap(p phase) {
+	now := r.s.Eng.Now()
+	d := now.Sub(r.mark)
+	if d > 0 {
+		op := p.obsPhase()
+		r.s.rec.Span(obs.Time(r.mark), obs.Duration(d), obs.TypePhase, op, 0,
+			r.track, r.a.pipe.Name, op.String(), 0)
 	}
-	s.obsInstant(a, obs.TypeInputDMA, 0, pcie.Root, a.accelDev[0], "", a.pipe.InputBytes)
-	begin := s.Eng.Now()
-	if err := s.Fabric.Transfer(pcie.Root, a.accelDev[0], a.pipe.InputBytes, func() {
-		s.obsDMA(tr, obs.TypeInputDMA, 0, pcie.Root, a.accelDev[0], a.pipe.InputBytes, begin)
-		tr.lap(phaseMovement)
-		runStage(0)
-	}); err != nil {
-		panic(fmt.Sprintf("dmxsys: input transfer: %v", err))
+	r.mark = now
+	switch p {
+	case phaseKernel:
+		r.a.rep.KernelTime += d
+	case phaseRestructure:
+		r.a.rep.RestructureTime += d
+	case phaseMovement:
+		r.a.rep.MovementTime += d
 	}
 }
 
-func (s *System) transferToHost(a *appInstance, tr *tracker, done func()) {
+// obsDMA records a completed DMA leg: a span on the request's trace
+// track plus a flow arrow between the source and destination device
+// tracks. Call it from the transfer's completion callback with the
+// leg's start time.
+func (r *request) obsDMA(typ obs.Type, step uint8, from, to string, n int64, begin sim.Time) {
+	s := r.s
+	if s.rec == nil {
+		return
+	}
+	now := s.Eng.Now()
+	s.rec.Span(obs.Time(begin), obs.Duration(now.Sub(begin)), typ, obs.PhaseNone,
+		step, r.track, r.a.pipe.Name, "", n)
+	if from != to {
+		s.rec.FlowPair(obs.Time(begin), obs.Time(now), typ, from, to, r.a.pipe.Name, "", n)
+	}
+}
+
+// fail records the request's error on the System and stops the machine:
+// the request never retires, and the drive loop reports the error after
+// the engine drains.
+func (r *request) fail(err error) {
+	r.s.fail(err)
+	r.done = nil
+}
+
+// finish retires the request.
+func (r *request) finish() {
+	r.a.rep.Total = r.s.Eng.Now().Sub(r.start)
+	if r.done != nil {
+		r.done(r)
+	}
+}
+
+// transfer starts a fabric DMA, failing the request if the route is
+// invalid.
+func (r *request) transfer(from, to string, n int64, done func()) {
+	if err := r.s.Fabric.Transfer(from, to, n, done); err != nil {
+		r.fail(fmt.Errorf("dmxsys: transfer %s→%s: %w", from, to, err))
+	}
+}
+
+// stepInput ships the request payload host → first accelerator, then
+// enters the kernel/hop chain.
+func (r *request) stepInput() {
+	s, a := r.s, r.a
+	s.occupyPath(a, pcie.Root, a.accelDev[0], a.pipe.InputBytes)
+	s.obsInstant(a, obs.TypeInputDMA, 0, pcie.Root, a.accelDev[0], "", a.pipe.InputBytes)
+	r.legBegin = s.Eng.Now()
+	if err := s.Fabric.Transfer(pcie.Root, a.accelDev[0], a.pipe.InputBytes, r.inputArrived); err != nil {
+		r.fail(fmt.Errorf("dmxsys: input transfer: %w", err))
+	}
+}
+
+func (r *request) inputArrived() {
+	a := r.a
+	r.obsDMA(obs.TypeInputDMA, 0, pcie.Root, a.accelDev[0], a.pipe.InputBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.stepKernel()
+}
+
+// stepKernel enqueues stage k's kernel on its accelerator.
+func (r *request) stepKernel() {
+	s, a, k := r.s, r.a, r.k
+	st := a.pipe.Stages[k]
+	step := uint8(0)
+	if k > 0 {
+		step = obs.StepNextKernel
+	}
+	s.obsInstant(a, obs.TypeKernelEnqueued, step, a.accelDev[k], "", st.Accel.Name, st.InBytes)
+	srv := s.servers[a.accelDev[k]]
+	service := st.Accel.Latency(st.InBytes)
+	a.occupyServer(srv, service)
+	srv.SubmitClass(a.id, service, r.kernelDone)
+}
+
+func (r *request) kernelDone() {
+	s, a, k := r.s, r.a, r.k
+	st := a.pipe.Stages[k]
+	r.lap(phaseKernel)
+	s.obsInstant(a, obs.TypeKernelDone, obs.StepKernelDone, a.accelDev[k], "", st.Accel.Name, 0)
+	if k == len(a.pipe.Stages)-1 {
+		r.stepOutput()
+		return
+	}
+	r.stepHop()
+}
+
+// nextStage advances the cursor past the completed hop and fires the
+// next kernel.
+func (r *request) nextStage() {
+	r.k++
+	r.stepKernel()
+}
+
+// stepOutput returns the final result to the host.
+func (r *request) stepOutput() {
+	s, a := r.s, r.a
 	last := a.accelDev[len(a.accelDev)-1]
+	s.occupyPath(a, last, pcie.Root, a.pipe.OutputBytes)
 	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
 		s.obsInstant(a, obs.TypeOutputDMA, 0, last, pcie.Root, "", a.pipe.OutputBytes)
-		begin := s.Eng.Now()
-		if err := s.Fabric.Transfer(last, pcie.Root, a.pipe.OutputBytes, func() {
-			s.obsDMA(tr, obs.TypeOutputDMA, 0, last, pcie.Root, a.pipe.OutputBytes, begin)
-			tr.lap(phaseMovement)
-			done()
-		}); err != nil {
-			panic(fmt.Sprintf("dmxsys: output transfer: %v", err))
+		r.legBegin = s.Eng.Now()
+		if err := s.Fabric.Transfer(last, pcie.Root, a.pipe.OutputBytes, r.outputDone); err != nil {
+			r.fail(fmt.Errorf("dmxsys: output transfer: %w", err))
 		}
 	})
 }
 
-// runAllCPU executes every kernel and every restructuring in software on
-// the shared host channels; there is no device data movement.
-func (s *System) runAllCPU(a *appInstance, tr *tracker, done func()) {
-	opsCap := s.cpuCompute.Capacity()
-	var step func(k int)
-	step = func(k int) {
-		st := a.pipe.Stages[k]
-		// The kernel's software runtime expressed as compute work: its
-		// calibrated 16-core CPU latency times the socket's ops rate.
-		work := int64(st.Accel.CPULatency(st.InBytes).Seconds() * opsCap)
-		if work < 1 {
-			work = 1
-		}
-		s.obsInstant(a, obs.TypeKernelEnqueued, 0, pcie.Root, "", st.Accel.Name, st.InBytes)
-		s.cpuJob(work, st.InBytes, func() {
-			tr.lap(phaseKernel)
-			s.obsInstant(a, obs.TypeKernelDone, 0, pcie.Root, "", st.Accel.Name, 0)
-			if k == len(a.pipe.Stages)-1 {
-				a.rep.Total = s.Eng.Now().Sub(a.start)
-				done()
-				return
-			}
-			h := a.pipe.Hops[k]
-			ops, bytes := s.restructureWork(h.Kernel)
-			s.obsInstant(a, obs.TypeHostRestructure, 0, pcie.Root, "", h.Kernel.Name, h.InBytes)
-			s.cpuJob(ops, bytes, func() {
-				tr.lap(phaseRestructure)
-				step(k + 1)
-			})
-		})
-	}
-	step(0)
+func (r *request) outputDone() {
+	a := r.a
+	last := a.accelDev[len(a.accelDev)-1]
+	r.obsDMA(obs.TypeOutputDMA, 0, last, pcie.Root, a.pipe.OutputBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.finish()
 }
 
-// runHop executes the data motion between stage k and k+1 under the
+// stepCPUKernel executes stage k's kernel in software on the shared
+// host channels (the AllCPU baseline; there is no device data
+// movement).
+func (r *request) stepCPUKernel() {
+	s, a, k := r.s, r.a, r.k
+	st := a.pipe.Stages[k]
+	// The kernel's software runtime expressed as compute work: its
+	// calibrated 16-core CPU latency times the socket's ops rate.
+	work := int64(st.Accel.CPULatency(st.InBytes).Seconds() * s.cpuCompute.Capacity())
+	if work < 1 {
+		work = 1
+	}
+	s.occupyCPU(a, work, st.InBytes)
+	s.obsInstant(a, obs.TypeKernelEnqueued, 0, pcie.Root, "", st.Accel.Name, st.InBytes)
+	s.cpuJob(work, st.InBytes, r.cpuKernelDone)
+}
+
+func (r *request) cpuKernelDone() {
+	s, a, k := r.s, r.a, r.k
+	st := a.pipe.Stages[k]
+	r.lap(phaseKernel)
+	s.obsInstant(a, obs.TypeKernelDone, 0, pcie.Root, "", st.Accel.Name, 0)
+	if k == len(a.pipe.Stages)-1 {
+		r.finish()
+		return
+	}
+	h := a.pipe.Hops[k]
+	ops, bytes := s.restructureWork(h.Kernel)
+	s.occupyCPU(a, ops, bytes)
+	s.obsInstant(a, obs.TypeHostRestructure, 0, pcie.Root, "", h.Kernel.Name, h.InBytes)
+	s.cpuJob(ops, bytes, r.cpuRestructured)
+}
+
+func (r *request) cpuRestructured() {
+	r.lap(phaseRestructure)
+	r.k++
+	r.stepCPUKernel()
+}
+
+// stepHop executes the data motion between stage k and k+1 under the
 // system's placement.
-func (s *System) runHop(a *appInstance, tr *tracker, k int, done func()) {
+func (r *request) stepHop() {
+	switch r.s.cfg.Placement {
+	case MultiAxl, Integrated:
+		r.hopHostIn()
+	case Standalone:
+		r.hopCardIn()
+	case PCIeIntegrated:
+		r.hopSwitchIn()
+	case BumpInTheWire:
+		r.hopBumpIn()
+	default:
+		r.fail(fmt.Errorf("dmxsys: hop under %v", r.s.cfg.Placement))
+	}
+}
+
+// hopHostIn: (S1) interrupt; DMA accel → host memory.
+func (r *request) hopHostIn() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	from := a.accelDev[k]
+	s.occupyPath(a, from, pcie.Root, h.InBytes)
+	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+		s.obsInstant(a, obs.TypeHostDMA, 0, from, pcie.Root, "", h.InBytes)
+		r.legBegin = s.Eng.Now()
+		r.transfer(from, pcie.Root, h.InBytes, r.hopHostArrived)
+	})
+}
+
+// hopHostArrived: (S2) restructure on the host (CPU or integrated DRX).
+func (r *request) hopHostArrived() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeHostDMA, 0, a.accelDev[k], pcie.Root, h.InBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.restructureHost(r.hopHostRestructured)
+}
+
+// hopHostRestructured: (S3) DMA host → next accelerator; (S4) the next
+// kernel fires.
+func (r *request) hopHostRestructured() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	to := a.accelDev[k+1]
+	r.lap(phaseRestructure)
+	s.occupyPath(a, pcie.Root, to, h.OutBytes)
+	s.Eng.Schedule(DMASetupLatency, func() {
+		s.obsInstant(a, obs.TypeHostDMA, 0, pcie.Root, to, "", h.OutBytes)
+		r.legBegin = s.Eng.Now()
+		r.transfer(pcie.Root, to, h.OutBytes, r.hopHostDone)
+	})
+}
+
+func (r *request) hopHostDone() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeHostDMA, 0, pcie.Root, a.accelDev[k+1], h.OutBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.nextStage()
+}
+
+// hopCardIn: P2P DMA accel → the app's standalone DRX card.
+func (r *request) hopCardIn() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	from := a.accelDev[k]
+	s.occupyPath(a, from, a.sdrxDev, h.InBytes)
+	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+		s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, a.sdrxDev, "", h.InBytes)
+		r.legBegin = s.Eng.Now()
+		r.transfer(from, a.sdrxDev, h.InBytes, r.hopCardArrived)
+	})
+}
+
+func (r *request) hopCardArrived() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeP2PDMA, obs.StepRXDMA, a.accelDev[k], a.sdrxDev, h.InBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.restructureDRX(r.hopCardRestructured)
+}
+
+// hopCardRestructured: P2P from the card to the next accelerator.
+func (r *request) hopCardRestructured() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	to := a.accelDev[k+1]
+	r.lap(phaseRestructure)
+	s.occupyPath(a, a.sdrxDev, to, h.OutBytes)
+	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+		s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, a.sdrxDev, to, "", h.OutBytes)
+		r.legBegin = s.Eng.Now()
+		r.transfer(a.sdrxDev, to, h.OutBytes, r.hopCardDone)
+	})
+}
+
+func (r *request) hopCardDone() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeP2PDMA, obs.StepP2PDMA, a.sdrxDev, a.accelDev[k+1], h.OutBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.nextStage()
+}
+
+// hopSwitchIn: up into the switch, restructure at line rate, down to
+// the peer (saves the DRX round trip; Sec. VII-B).
+func (r *request) hopSwitchIn() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	from := a.accelDev[k]
+	drxTrack := "drx." + a.sw
+	if l, err := s.Fabric.UpLink(from); err == nil {
+		a.occupy(l.Name, sim.BytesAt(h.InBytes, l.Bandwidth))
+	}
+	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+		s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
+		r.legBegin = s.Eng.Now()
+		if err := s.Fabric.TransferUp(from, h.InBytes, r.hopSwitchArrived); err != nil {
+			r.fail(fmt.Errorf("dmxsys: transfer up %s: %w", from, err))
+		}
+	})
+}
+
+func (r *request) hopSwitchArrived() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeP2PDMA, obs.StepRXDMA, a.accelDev[k], "drx."+a.sw, h.InBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.restructureDRX(r.hopSwitchRestructured)
+}
+
+// hopSwitchRestructured: straight down to the peer — no driver round
+// trip between the in-switch restructure and the down leg.
+func (r *request) hopSwitchRestructured() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	to := a.accelDev[k+1]
+	r.lap(phaseRestructure)
+	if l, err := s.Fabric.DownLink(to); err == nil {
+		a.occupy(l.Name, sim.BytesAt(h.OutBytes, l.Bandwidth))
+	}
+	s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, "drx."+a.sw, to, "", h.OutBytes)
+	r.legBegin = s.Eng.Now()
+	if err := s.Fabric.TransferDown(to, h.OutBytes, r.hopSwitchDone); err != nil {
+		r.fail(fmt.Errorf("dmxsys: transfer down %s: %w", to, err))
+	}
+}
+
+func (r *request) hopSwitchDone() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeP2PDMA, obs.StepP2PDMA, "drx."+a.sw, a.accelDev[k+1], h.OutBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.nextStage()
+}
+
+// hopBumpIn begins the Fig. 10 inline sequence: ① kernel done
+// ② interrupt ③④ local move into the inline DRX's RX queue ⑤–⑦
+// restructure into the TX queue ⑧ interrupt ⑨⑩ P2P DMA through the
+// fabric to the peer accelerator (its own DRX is a pass-through)
+// ⑪ kernel fires. Queue head/tail bookkeeping backpressures if a queue
+// fills.
+func (r *request) hopBumpIn() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	rx, tx, err := s.hopQueues(a, k)
+	if err != nil {
+		r.fail(fmt.Errorf("dmxsys: %w", err))
+		return
+	}
+	r.rx, r.tx = rx, tx
+	from := a.accelDev[k]
+	drxTrack := "drx." + from
+	link := pcie.LinkConfig{Gen: s.cfg.Gen, Lanes: s.cfg.AccelLanes}
+	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+		s.queueAdmit(r.rx, h.InBytes, func() {
+			s.obsInstant(a, obs.TypeQueueDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
+			r.legBegin = s.Eng.Now()
+			s.localBytes += h.InBytes
+			s.Eng.Schedule(sim.BytesAt(h.InBytes, link.Bandwidth()), r.hopBumpAtDRX)
+		})
+	})
+}
+
+func (r *request) hopBumpAtDRX() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeQueueDMA, obs.StepRXDMA, a.accelDev[k], "drx."+a.accelDev[k], h.InBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.restructureDRX(r.hopBumpRestructured)
+}
+
+// hopBumpRestructured: the restructured payload claims TX queue space
+// before the RX slot is released.
+func (r *request) hopBumpRestructured() {
+	h := r.a.pipe.Hops[r.k]
+	r.s.queueAdmit(r.tx, h.OutBytes, r.hopBumpTXAdmitted)
+}
+
+func (r *request) hopBumpTXAdmitted() {
+	s, a, k := r.s, r.a, r.k
 	h := a.pipe.Hops[k]
 	from := a.accelDev[k]
 	to := a.accelDev[k+1]
-	switch s.cfg.Placement {
-	case MultiAxl, Integrated:
-		// (S1) interrupt; DMA accel → host memory.
-		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
-			s.obsInstant(a, obs.TypeHostDMA, 0, from, pcie.Root, "", h.InBytes)
-			begin := s.Eng.Now()
-			s.mustTransfer(from, pcie.Root, h.InBytes, func() {
-				s.obsDMA(tr, obs.TypeHostDMA, 0, from, pcie.Root, h.InBytes, begin)
-				tr.lap(phaseMovement)
-				// (S2) restructure on the host (CPU or integrated DRX).
-				s.hostRestructure(a, k, func() {
-					tr.lap(phaseRestructure)
-					// (S3) DMA host → next accelerator; (S4) kernel fires.
-					s.Eng.Schedule(DMASetupLatency, func() {
-						s.obsInstant(a, obs.TypeHostDMA, 0, pcie.Root, to, "", h.OutBytes)
-						begin := s.Eng.Now()
-						s.mustTransfer(pcie.Root, to, h.OutBytes, func() {
-							s.obsDMA(tr, obs.TypeHostDMA, 0, pcie.Root, to, h.OutBytes, begin)
-							tr.lap(phaseMovement)
-							done()
-						})
-					})
-				})
-			})
-		})
-	case Standalone:
-		// P2P DMA accel → the app's DRX card, restructure, P2P to next.
-		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
-			s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, a.sdrxDev, "", h.InBytes)
-			begin := s.Eng.Now()
-			s.mustTransfer(from, a.sdrxDev, h.InBytes, func() {
-				s.obsDMA(tr, obs.TypeP2PDMA, obs.StepRXDMA, from, a.sdrxDev, h.InBytes, begin)
-				tr.lap(phaseMovement)
-				s.drxRestructure(a, k, func() {
-					tr.lap(phaseRestructure)
-					s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
-						s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, a.sdrxDev, to, "", h.OutBytes)
-						begin := s.Eng.Now()
-						s.mustTransfer(a.sdrxDev, to, h.OutBytes, func() {
-							s.obsDMA(tr, obs.TypeP2PDMA, obs.StepP2PDMA, a.sdrxDev, to, h.OutBytes, begin)
-							tr.lap(phaseMovement)
-							done()
-						})
-					})
-				})
-			})
-		})
-	case PCIeIntegrated:
-		// Up into the switch, restructure at line rate, down to the peer
-		// (saves the DRX round trip; Sec. VII-B).
-		drxTrack := "drx." + a.sw
-		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
-			s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
-			begin := s.Eng.Now()
-			s.mustUp(from, h.InBytes, func() {
-				s.obsDMA(tr, obs.TypeP2PDMA, obs.StepRXDMA, from, drxTrack, h.InBytes, begin)
-				tr.lap(phaseMovement)
-				s.drxRestructure(a, k, func() {
-					tr.lap(phaseRestructure)
-					s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, drxTrack, to, "", h.OutBytes)
-					begin := s.Eng.Now()
-					s.mustDown(to, h.OutBytes, func() {
-						s.obsDMA(tr, obs.TypeP2PDMA, obs.StepP2PDMA, drxTrack, to, h.OutBytes, begin)
-						tr.lap(phaseMovement)
-						done()
-					})
-				})
-			})
-		})
-	case BumpInTheWire:
-		// Fig. 10: ① kernel done ② interrupt ③④ local move into the
-		// inline DRX's RX queue ⑤–⑦ restructure into the TX queue
-		// ⑧ interrupt ⑨⑩ P2P DMA through the fabric to the peer
-		// accelerator (its own DRX is a pass-through) ⑪ kernel fires.
-		// Queue head/tail bookkeeping backpressures if a queue fills.
-		rx, tx, err := s.hopQueues(a, k)
-		if err != nil {
-			panic(fmt.Sprintf("dmxsys: %v", err))
+	if r.rx != nil {
+		if err := r.rx.Dequeue(h.InBytes); err != nil {
+			r.fail(fmt.Errorf("dmxsys: %w", err))
+			return
 		}
-		drxTrack := "drx." + from
-		link := pcie.LinkConfig{Gen: s.cfg.Gen, Lanes: s.cfg.AccelLanes}
-		s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
-			s.queueAdmit(rx, h.InBytes, func() {
-				s.obsInstant(a, obs.TypeQueueDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
-				begin := s.Eng.Now()
-				s.localBytes += h.InBytes
-				s.Eng.Schedule(sim.BytesAt(h.InBytes, link.Bandwidth()), func() {
-					s.obsDMA(tr, obs.TypeQueueDMA, obs.StepRXDMA, from, drxTrack, h.InBytes, begin)
-					tr.lap(phaseMovement)
-					s.drxRestructure(a, k, func() {
-						s.queueAdmit(tx, h.OutBytes, func() {
-							if rx != nil {
-								if err := rx.Dequeue(h.InBytes); err != nil {
-									panic(fmt.Sprintf("dmxsys: %v", err))
-								}
-							}
-							tr.lap(phaseRestructure)
-							s.obsInstant(a, obs.TypeTXReady, obs.StepTXReady, drxTrack, "", "", h.OutBytes)
-							s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
-								s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, from, to, "", h.OutBytes)
-								begin := s.Eng.Now()
-								s.mustTransfer(from, to, h.OutBytes, func() {
-									if tx != nil {
-										if err := tx.Dequeue(h.OutBytes); err != nil {
-											panic(fmt.Sprintf("dmxsys: %v", err))
-										}
-									}
-									s.obsDMA(tr, obs.TypeP2PDMA, obs.StepP2PDMA, from, to, h.OutBytes, begin)
-									tr.lap(phaseMovement)
-									done()
-								})
-							})
-						})
-					})
-				})
-			})
-		})
-	default:
-		panic(fmt.Sprintf("dmxsys: runHop under %v", s.cfg.Placement))
 	}
+	r.lap(phaseRestructure)
+	s.occupyPath(a, from, to, h.OutBytes)
+	s.obsInstant(a, obs.TypeTXReady, obs.StepTXReady, "drx."+from, "", "", h.OutBytes)
+	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+		s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, from, to, "", h.OutBytes)
+		r.legBegin = s.Eng.Now()
+		r.transfer(from, to, h.OutBytes, r.hopBumpDone)
+	})
 }
 
-// hostRestructure dispatches hop k's restructuring at the host: on the
+func (r *request) hopBumpDone() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	from := a.accelDev[k]
+	to := a.accelDev[k+1]
+	if r.tx != nil {
+		if err := r.tx.Dequeue(h.OutBytes); err != nil {
+			r.fail(fmt.Errorf("dmxsys: %w", err))
+			return
+		}
+	}
+	r.obsDMA(obs.TypeP2PDMA, obs.StepP2PDMA, from, to, h.OutBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.nextStage()
+}
+
+// restructureHost dispatches hop k's restructuring at the host: on the
 // shared CPU channels for MultiAxl, on the single integrated DRX
 // otherwise.
-func (s *System) hostRestructure(a *appInstance, k int, done func()) {
+func (r *request) restructureHost(done func()) {
+	s, a, k := r.s, r.a, r.k
 	if s.cfg.Placement == Integrated {
-		s.drxRestructure(a, k, done)
+		r.restructureDRX(done)
 		return
 	}
 	h := a.pipe.Hops[k]
 	s.obsInstant(a, obs.TypeHostRestructure, 0, pcie.Root, "", h.Kernel.Name, h.InBytes)
 	ops, bytes := s.restructureWork(h.Kernel)
+	s.occupyCPU(a, ops, bytes)
 	s.cpuJob(ops, bytes, done)
 }
 
-// drxRestructure queues hop k's kernel on the app's DRX unit.
-func (s *System) drxRestructure(a *appInstance, k int, done func()) {
+// restructureDRX queues hop k's kernel on the app's DRX unit.
+func (r *request) restructureDRX(done func()) {
+	s, a, k := r.s, r.a, r.k
 	kern := a.pipe.Hops[k].Kernel
 	s.obsInstant(a, obs.TypeRestructure, obs.StepRestructure,
 		a.drxServer[k].Name(), "", kern.Name, a.pipe.Hops[k].InBytes)
 	d, err := s.drxServiceTime(kern)
 	if err != nil {
-		panic(fmt.Sprintf("dmxsys: %v", err)) // cache warmed in New; unreachable
+		// Cache warmed in New; reachable only on a mutated config.
+		r.fail(fmt.Errorf("dmxsys: %w", err))
+		return
 	}
-	a.drxServer[k].Submit(d, done)
+	a.occupyServer(a.drxServer[k], d)
+	a.drxServer[k].SubmitClass(a.id, d, done)
 }
 
-func (s *System) mustTransfer(from, to string, n int64, done func()) {
-	if err := s.Fabric.Transfer(from, to, n, done); err != nil {
-		panic(fmt.Sprintf("dmxsys: transfer %s→%s: %v", from, to, err))
+// drive is the shared load driver under Run, RunStream, and RunLoad:
+// app i's request j is admitted at i·StartStagger + offsets(i)[j], the
+// engine runs to completion, and every retirement invokes onDone. The
+// first flow error (or a deadlocked request train) is returned after
+// the drain.
+func (s *System) drive(offsets func(app int) []sim.Duration, deadline sim.Duration, onDone func(app, req int, r *request)) error {
+	remaining := 0
+	for i, a := range s.apps {
+		i, a := i, a
+		start := sim.Duration(i) * s.cfg.StartStagger
+		for j, off := range offsets(i) {
+			j := j
+			remaining++
+			s.Eng.Schedule(start+off, func() {
+				s.startRequest(a, deadline, func(r *request) {
+					remaining--
+					onDone(i, j, r)
+				})
+			})
+		}
 	}
-}
-
-func (s *System) mustUp(dev string, n int64, done func()) {
-	if err := s.Fabric.TransferUp(dev, n, done); err != nil {
-		panic(fmt.Sprintf("dmxsys: transfer up %s: %v", dev, err))
+	s.Eng.Run()
+	if s.err != nil {
+		return s.err
 	}
-}
-
-func (s *System) mustDown(dev string, n int64, done func()) {
-	if err := s.Fabric.TransferDown(dev, n, done); err != nil {
-		panic(fmt.Sprintf("dmxsys: transfer down %s: %v", dev, err))
+	if remaining != 0 {
+		return fmt.Errorf("dmxsys: %d requests never completed (deadlocked flow)", remaining)
 	}
+	return nil
 }

@@ -1,0 +1,121 @@
+package dmxsys_test
+
+// The flow.go state-machine refactor must not move a single event: the
+// acceptance gate is that RunStream's report values and rendered text
+// trace are byte-identical before and after for all five Table I
+// applications under every placement. This golden test pins that
+// equivalence: each (app, placement) cell's full dump — every rendered
+// trace line plus the StreamReport fields — is hashed, and the hashes
+// were captured from the pre-refactor nested-closure implementation.
+// Run with -update only to regenerate after an *intentional* timing
+// change.
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmx/internal/dmxsys"
+	"dmx/internal/sim"
+	"dmx/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the stream golden file")
+
+const goldenRequests = 4
+
+// streamDump renders one streamed run as a stable text form: the exact
+// trace-line sequence followed by every StreamReport value.
+func streamDump(t *testing.T, b *workload.Benchmark, p dmxsys.Placement) string {
+	t.Helper()
+	cfg := dmxsys.DefaultConfig(p)
+	var sb strings.Builder
+	cfg.Trace = func(at sim.Time, app, event string) {
+		fmt.Fprintf(&sb, "[%d] %s %s\n", int64(at), app, event)
+	}
+	s, err := dmxsys.New(cfg, []*dmxsys.Pipeline{b.Pipeline})
+	if err != nil {
+		t.Fatalf("%s/%v: %v", b.Name, p, err)
+	}
+	rep, err := s.RunStream(goldenRequests)
+	if err != nil {
+		t.Fatalf("%s/%v: %v", b.Name, p, err)
+	}
+	fmt.Fprintf(&sb, "placement=%v makespan=%d\n", rep.Placement, int64(rep.Makespan))
+	for _, a := range rep.PerApp {
+		fmt.Fprintf(&sb, "app=%s requests=%d first=%d last=%d throughput=%.9g\n",
+			a.App, a.Requests, int64(a.First), int64(a.Last), a.Throughput)
+	}
+	return sb.String()
+}
+
+func goldenKey(app string, p dmxsys.Placement) string {
+	return app + "/" + strings.ReplaceAll(p.String(), " ", "-")
+}
+
+func hashDump(dump string) string {
+	h := fnv.New64a()
+	h.Write([]byte(dump))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func TestRunStreamGoldenAcrossAppsAndPlacements(t *testing.T) {
+	benches, err := workload.Suite(workload.TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placements := []dmxsys.Placement{
+		dmxsys.AllCPU, dmxsys.MultiAxl, dmxsys.Integrated,
+		dmxsys.Standalone, dmxsys.PCIeIntegrated, dmxsys.BumpInTheWire,
+	}
+	got := make(map[string]string)
+	var keys []string
+	for _, b := range benches {
+		for _, p := range placements {
+			key := goldenKey(b.Name, p)
+			got[key] = hashDump(streamDump(t, b, p))
+			keys = append(keys, key)
+		}
+	}
+
+	golden := filepath.Join("testdata", "stream_golden.txt")
+	if *update {
+		var sb strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s %s\n", k, got[k])
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			want[fields[0]] = fields[1]
+		}
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cells, run produced %d", len(want), len(got))
+	}
+	for _, k := range keys {
+		if want[k] == "" {
+			t.Errorf("%s: missing from golden file", k)
+			continue
+		}
+		if got[k] != want[k] {
+			t.Errorf("%s: stream output changed: hash %s, golden %s", k, got[k], want[k])
+		}
+	}
+}

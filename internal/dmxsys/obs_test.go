@@ -18,7 +18,11 @@ func captureTrace(t *testing.T, p Placement, napps int) (*obs.Recorder, RunRepor
 	if err != nil {
 		t.Fatal(err)
 	}
-	return cfg.Obs, s.Run()
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.Obs, rep
 }
 
 // Every placement's structured trace must render to valid Chrome
@@ -87,7 +91,10 @@ func TestRecorderSinkDoesNotPerturbTiming(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		q := quiet.Run()
+		q, err := quiet.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
 		_, tr := captureTrace(t, p, 2)
 		if q.Makespan != tr.Makespan {
 			t.Errorf("%v: recorder changed makespan: %v vs %v", p, q.Makespan, tr.Makespan)
@@ -117,7 +124,9 @@ func TestTraceBytesIdenticalSequentialVsParallel(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			s.Run()
+			if _, err := s.Run(); err != nil {
+				return err
+			}
 			var buf bytes.Buffer
 			if err := obs.WriteTrace(&buf, cfg.Obs.Events()); err != nil {
 				return err
@@ -173,7 +182,9 @@ func TestReportCarriesMetricsWhenTraced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep := quiet.Run(); rep.Metrics != nil {
+	if rep, err := quiet.Run(); err != nil {
+		t.Fatal(err)
+	} else if rep.Metrics != nil {
 		t.Error("untraced run carries Metrics")
 	}
 }
@@ -187,7 +198,9 @@ func TestStreamedTraceValidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.RunStream(6)
+	if _, err := s.RunStream(6); err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	if err := obs.WriteTrace(&buf, cfg.Obs.Events()); err != nil {
 		t.Fatal(err)

@@ -174,7 +174,10 @@ func TestThreeStagePipelineUnderEveryPlacement(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
-		rep := s.Run()
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, a := range rep.Apps {
 			if a.Total <= 0 || a.KernelTime <= 0 || a.RestructureTime <= 0 {
 				t.Errorf("%v: incomplete 3-stage report: %+v", p, a)
@@ -189,7 +192,11 @@ func TestThreeStageDMXBeatsBaseline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return s.Run()
+		rep, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
 	}
 	base := mk(MultiAxl)
 	dmxRep := mk(BumpInTheWire)

@@ -16,6 +16,15 @@ type AppReport struct {
 	RestructureTime sim.Duration
 	MovementTime    sim.Duration
 	Total           sim.Duration
+
+	// Bottleneck is the largest per-request occupancy across the shared
+	// resources the request path uses (each accelerator station, DRX
+	// unit, fabric link, and host channel), measured during the run. Its
+	// inverse is the app's steady-state capacity: requests pipeline
+	// through distinct resources, so the slowest single resource gates
+	// throughput. BottleneckResource names it.
+	Bottleneck         sim.Duration
+	BottleneckResource string
 }
 
 // StageMax reports the slowest of the app's three logical pipeline
@@ -39,8 +48,14 @@ func (r AppReport) StageMax(nKernels int) sim.Duration {
 	return motion
 }
 
-// Throughput reports requests/second at steady state for the app.
+// Throughput reports requests/second at steady state for the app: the
+// inverse of the measured per-request bottleneck occupancy when the run
+// recorded one, else the coarse stage-analysis estimate (StageMax) as a
+// fallback for hand-built reports.
 func (r AppReport) Throughput(nKernels int) float64 {
+	if r.Bottleneck > 0 {
+		return 1 / r.Bottleneck.Seconds()
+	}
 	sm := r.StageMax(nKernels)
 	if sm <= 0 {
 		return 0
@@ -102,19 +117,15 @@ func (r RunReport) String() string {
 	return b.String()
 }
 
-// Run launches one request per app at time zero and simulates to
-// completion, returning the aggregated report.
-func (s *System) Run() RunReport {
-	remaining := len(s.apps)
-	for i, a := range s.apps {
-		a := a
-		s.Eng.Schedule(sim.Duration(i)*s.cfg.StartStagger, func() {
-			s.startApp(a, func() { remaining-- })
-		})
-	}
-	s.Eng.Run()
-	if remaining != 0 {
-		panic(fmt.Sprintf("dmxsys: %d apps never completed (deadlocked flow)", remaining))
+// Run launches one request per app at its stagger instant and simulates
+// to completion, returning the aggregated report. Flow errors (invalid
+// fabric routes, queue accounting violations) are returned, not
+// panicked.
+func (s *System) Run() (RunReport, error) {
+	one := []sim.Duration{0}
+	err := s.drive(func(int) []sim.Duration { return one }, 0, func(int, int, *request) {})
+	if err != nil {
+		return RunReport{}, err
 	}
 	rep := RunReport{
 		Placement: s.cfg.Placement,
@@ -123,11 +134,13 @@ func (s *System) Run() RunReport {
 		DRXCount:  s.nDRX,
 	}
 	for _, a := range s.apps {
-		rep.Apps = append(rep.Apps, a.rep)
+		ar := a.rep
+		ar.Bottleneck, ar.BottleneckResource = a.bottleneck()
+		rep.Apps = append(rep.Apps, ar)
 	}
 	rep.EnergyJ, rep.EnergyBreakdown = s.energyReport(rep.Makespan)
 	if s.rec != nil {
 		rep.Metrics = obs.Aggregate(s.rec.Events(), obs.Duration(rep.Makespan))
 	}
-	return rep
+	return rep, nil
 }

@@ -1,0 +1,67 @@
+package dmxsys
+
+import (
+	"dmx/internal/obs"
+	"dmx/internal/sim"
+	"dmx/internal/traffic"
+)
+
+// Load-generated execution: RunLoad drives the system with an explicit
+// arrival process (internal/traffic) instead of RunStream's closed-loop
+// burst. Open-loop and Poisson arrivals admit requests on their own
+// clock regardless of completions, so offered load above the pipeline's
+// capacity builds queueing delay — the latency-vs-offered-load curves
+// of the serving experiments.
+
+// RunLoad issues spec.Requests requests per application under the
+// spec's arrival process and simulates to completion. The system must
+// be freshly built (Run, RunStream, and RunLoad consume the engine).
+func (s *System) RunLoad(spec traffic.Spec) (traffic.LoadReport, error) {
+	if err := spec.Validate(); err != nil {
+		return traffic.LoadReport{}, err
+	}
+	rep := traffic.LoadReport{Arrival: spec.Arrival, Seed: spec.Seed}
+	rep.PerApp = make([]traffic.AppLoad, len(s.apps))
+	firsts := make([]sim.Time, len(s.apps))
+	lasts := make([]sim.Time, len(s.apps))
+	for i, a := range s.apps {
+		al := &rep.PerApp[i]
+		al.App = a.pipe.Name
+		al.Requests = spec.Requests
+		if spec.Arrival != traffic.ClosedLoop {
+			al.Offered = spec.Rate
+		}
+	}
+	arrivals := make([][]sim.Duration, len(s.apps))
+	for i := range s.apps {
+		arrivals[i] = spec.Arrivals(i)
+	}
+	err := s.drive(func(app int) []sim.Duration { return arrivals[app] }, spec.Deadline,
+		func(app, req int, r *request) {
+			now := s.Eng.Now()
+			al := &rep.PerApp[app]
+			al.Latency.Add(obs.Duration(now.Sub(r.start)))
+			if r.deadline != 0 && now > r.deadline {
+				al.Missed++
+			}
+			if al.Completed == 0 || now < firsts[app] {
+				firsts[app] = now
+			}
+			if now > lasts[app] {
+				lasts[app] = now
+			}
+			al.Completed++
+		})
+	if err != nil {
+		return traffic.LoadReport{}, err
+	}
+	rep.Makespan = sim.Duration(s.Eng.Now())
+	for i := range rep.PerApp {
+		al := &rep.PerApp[i]
+		if span := lasts[i].Sub(firsts[i]).Seconds(); al.Completed > 1 && span > 0 {
+			al.Achieved = float64(al.Completed-1) / span
+		}
+	}
+	rep.Finalize()
+	return rep, nil
+}

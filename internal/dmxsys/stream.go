@@ -31,29 +31,21 @@ type AppStream struct {
 }
 
 // RunStream issues `requests` back-to-back requests per application and
-// simulates to completion. The system must be freshly built (Run and
-// RunStream consume the engine).
-func (s *System) RunStream(requests int) StreamReport {
+// simulates to completion. The system must be freshly built (Run,
+// RunStream, and RunLoad consume the engine).
+func (s *System) RunStream(requests int) (StreamReport, error) {
 	if requests < 2 {
-		panic("dmxsys: RunStream needs at least 2 requests to measure a rate")
+		return StreamReport{}, fmt.Errorf("dmxsys: RunStream needs at least 2 requests to measure a rate (got %d)", requests)
 	}
+	// A closed-loop burst: every request of app i is admitted at the
+	// app's stagger instant and the pipeline drains them back to back.
+	offsets := make([]sim.Duration, requests)
 	completions := make([][]sim.Time, len(s.apps))
-	remaining := len(s.apps) * requests
-	for i, a := range s.apps {
-		i, a := i, a
-		start := sim.Duration(i) * s.cfg.StartStagger
-		for r := 0; r < requests; r++ {
-			s.Eng.Schedule(start, func() {
-				s.startApp(a, func() {
-					completions[i] = append(completions[i], s.Eng.Now())
-					remaining--
-				})
-			})
-		}
-	}
-	s.Eng.Run()
-	if remaining != 0 {
-		panic(fmt.Sprintf("dmxsys: %d streamed requests never completed", remaining))
+	err := s.drive(func(int) []sim.Duration { return offsets }, 0, func(app, req int, r *request) {
+		completions[app] = append(completions[app], s.Eng.Now())
+	})
+	if err != nil {
+		return StreamReport{}, err
 	}
 	rep := StreamReport{
 		Placement: s.cfg.Placement,
@@ -76,5 +68,5 @@ func (s *System) RunStream(requests int) StreamReport {
 		}
 		rep.PerApp = append(rep.PerApp, as)
 	}
-	return rep
+	return rep, nil
 }

@@ -12,7 +12,10 @@ func TestRunStreamPipelines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := s.RunStream(8)
+	rep, err := s.RunStream(8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rep.PerApp) != 1 {
 		t.Fatalf("%d app streams", len(rep.PerApp))
 	}
@@ -26,7 +29,11 @@ func TestRunStreamPipelines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lat := single.Run().Apps[0].Total
+	singleRep, err := single.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := singleRep.Apps[0].Total
 	if float64(rep.Makespan) > 7.5*float64(lat) {
 		t.Errorf("streamed makespan %v shows no pipelining vs single latency %v", rep.Makespan, lat)
 	}
@@ -41,13 +48,21 @@ func TestStreamedThroughputValidatesStageAnalysis(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		analytic := lat.Run().Apps[0].Throughput(2)
+		latRep, err := lat.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		analytic := latRep.Apps[0].Throughput(2)
 
 		str, err := New(DefaultConfig(p), pipelines(1))
 		if err != nil {
 			t.Fatal(err)
 		}
-		measured := str.RunStream(12).PerApp[0].Throughput
+		strRep, err := str.RunStream(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := strRep.PerApp[0].Throughput
 		if measured <= 0 {
 			t.Fatalf("%v: no measured throughput", p)
 		}
@@ -65,7 +80,10 @@ func TestStreamedDMXThroughputBeatsBaseline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep := s.RunStream(8)
+		rep, err := s.RunStream(8)
+		if err != nil {
+			t.Fatal(err)
+		}
 		var sum float64
 		for _, a := range rep.PerApp {
 			sum += a.Throughput
@@ -84,12 +102,11 @@ func TestRunStreamValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("RunStream(1) did not panic")
-		}
-	}()
-	s.RunStream(1)
+	if _, err := s.RunStream(1); err == nil {
+		t.Error("RunStream(1) did not return an error")
+	} else if !strings.Contains(err.Error(), "at least 2 requests") {
+		t.Errorf("unexpected RunStream(1) error: %v", err)
+	}
 }
 
 func TestTraceFollowsFig10Sequence(t *testing.T) {
@@ -102,7 +119,9 @@ func TestTraceFollowsFig10Sequence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Run()
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
 	// The Fig. 10 order: input DMA, kernel 1, P2P into the DRX RX queue,
 	// restructuring, TX, P2P to the peer, kernel 2.
 	wantOrder := []string{
@@ -132,14 +151,20 @@ func TestTraceDoesNotPerturbTiming(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := quiet.Run()
+	q, err := quiet.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := DefaultConfig(BumpInTheWire)
 	cfg.Trace = func(sim.Time, string, string) {}
 	traced, err := New(cfg, pipelines(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := traced.Run()
+	tr, err := traced.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if q.Makespan != tr.Makespan || q.MeanTotal() != tr.MeanTotal() {
 		t.Errorf("tracing changed timing: %v/%v vs %v/%v", q.Makespan, q.MeanTotal(), tr.Makespan, tr.MeanTotal())
 	}

@@ -53,6 +53,19 @@ type System struct {
 	// cfg.Obs, or an internal recorder when only the text Trace hook is
 	// configured.
 	rec *obs.Recorder
+
+	// err is the first flow error (invalid fabric route, queue
+	// accounting violation, DRX timing failure). The request machine
+	// records it via fail instead of panicking; Run/RunStream/RunLoad
+	// surface it after the engine drains.
+	err error
+}
+
+// fail records the first flow error.
+func (s *System) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
 }
 
 // appInstance is one running application.
@@ -70,12 +83,66 @@ type appInstance struct {
 
 	// track is the app instance's trace timeline name.
 	track string
-	// requests counts startApp calls, giving each streamed request its
-	// own trace track (spans of one track must nest).
+	// requests counts admitted requests, giving each streamed request
+	// its own trace track (spans of one track must nest).
 	requests int
 
-	rep   AppReport
-	start sim.Time
+	// occ accumulates, per shared resource (server, link, or host
+	// channel), the exclusive occupancy the app's requests charged it.
+	// Divided by the request count it is the per-request occupancy whose
+	// maximum bounds steady-state throughput (AppReport.Bottleneck).
+	occ map[string]sim.Duration
+
+	rep AppReport
+}
+
+// occupy charges one request's exclusive use of a named resource.
+func (a *appInstance) occupy(name string, d sim.Duration) {
+	a.occ[name] += d
+}
+
+// occupyPath charges a payload's serialization time against every link
+// of a fabric route. Route errors are ignored here: the transfer itself
+// reports them through the request machine.
+func (s *System) occupyPath(a *appInstance, from, to string, n int64) {
+	links, err := s.Fabric.PathLinks(from, to)
+	if err != nil {
+		return
+	}
+	for _, l := range links {
+		a.occupy(l.Name, sim.BytesAt(n, l.Bandwidth))
+	}
+}
+
+// occupyCPU charges a host job's drain time on the two shared CPU
+// channels.
+func (s *System) occupyCPU(a *appInstance, ops, bytes int64) {
+	a.occupy("cpu.compute", sim.BytesAt(ops, s.cpuCompute.Capacity()))
+	a.occupy("cpu.mem", sim.BytesAt(bytes, s.cpuMem.Capacity()))
+}
+
+// occupyServer charges a service-station job, spread across the
+// station's slots (a k-slot server serves k requests concurrently).
+func (a *appInstance) occupyServer(srv *sim.Server, d sim.Duration) {
+	a.occupy(srv.Name(), d/sim.Duration(srv.Slots()))
+}
+
+// bottleneck reports the largest per-request occupancy across the
+// resources the app's requests used, with a deterministic (lexicographic)
+// tie-break on the resource name.
+func (a *appInstance) bottleneck() (sim.Duration, string) {
+	if a.requests == 0 {
+		return 0, ""
+	}
+	var max sim.Duration
+	name := ""
+	for res, d := range a.occ {
+		per := d / sim.Duration(a.requests)
+		if per > max || (per == max && (name == "" || res < name)) {
+			max, name = per, res
+		}
+	}
+	return max, name
 }
 
 // New assembles a system running the given pipelines concurrently (one
@@ -136,7 +203,7 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 	nCards := 0
 	integratedDRX := (*sim.Server)(nil)
 	if cfg.Placement == Integrated {
-		integratedDRX = sim.NewServer(eng, "drx.integrated", 1)
+		integratedDRX = sim.NewServerDisc(eng, "drx.integrated", 1, cfg.discipline())
 		s.servers["drx.integrated"] = integratedDRX
 		s.nDRX = 1
 	}
@@ -145,7 +212,7 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 		if err := p.Validate(); err != nil {
 			return nil, err
 		}
-		a := &appInstance{id: i, pipe: p}
+		a := &appInstance{id: i, pipe: p, occ: make(map[string]sim.Duration)}
 		a.rep.App = p.Name
 		a.track = fmt.Sprintf("%s#%d", p.Name, i)
 		// Slot accounting covers accelerator ports; standalone DRX cards
@@ -170,7 +237,7 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 			s.nSwitches++
 			slotsLeft = cfg.SlotsPerSwitch
 			if cfg.Placement == PCIeIntegrated {
-				s.servers["drx."+curSwitch] = sim.NewServer(eng, "drx."+curSwitch, cfg.PCIeIntegratedSlots)
+				s.servers["drx."+curSwitch] = sim.NewServerDisc(eng, "drx."+curSwitch, cfg.PCIeIntegratedSlots, cfg.discipline())
 				s.nDRX++
 			}
 		}
@@ -184,7 +251,7 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 				}
 				slotsLeft--
 				a.accelDev = append(a.accelDev, dev)
-				s.servers[dev] = sim.NewServer(eng, dev+":"+st.Accel.Name, 1)
+				s.servers[dev] = sim.NewServerDisc(eng, dev+":"+st.Accel.Name, 1, cfg.discipline())
 			}
 		}
 
@@ -201,7 +268,7 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 				if err := s.Fabric.AddDevice(cardDev, curSwitch, accelLink); err != nil {
 					return nil, err
 				}
-				card = sim.NewServer(eng, cardDev, 1)
+				card = sim.NewServerDisc(eng, cardDev, 1, cfg.discipline())
 				s.servers[cardDev] = card
 				s.nDRX++
 				cardAppsLeft = cfg.AppsPerStandaloneCard
@@ -223,7 +290,7 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 			// chain's peers (Sec. V).
 			for k := range p.Hops {
 				name := "drx." + a.accelDev[k]
-				unit := sim.NewServer(eng, name, 1)
+				unit := sim.NewServerDisc(eng, name, 1, cfg.discipline())
 				s.servers[name] = unit
 				a.drxServer[k] = unit
 				s.nDRX++

@@ -124,7 +124,7 @@ func runSystemCfg(cfg dmxsys.Config, benches []*workload.Benchmark) (dmxsys.RunR
 	if err != nil {
 		return dmxsys.RunReport{}, err
 	}
-	return sys.Run(), nil
+	return sys.Run()
 }
 
 // perBenchmark collapses a run's apps to geometric means per benchmark

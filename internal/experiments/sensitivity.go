@@ -5,6 +5,7 @@ import (
 
 	"dmx/internal/dmxsys"
 	"dmx/internal/pcie"
+	"dmx/internal/sim"
 	"dmx/internal/sweep"
 	"dmx/internal/workload"
 )
@@ -131,10 +132,16 @@ func Fig17() (*Fig17Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		var d sim.Duration
 		if j.allReduce {
-			return cs.AllReduce().Seconds(), nil
+			d, err = cs.AllReduce()
+		} else {
+			d, err = cs.Broadcast()
 		}
-		return cs.Broadcast().Seconds(), nil
+		if err != nil {
+			return 0, err
+		}
+		return d.Seconds(), nil
 	})
 	if err != nil {
 		return nil, err

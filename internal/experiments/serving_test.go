@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadCurveShape asserts the serving figure's two contracts: below
+// capacity the achieved rate tracks the offered rate, and at saturation
+// the plateau matches the AppReport.Throughput bound within 1%.
+func TestLoadCurveShape(t *testing.T) {
+	res, err := Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 5 {
+		t.Fatalf("%d curves, want 5", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		if c.Capacity <= 0 {
+			t.Errorf("%s: non-positive capacity bound", c.Bench)
+			continue
+		}
+		if c.SaturationErr > 0.01 {
+			t.Errorf("%s: saturation plateau %.2f%% off the capacity bound (want <=1%%)",
+				c.Bench, 100*c.SaturationErr)
+		}
+		for _, p := range c.Points {
+			if p.Fraction < 1.0 {
+				// Under capacity: the open loop keeps up with the offered
+				// rate (measured-rate discretization allows a small gap).
+				if rel := (p.Offered - p.Achieved) / p.Offered; rel > 0.02 {
+					t.Errorf("%s at %.2fx: achieved %.4g lags offered %.4g",
+						c.Bench, p.Fraction, p.Achieved, p.Offered)
+				}
+			} else if p.Fraction >= 1.5 {
+				// Overload: latency is queueing-dominated, so the tail must
+				// sit well above the unloaded point's latency.
+				if p.P99 <= 2*c.Points[0].P99 {
+					t.Errorf("%s at %.2fx: p99 %v shows no queueing growth over %v",
+						c.Bench, p.Fraction, p.P99, c.Points[0].P99)
+				}
+			}
+		}
+	}
+	if !strings.Contains(res.Render(), "capacity bound") {
+		t.Error("render missing capacity bound line")
+	}
+}

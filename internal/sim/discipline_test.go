@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"testing"
+)
+
+func drain(d Discipline) []int {
+	var classes []int
+	for {
+		j, ok := d.Pop()
+		if !ok {
+			return classes
+		}
+		classes = append(classes, j.Class)
+	}
+}
+
+func TestFIFOOrdersByArrival(t *testing.T) {
+	q := NewFIFO()
+	for i := 0; i < 20; i++ {
+		q.Push(Job{Class: i, seq: uint64(i)})
+	}
+	if q.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", q.Len())
+	}
+	got := drain(q)
+	for i, c := range got {
+		if c != i {
+			t.Fatalf("pop %d yielded class %d, want arrival order", i, c)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("empty FIFO popped a job")
+	}
+}
+
+// The ring must survive many wrap-arounds without losing order: the old
+// slice-based queue stranded head capacity; the ring reuses it.
+func TestFIFOWrapsWithoutStrandingCapacity(t *testing.T) {
+	q := NewFIFO()
+	next, want := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(Job{Class: next, seq: uint64(next)})
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			j, ok := q.Pop()
+			if !ok || j.Class != want {
+				t.Fatalf("round %d: popped %v (ok=%v), want class %d", round, j.Class, ok, want)
+			}
+			want++
+		}
+	}
+	// 3 in flight at a time: the ring must have stayed at its minimum
+	// size instead of growing with every wrap.
+	if len(q.ring) != 8 {
+		t.Fatalf("ring grew to %d slots for a depth-3 workload", len(q.ring))
+	}
+}
+
+// Pop must zero the vacated slot so the job's done closure is released
+// immediately, not pinned until the ring wraps.
+func TestFIFOPopReleasesClosure(t *testing.T) {
+	q := NewFIFO()
+	q.Push(Job{done: func() {}})
+	q.Pop()
+	if q.ring[0].done != nil {
+		t.Fatal("popped slot still pins the done closure")
+	}
+}
+
+// The steady-state push/pop cycle must not allocate once the ring is
+// warm (the server dequeue path runs inside the DES hot loop).
+func TestFIFOSteadyStateDoesNotAllocate(t *testing.T) {
+	q := NewFIFO()
+	j := Job{Service: Nanosecond}
+	for i := 0; i < 16; i++ {
+		q.Push(j)
+	}
+	for i := 0; i < 16; i++ {
+		q.Pop()
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		q.Push(j)
+		q.Push(j)
+		q.Pop()
+		q.Pop()
+	})
+	if avg != 0 {
+		t.Fatalf("FIFO push/pop allocates %.1f per op, want 0", avg)
+	}
+}
+
+func TestPriorityServesLowestValueFirstTiesInOrder(t *testing.T) {
+	// Class 0 → prio 2, class 1 → prio 1, class 2 → DefaultPriority.
+	q := NewPriority([]int{2, 1})
+	pushes := []int{0, 2, 1, 0, 1, 2}
+	for i, c := range pushes {
+		q.Push(Job{Class: c, seq: uint64(i)})
+	}
+	got := drain(q)
+	want := []int{1, 1, 0, 0, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPriorityEqualKeysPreserveSubmissionOrder(t *testing.T) {
+	q := NewPriority([]int{5, 5, 5})
+	for i := 0; i < 30; i++ {
+		q.Push(Job{Class: i % 3, Service: Duration(i), seq: uint64(i)})
+	}
+	var prev uint64
+	for i := 0; i < 30; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		if i > 0 && j.seq < prev {
+			t.Fatalf("equal-priority jobs reordered: seq %d after %d", j.seq, prev)
+		}
+		prev = j.seq
+	}
+}
+
+func TestWRRInterleavesByWeight(t *testing.T) {
+	// Class 0 has weight 2, class 1 weight 1: the service pattern is
+	// 0,0,1, 0,0,1, ...
+	q := NewWRR([]int{2, 1})
+	var seq uint64
+	for i := 0; i < 6; i++ {
+		q.Push(Job{Class: 0, seq: seq})
+		seq++
+	}
+	for i := 0; i < 3; i++ {
+		q.Push(Job{Class: 1, seq: seq})
+		seq++
+	}
+	got := drain(q)
+	want := []int{0, 0, 1, 0, 0, 1, 0, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WRR order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWRRDropsDrainedClassesFromRotation(t *testing.T) {
+	q := NewWRR(nil) // all weights 1
+	q.Push(Job{Class: 0, seq: 0})
+	q.Push(Job{Class: 1, seq: 1})
+	q.Push(Job{Class: 1, seq: 2})
+	got := drain(q)
+	want := []int{0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WRR order = %v, want %v", got, want)
+		}
+	}
+	// A class that re-activates after draining rejoins the rotation.
+	q.Push(Job{Class: 0, seq: 3})
+	if j, ok := q.Pop(); !ok || j.Class != 0 {
+		t.Fatalf("re-activated class not served: %v %v", j, ok)
+	}
+}
+
+// A FIFO server's busy-slot dequeue path must not allocate in steady
+// state: jobs park in the warm ring and completions pop them without
+// touching the heap.
+func TestServerQueueSteadyStateDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "srv", 1)
+	nop := func() {}
+	// Warm: fill the queue once so the ring and the engine free lists
+	// are sized.
+	for i := 0; i < 8; i++ {
+		s.Submit(Nanosecond, nop)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 4; i++ {
+			s.Submit(Nanosecond, nop)
+		}
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("server submit/queue/complete allocates %.1f per round, want 0", avg)
+	}
+}
+
+func TestServerDiscPriorityReordersBacklog(t *testing.T) {
+	e := NewEngine()
+	// Class 1 outranks class 0.
+	s := NewServerDisc(e, "srv", 1, NewPriority([]int{1, 0}))
+	var order []int
+	mk := func(class int) func() {
+		return func() { order = append(order, class) }
+	}
+	// First submission seizes the slot; the rest queue and are served by
+	// priority: both class-1 jobs before the class-0 job.
+	s.SubmitClass(0, Nanosecond, mk(0))
+	s.SubmitClass(0, Nanosecond, mk(0))
+	s.SubmitClass(1, Nanosecond, mk(1))
+	s.SubmitClass(1, Nanosecond, mk(1))
+	e.Run()
+	want := []int{0, 1, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order = %v, want %v", order, want)
+		}
+	}
+	if s.MaxQueue != 3 {
+		t.Errorf("MaxQueue = %d, want 3", s.MaxQueue)
+	}
+}
+
+func TestServerWaitTimeAccountsQueueing(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "srv", 1)
+	s.Submit(10*Nanosecond, nil)
+	s.Submit(10*Nanosecond, nil)
+	e.Run()
+	if s.WaitTime != 10*Nanosecond {
+		t.Errorf("WaitTime = %v, want 10ns (second job queued behind the first)", s.WaitTime)
+	}
+	if s.Jobs != 2 || s.BusyTime != 20*Nanosecond {
+		t.Errorf("Jobs=%d BusyTime=%v", s.Jobs, s.BusyTime)
+	}
+}

@@ -6,17 +6,18 @@ import (
 	"dmx/internal/obs"
 )
 
-// Server models a FIFO service station with a fixed number of identical
+// Server models a service station with a fixed number of identical
 // slots: a pool of CPU cores executing restructuring jobs, a DRX
 // processing unit, an accelerator's execution engine. Jobs carry a
-// precomputed service time; if all slots are busy the job waits in
-// arrival order.
+// precomputed service time; if all slots are busy the job waits under
+// the server's Discipline (FIFO by default, in arrival order).
 type Server struct {
 	eng   *Engine
 	name  string
 	slots int
 	busy  int
-	queue []serverJob
+	disc  Discipline
+	seq   uint64 // submission order, the disciplines' deterministic tie-break
 
 	// Jobs counts completed jobs; BusyTime integrates slot-seconds of
 	// service; WaitTime integrates queueing delay across jobs.
@@ -24,27 +25,43 @@ type Server struct {
 	BusyTime Duration
 	WaitTime Duration
 
-	// tracks holds one trace-track name per slot so that concurrent jobs
-	// on a multi-slot server never overlap on a single track; free is a
-	// preallocated stack of idle slot indices (lowest on top), so slot
-	// assignment is deterministic and allocation-free.
+	// MaxQueue records the deepest backlog ever reached.
+	MaxQueue int
+
+	// Per-slot state. tracks holds one trace-track name per slot so
+	// that concurrent jobs on a multi-slot server never overlap on a
+	// single track; job/begin are the slot's in-service job and its
+	// start time; fire holds one preallocated completion closure per
+	// slot so the steady-state submit/serve/complete cycle never
+	// allocates. free is a preallocated stack of idle slot indices
+	// (lowest on top), so slot assignment is deterministic.
 	tracks []string
+	job    []Job
+	begin  []Time
+	fire   []func()
 	free   []int
 }
 
-type serverJob struct {
-	service  Duration
-	done     func()
-	enqueued Time
+// NewServer creates a FIFO server with the given number of service
+// slots.
+func NewServer(eng *Engine, name string, slots int) *Server {
+	return NewServerDisc(eng, name, slots, NewFIFO())
 }
 
-// NewServer creates a server with the given number of service slots.
-func NewServer(eng *Engine, name string, slots int) *Server {
+// NewServerDisc creates a server whose waiting jobs are ordered by the
+// given discipline.
+func NewServerDisc(eng *Engine, name string, slots int, d Discipline) *Server {
 	if slots <= 0 {
 		panic(fmt.Sprintf("sim: server %q needs at least one slot", name))
 	}
-	s := &Server{eng: eng, name: name, slots: slots}
+	if d == nil {
+		d = NewFIFO()
+	}
+	s := &Server{eng: eng, name: name, slots: slots, disc: d}
 	s.tracks = make([]string, slots)
+	s.job = make([]Job, slots)
+	s.begin = make([]Time, slots)
+	s.fire = make([]func(), slots)
 	s.free = make([]int, slots)
 	for i := 0; i < slots; i++ {
 		if slots == 1 {
@@ -52,6 +69,8 @@ func NewServer(eng *Engine, name string, slots int) *Server {
 		} else {
 			s.tracks[i] = fmt.Sprintf("%s/%d", name, i)
 		}
+		i := i
+		s.fire[i] = func() { s.complete(i) }
 		s.free[i] = slots - 1 - i
 	}
 	return s
@@ -64,49 +83,76 @@ func (s *Server) Name() string { return s.name }
 func (s *Server) Slots() int { return s.slots }
 
 // QueueLen reports the number of jobs waiting (not in service).
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server) QueueLen() int { return s.disc.Len() }
 
 // Busy reports the number of slots currently serving a job.
 func (s *Server) Busy() int { return s.busy }
 
-// Submit enqueues a job that needs the given service time and calls done
-// on completion. Service begins immediately if a slot is free.
+// Discipline reports the server's service discipline.
+func (s *Server) Discipline() Discipline { return s.disc }
+
+// Submit enqueues a class-0 job that needs the given service time and
+// calls done on completion. Service begins immediately if a slot is
+// free.
 func (s *Server) Submit(service Duration, done func()) {
+	s.SubmitClass(0, service, done)
+}
+
+// SubmitClass enqueues a job under a tenant class (the key priority and
+// weighted-fair disciplines schedule by; FIFO ignores it).
+func (s *Server) SubmitClass(class int, service Duration, done func()) {
 	if service < 0 {
 		panic(fmt.Sprintf("sim: negative service time %v", service))
 	}
-	j := serverJob{service: service, done: done, enqueued: s.eng.Now()}
+	j := Job{Class: class, Service: service, done: done, enqueued: s.eng.Now(), seq: s.seq}
+	s.seq++
 	if s.busy < s.slots {
 		s.start(j)
 		return
 	}
-	s.queue = append(s.queue, j)
+	s.disc.Push(j)
+	if n := s.disc.Len(); n > s.MaxQueue {
+		s.MaxQueue = n
+	}
+	s.sampleQueue()
 }
 
-func (s *Server) start(j serverJob) {
+// sampleQueue emits the queue-depth counter series (one sample per
+// transition). The nil-recorder path is a single branch.
+func (s *Server) sampleQueue() {
+	s.eng.Obs.Counter(obs.Time(s.eng.Now()), s.name, "queue", float64(s.disc.Len()))
+}
+
+func (s *Server) start(j Job) {
 	s.busy++
 	s.WaitTime += s.eng.Now().Sub(j.enqueued)
 	slot := s.free[len(s.free)-1]
 	s.free = s.free[:len(s.free)-1]
-	begin := s.eng.Now()
-	s.eng.Schedule(j.service, func() {
-		s.busy--
-		s.Jobs++
-		s.BusyTime += j.service
-		s.free = append(s.free, slot)
-		// Occupancy span: one job in service on this slot's track.
-		// The nil-recorder path is a single branch (no allocation).
-		s.eng.Obs.Span(obs.Time(begin), obs.Duration(j.service),
-			obs.TypeService, obs.PhaseNone, 0, s.tracks[slot], "", s.name, 0)
-		// Release the slot before the callback so that work triggered by
-		// the completion can enter service at the same instant.
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			s.queue = s.queue[1:]
-			s.start(next)
-		}
-		if j.done != nil {
-			j.done()
-		}
-	})
+	s.job[slot] = j
+	s.begin[slot] = s.eng.Now()
+	s.eng.Schedule(j.Service, s.fire[slot])
+}
+
+// complete retires slot's in-service job: free the slot, pull the next
+// queued job into service, then run the completion callback.
+func (s *Server) complete(slot int) {
+	j := s.job[slot]
+	s.job[slot] = Job{} // release the done closure
+	s.busy--
+	s.Jobs++
+	s.BusyTime += j.Service
+	s.free = append(s.free, slot)
+	// Occupancy span: one job in service on this slot's track.
+	// The nil-recorder path is a single branch (no allocation).
+	s.eng.Obs.Span(obs.Time(s.begin[slot]), obs.Duration(j.Service),
+		obs.TypeService, obs.PhaseNone, 0, s.tracks[slot], "", s.name, 0)
+	// Release the slot before the callback so that work triggered by
+	// the completion can enter service at the same instant.
+	if next, ok := s.disc.Pop(); ok {
+		s.sampleQueue()
+		s.start(next)
+	}
+	if j.done != nil {
+		j.done()
+	}
 }

@@ -1,0 +1,15 @@
+// Package traffic defines the serving layer's load model: arrival
+// processes (closed-loop bursts, open-loop fixed rate, seeded
+// deterministic Poisson), the Spec that parameterizes a load run, and
+// the LoadReport that summarizes one — per-application offered versus
+// achieved throughput and latency quantiles pulled from the obs
+// latency histograms.
+//
+// The package sits below dmxsys in the import graph (it depends only on
+// sim and obs) so the system driver can consume Spec and produce
+// LoadReport without a cycle. All arrival streams are deterministic:
+// the Poisson process uses a splitmix64 generator seeded from
+// (Spec.Seed, app index), so the same spec always produces the same
+// request timeline regardless of app construction order or harness
+// parallelism.
+package traffic

@@ -327,7 +327,14 @@ func TestGenAIRAGSimulates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	br, dr := base.Run(), dmxS.Run()
+	br, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := dmxS.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if dr.MeanTotal() >= br.MeanTotal() {
 		t.Errorf("RAG chain: DMX (%v) not faster than baseline (%v)", dr.MeanTotal(), br.MeanTotal())
 	}
