@@ -1,0 +1,163 @@
+// Command benchsnap runs the DRX data-plane benchmarks once and writes
+// a compact JSON snapshot (benchmark name → ns/op, allocs/op).
+//
+// Usage:
+//
+//	benchsnap                          # print snapshot JSON to stdout
+//	benchsnap -o BENCH_drx_baseline.json
+//	benchsnap -check BENCH_drx_baseline.json
+//
+// The snapshot is a smoke artifact, not a performance gate: -benchtime=1x
+// timings on shared CI runners are noisy, so -check compares only the
+// *shape* of the data — the benchmark set and each benchmark's allocs/op,
+// which are deterministic — and reports timing drift informationally.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// measurement is one benchmark's snapshot row.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchPackages are the packages whose benchmarks form the snapshot.
+var benchPackages = []string{
+	"./internal/drx/",
+	"./internal/drxc/",
+	"./internal/dmxrt/",
+}
+
+// benchLine matches `go test -bench` output rows, e.g.
+//
+//	BenchmarkCompile/cached-8  123  116.6 ns/op  0 B/op  0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:.*?\s(\d+) allocs/op)?`)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	out := flag.String("o", "", "write snapshot JSON to this file (default: stdout)")
+	check := flag.String("check", "", "compare against a baseline snapshot instead of writing")
+	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	flag.Parse()
+
+	snap, err := capture(*benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		return 1
+	}
+
+	if *check != "" {
+		return compare(*check, snap)
+	}
+
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		return 1
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return 0
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// capture runs the benchmark packages and parses the measurements.
+func capture(benchtime string) (map[string]measurement, error) {
+	args := append([]string{"test", "-run", "^$", "-bench", ".", "-benchtime", benchtime}, benchPackages...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w\n%s", err, raw)
+	}
+	snap := make(map[string]measurement)
+	for _, line := range strings.Split(string(raw), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", line, err)
+		}
+		var allocs int64
+		if m[3] != "" {
+			allocs, err = strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", line, err)
+			}
+		}
+		snap[m[1]] = measurement{NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	if len(snap) == 0 {
+		return nil, fmt.Errorf("no benchmark rows parsed from go test output")
+	}
+	return snap, nil
+}
+
+// compare reports differences against a baseline file. Missing or extra
+// benchmarks and alloc regressions fail; timing drift is informational
+// because -benchtime=1x numbers on shared runners are noise.
+func compare(path string, got map[string]measurement) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
+		return 1
+	}
+	var want map[string]measurement
+	if err := json.Unmarshal(blob, &want); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsnap: %s: %v\n", path, err)
+		return 1
+	}
+	names := make([]string, 0, len(want)+len(got))
+	for n := range want {
+		names = append(names, n)
+	}
+	for n := range got {
+		if _, ok := want[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	bad := false
+	for _, n := range names {
+		w, inWant := want[n]
+		g, inGot := got[n]
+		switch {
+		case !inGot:
+			fmt.Printf("MISSING  %s (in baseline, not in run)\n", n)
+			bad = true
+		case !inWant:
+			fmt.Printf("NEW      %s (not in baseline; regenerate the snapshot)\n", n)
+			bad = true
+		case g.AllocsPerOp > w.AllocsPerOp:
+			fmt.Printf("ALLOCS   %s: %d allocs/op, baseline %d\n", n, g.AllocsPerOp, w.AllocsPerOp)
+			bad = true
+		default:
+			fmt.Printf("ok       %-55s %12.0f ns/op (baseline %12.0f)  %d allocs/op\n",
+				n, g.NsPerOp, w.NsPerOp, g.AllocsPerOp)
+		}
+	}
+	if bad {
+		fmt.Println("\nbenchsnap: snapshot drifted; regenerate with: go run ./cmd/benchsnap -o BENCH_drx_baseline.json")
+		return 1
+	}
+	return 0
+}

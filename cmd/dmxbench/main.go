@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -35,21 +37,54 @@ type experiment struct {
 	run  func() (renderer, error)
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so deferred profile writers flush before exit.
+func run() int {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	quiet := flag.Bool("q", false, "suppress progress timing on stderr")
 	jobs := flag.Int("j", 0, "parallel sweep workers (default: all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	sweep.SetWorkers(*jobs)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmxbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dmxbench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dmxbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dmxbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	exps := registry()
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-8s %s\n", e.id, e.what)
 		}
-		return
+		return 0
 	}
 
 	selected := exps
@@ -65,7 +100,7 @@ func main() {
 			for _, e := range exps {
 				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.id, e.what)
 			}
-			os.Exit(1)
+			return 1
 		}
 	}
 
@@ -76,7 +111,7 @@ func main() {
 		start := time.Now()
 		if err := experiments.Warm(); err != nil {
 			fmt.Fprintf(os.Stderr, "dmxbench: warm: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "[caches warmed in %v]\n\n", time.Since(start).Round(time.Millisecond))
@@ -122,6 +157,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,213 @@
+package dmxrt
+
+import (
+	"testing"
+
+	"dmx/internal/drx"
+	"dmx/internal/drxc"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// benchFixture is a DRX queue dispatching one restructuring hop over and
+// over — the serving layer's steady state. Pipelines build each hop's
+// *Kernel once and enqueue it per request, so the fixture reuses one
+// kernel object the same way. The kernel is the canonical restructuring
+// hop — a 192 KB float32 transpose on the Transposition Engine path:
+// pure data motion, i.e. the workload the DRX data plane exists for.
+type benchFixture struct {
+	ctx     *Context
+	q       *CommandQueue
+	kernel  *restructure.Kernel
+	inputs  map[string]*Buffer
+	outputs map[string]*Buffer
+	machine *drx.Machine
+	rawIn   map[string]*tensor.Tensor
+}
+
+func newBenchFixture(tb testing.TB) *benchFixture {
+	tb.Helper()
+	rows, cols := 192, 256
+	p := NewPlatform()
+	dev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctx := p.NewContext()
+	x := tensor.New(tensor.Float32, rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			x.Set(float64((i*131+j*17)%997)/8, i, j)
+		}
+	}
+	k := &restructure.Kernel{
+		Name: "hop-transpose",
+		Params: []restructure.Param{
+			{Name: "x", DType: tensor.Float32, Shape: []int{rows, cols}, Dir: restructure.In},
+			{Name: "y", DType: tensor.Float32, Shape: []int{cols, rows}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{
+			&restructure.TransposeStage{Out: "y", In: "x", Perm: []int{1, 0}},
+		},
+	}
+	f := &benchFixture{
+		ctx:    ctx,
+		q:      ctx.Queue(dev),
+		kernel: k,
+		inputs: map[string]*Buffer{
+			"x": ctx.CreateBuffer("x", x),
+		},
+		outputs: map[string]*Buffer{
+			"y": ctx.CreateEmptyBuffer("y", tensor.Float32, cols, rows),
+		},
+		machine: dev.machine,
+		rawIn:   map[string]*tensor.Tensor{"x": x},
+	}
+	return f
+}
+
+// dispatch enqueues one restructure and forces it, then drops the
+// retired event so the context does not accumulate history across
+// benchmark iterations.
+func (f *benchFixture) dispatch(tb testing.TB) {
+	ev := f.q.EnqueueRestructure(f.kernel, f.inputs, f.outputs)
+	if err := ev.Wait(); err != nil {
+		tb.Fatal(err)
+	}
+	f.ctx.pending = f.ctx.pending[:0]
+	f.q.last = nil
+}
+
+// baselineDispatch reproduces the pre-cache, pre-fast-path dispatch:
+// compile the kernel from scratch and run it on the element interpreter.
+func (f *benchFixture) baselineDispatch(tb testing.TB) {
+	c, err := drxc.Compile(f.kernel, drx.DefaultConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	f.machine.ResetDRAM()
+	if _, _, err := drxc.Execute(c, f.machine, f.rawIn); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkEnqueueRestructure measures the steady-state dispatch path.
+//
+//	cached:    the shipped path — program cache hit, bulk fast paths on
+//	recompile: cache bypassed, fast paths on (isolates the cache's win)
+//	baseline:  cache bypassed, fast paths off (the pre-optimization path)
+//
+// cached vs baseline is the dispatch-loop speedup this package claims;
+// the differential tests prove the three produce identical bytes.
+func BenchmarkEnqueueRestructure(b *testing.B) {
+	f := newBenchFixture(b)
+	f.dispatch(b) // warm the program cache and the machine
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.dispatch(b)
+		}
+	})
+	b.Run("recompile", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, err := drxc.Compile(f.kernel, drx.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.machine.ResetDRAM()
+			if _, _, err := drxc.Execute(c, f.machine, f.rawIn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		f.machine.SetFastPath(false)
+		defer f.machine.SetFastPath(true)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.baselineDispatch(b)
+		}
+	})
+}
+
+// TestEnqueueRestructureCachedAllocs pins the dispatch path's allocation
+// profile: a cached enqueue allocates a small constant number of objects
+// (event bookkeeping, output tensors), well below a per-dispatch
+// compilation. The absolute bound is deliberately loose — it catches the
+// cache being bypassed (a compiler run allocates far more), not minor
+// churn.
+func TestEnqueueRestructureCachedAllocs(t *testing.T) {
+	f := newBenchFixture(t)
+	f.dispatch(t)
+	cached := testing.AllocsPerRun(50, func() { f.dispatch(t) })
+	baseline := testing.AllocsPerRun(50, func() { f.baselineDispatch(t) })
+	if cached > 40 {
+		t.Errorf("cached enqueue allocates %.0f objects/op, want <= 40", cached)
+	}
+	if cached*2 > baseline {
+		t.Errorf("cached enqueue (%.0f allocs) not well below per-dispatch compile (%.0f allocs)",
+			cached, baseline)
+	}
+}
+
+// TestEnqueueCopyContiguousAllocs pins the contiguous-copy fast path: a
+// large buffer copy must not materialize the source, so its allocation
+// count is a small constant independent of payload size.
+func TestEnqueueCopyContiguousAllocs(t *testing.T) {
+	p := NewPlatform()
+	dev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := p.NewContext()
+	q := ctx.Queue(dev)
+	src := ctx.CreateBuffer("src", tensor.New(tensor.Float32, 256, 1024)) // 1 MiB
+	dst := ctx.CreateEmptyBuffer("dst", tensor.Float32, 256, 1024)
+	allocs := testing.AllocsPerRun(20, func() {
+		ev := q.EnqueueCopy(dst, src)
+		if err := ev.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		ctx.pending = ctx.pending[:0]
+		q.last = nil
+	})
+	if allocs > 10 {
+		t.Errorf("contiguous EnqueueCopy allocates %.0f objects/op on a 1 MiB buffer, want <= 10 (no materialization)", allocs)
+	}
+}
+
+// TestEnqueueCopyStridedSource checks the slow branch still works: a
+// transposed (non-contiguous) source must be materialized, and the copy
+// must carry the logical element order, not the backing-store order.
+func TestEnqueueCopyStridedSource(t *testing.T) {
+	p := NewPlatform()
+	dev, err := p.AddDRX(drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := p.NewContext()
+	q := ctx.Queue(dev)
+	base := tensor.New(tensor.Float32, 3, 4)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			base.Set(float64(10*i+j), i, j)
+		}
+	}
+	view := base.Transpose(1, 0) // 4x3, strided
+	if view.IsContiguous() {
+		t.Fatal("test premise broken: transpose view is contiguous")
+	}
+	src := ctx.CreateBuffer("src", view)
+	dst := ctx.CreateEmptyBuffer("dst", tensor.Float32, 4, 3)
+	if err := q.EnqueueCopy(dst, src).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 3; j++ {
+			if got, want := dst.Tensor().At(i, j), float64(10*j+i); got != want {
+				t.Fatalf("dst[%d,%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}

@@ -211,9 +211,11 @@ func (q *CommandQueue) EnqueueKernel(inputs map[string]*Buffer, outputs map[stri
 }
 
 // EnqueueRestructure schedules a data restructuring kernel. On a DRX
-// device the kernel compiles (internal/drxc) and executes on the machine
-// simulator; on an accelerator device it is rejected — restructuring
-// belongs to DRXs, keeping the separation Sec. V prescribes.
+// device the kernel compiles (internal/drxc, through the process-wide
+// compiled-program cache, so repeat enqueues of one kernel compile once)
+// and executes on the machine simulator; on an accelerator device it is
+// rejected — restructuring belongs to DRXs, keeping the separation
+// Sec. V prescribes.
 func (q *CommandQueue) EnqueueRestructure(k *restructure.Kernel,
 	inputs map[string]*Buffer, outputs map[string]*Buffer, deps ...*Event) *Event {
 
@@ -221,12 +223,16 @@ func (q *CommandQueue) EnqueueRestructure(k *restructure.Kernel,
 		if q.dev.kind != DRXDevice {
 			return fmt.Errorf("device %s is not a DRX", q.dev.name)
 		}
+		c, err := drxc.CompileCached(k, q.dev.machine.Config())
+		if err != nil {
+			return err
+		}
 		in := make(map[string]*tensor.Tensor, len(inputs))
 		for name, b := range inputs {
 			in[name] = b.t
 		}
 		q.dev.machine.ResetDRAM()
-		out, _, err := drxc.CompileAndRun(k, q.dev.machine, in)
+		out, _, err := drxc.Execute(c, q.dev.machine, in)
 		if err != nil {
 			return err
 		}
@@ -235,13 +241,18 @@ func (q *CommandQueue) EnqueueRestructure(k *restructure.Kernel,
 }
 
 // EnqueueCopy schedules dst ← src (the explicit buffer transfer command
-// of the programming model).
+// of the programming model). A contiguous source copies straight out of
+// its backing bytes; only strided views pay a materialization.
 func (q *CommandQueue) EnqueueCopy(dst, src *Buffer, deps ...*Event) *Event {
 	return q.enqueue(fmt.Sprintf("copy %s→%s", src.name, dst.name), deps, func() error {
 		if src.t.SizeBytes() != dst.t.SizeBytes() {
 			return fmt.Errorf("copy size mismatch: %d vs %d bytes", src.t.SizeBytes(), dst.t.SizeBytes())
 		}
-		copy(dst.t.Bytes(), src.t.Contiguous().Bytes())
+		s := src.t
+		if !s.IsContiguous() {
+			s = s.Contiguous()
+		}
+		copy(dst.t.Bytes(), s.Bytes())
 		return nil
 	})
 }

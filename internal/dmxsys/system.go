@@ -338,11 +338,12 @@ func drxCacheKey(dcfg drx.Config, k *restructure.Kernel) string {
 
 // drxTimeFor compiles and simulates a restructuring kernel on a DRX
 // configuration. DRX execution is data-independent, so zero-filled
-// inputs time identically to real data. The compile and machine run are
-// entirely local state, so concurrent calls (for distinct or even equal
-// kernels) are race-free.
+// inputs time identically to real data. The compile goes through drxc's
+// process-wide program cache (shared with dmxrt's enqueue path and
+// populated by warm-up), and the machine run is entirely local state, so
+// concurrent calls (for distinct or even equal kernels) are race-free.
 func drxTimeFor(dcfg drx.Config, k *restructure.Kernel) (sim.Duration, error) {
-	c, err := drxc.Compile(k, dcfg)
+	c, err := drxc.CompileCached(k, dcfg)
 	if err != nil {
 		return 0, fmt.Errorf("dmxsys: compiling %s for DRX: %w", k.Name, err)
 	}

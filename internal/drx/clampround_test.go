@@ -1,0 +1,73 @@
+package drx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestClampRoundMatchesMathRound checks the trunc-based rounding in
+// clampRound against math.Round (half away from zero) over the float32
+// range: every boundary region where the two formulations could diverge
+// — half-integers, values one ulp on either side of them, subnormals,
+// and huge values where x+0.5 is inexact — plus a large uniform sample
+// of bit patterns.
+func TestClampRoundMatchesMathRound(t *testing.T) {
+	check := func(v float32) {
+		t.Helper()
+		got := clampRound(v, math.Inf(-1), math.Inf(1))
+		want := math.Round(float64(v))
+		// NaN compares unequal to itself; both must propagate it.
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("clampRound(%v) = %v, math.Round = %v (bits %#x)", v, got, want, math.Float32bits(v))
+		}
+	}
+	// Half-integer boundaries and their float32 neighbors.
+	for i := -1000; i <= 1000; i++ {
+		h := float32(i) + 0.5
+		check(h)
+		check(math.Nextafter32(h, float32(math.Inf(1))))
+		check(math.Nextafter32(h, float32(math.Inf(-1))))
+		check(float32(i))
+	}
+	// Subnormals and tiny values: x ± 0.5 is inexact there.
+	for _, bits := range []uint32{0, 1, 2, 0x7fffff, 0x800000, 0x800001} {
+		check(math.Float32frombits(bits))
+		check(math.Float32frombits(bits | 0x80000000))
+	}
+	// Huge values: for |x| in [2^52, 2^53) the +0.5 is an exact tie.
+	for _, v := range []float64{1 << 52, 1<<52 + 1<<29, 1 << 53, 1 << 60, math.MaxFloat32} {
+		check(float32(v))
+		check(float32(-v))
+	}
+	check(float32(math.Inf(1)))
+	check(float32(math.Inf(-1)))
+	check(float32(math.NaN()))
+	// Uniform sample over all bit patterns.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2_000_000; i++ {
+		check(math.Float32frombits(rng.Uint32()))
+	}
+}
+
+func TestClampRoundSaturates(t *testing.T) {
+	cases := []struct {
+		v      float32
+		lo, hi float64
+		want   float64
+	}{
+		{1000, -128, 127, 127},
+		{-1000, -128, 127, -128},
+		{126.5, -128, 127, 127},
+		{-126.5, -128, 127, -127},
+		{-128.5, -128, 127, -128},
+		{0.5, -128, 127, 1},
+		{-0.5, -128, 127, -1},
+		{0.49999997, -128, 127, 0},
+	}
+	for _, c := range cases {
+		if got := clampRound(c.v, c.lo, c.hi); got != c.want {
+			t.Errorf("clampRound(%v, %v, %v) = %v, want %v", c.v, c.lo, c.hi, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package drx
+
+import (
+	"encoding/binary"
+	"math"
+
+	"dmx/internal/isa"
+)
+
+// Bulk operand fast paths. The paper's whole case for the DRX is that
+// restructuring throughput comes from wide contiguous DRAM bursts; the
+// interpreter's per-element readElem/writeElem — with a bounds check, a
+// dtype switch, and a float32 round-trip per element — is the exact
+// opposite. When a Load/Store moves a unit-stride span that is provably
+// in-bounds, these paths move the whole span with one bounds check and
+// one dtype dispatch, then a tight typed loop.
+//
+// Bit-identity is the invariant: the loops below perform the same
+// conversions (widening to f32 lanes, clampRound saturation on
+// narrowing) in the same element order as the element interpreter, and
+// the caller's cycle/energy accounting (BytesLoaded/Stored, MemCycles)
+// is computed identically for both paths. Any case the fast path cannot
+// prove safe — non-unit strides, out-of-range addresses, unknown dtypes
+// — returns false and falls back to the element interpreter, which also
+// keeps error behavior byte-for-byte identical.
+
+// loadSpan moves n elements DRAM→scratch if the transfer is unit-stride
+// on both sides and fully in-bounds. Reports whether it handled the move.
+func (m *Machine) loadSpan(dt isa.DT, sa int64, sstride int32, da int64, dstride int32, n int64) bool {
+	if m.noFast || sstride != 1 || dstride != 1 || n <= 0 {
+		return false
+	}
+	esz := int64(dt.Size())
+	off := sa * esz
+	end := off + n*esz
+	if sa < 0 || end > m.cfg.DRAMBytes {
+		return false
+	}
+	if da < 0 || da+n > int64(len(m.scratch)) {
+		return false
+	}
+	m.ensure(end)
+	src := m.dram[off:end:end]
+	dst := m.scratch[da : da+n : da+n]
+	switch dt {
+	case isa.U8:
+		for i, b := range src {
+			dst[i] = float32(b)
+		}
+	case isa.I8:
+		for i, b := range src {
+			dst[i] = float32(int8(b))
+		}
+	case isa.I16:
+		for i := range dst {
+			dst[i] = float32(int16(binary.LittleEndian.Uint16(src[2*i:])))
+		}
+	case isa.I32:
+		for i := range dst {
+			dst[i] = float32(int32(binary.LittleEndian.Uint32(src[4*i:])))
+		}
+	case isa.F32:
+		// Two lanes per 8-byte load: the dominant case (f32 is the
+		// scratchpad's native type), worth the unroll.
+		i := 0
+		for ; i+2 <= len(dst); i += 2 {
+			u := binary.LittleEndian.Uint64(src[4*i:])
+			dst[i] = math.Float32frombits(uint32(u))
+			dst[i+1] = math.Float32frombits(uint32(u >> 32))
+		}
+		if i < len(dst) {
+			dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	case isa.F64:
+		for i := range dst {
+			dst[i] = float32(math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:])))
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// storeSpan moves n elements scratch→DRAM (narrowing with saturation) if
+// the transfer is unit-stride on both sides and fully in-bounds. Reports
+// whether it handled the move.
+func (m *Machine) storeSpan(dt isa.DT, da int64, dstride int32, sa int64, sstride int32, n int64) bool {
+	if m.noFast || dstride != 1 || sstride != 1 || n <= 0 {
+		return false
+	}
+	esz := int64(dt.Size())
+	off := da * esz
+	end := off + n*esz
+	if da < 0 || end > m.cfg.DRAMBytes {
+		return false
+	}
+	if sa < 0 || sa+n > int64(len(m.scratch)) {
+		return false
+	}
+	m.ensure(end)
+	dst := m.dram[off:end:end]
+	src := m.scratch[sa : sa+n : sa+n]
+	switch dt {
+	case isa.U8:
+		for i, v := range src {
+			dst[i] = uint8(clampRound(v, 0, 255))
+		}
+	case isa.I8:
+		for i, v := range src {
+			dst[i] = byte(int8(clampRound(v, -128, 127)))
+		}
+	case isa.I16:
+		for i, v := range src {
+			binary.LittleEndian.PutUint16(dst[2*i:], uint16(int16(clampRound(v, math.MinInt16, math.MaxInt16))))
+		}
+	case isa.I32:
+		for i, v := range src {
+			binary.LittleEndian.PutUint32(dst[4*i:], uint32(int32(clampRound(v, math.MinInt32, math.MaxInt32))))
+		}
+	case isa.F32:
+		i := 0
+		for ; i+2 <= len(src); i += 2 {
+			u := uint64(math.Float32bits(src[i])) | uint64(math.Float32bits(src[i+1]))<<32
+			binary.LittleEndian.PutUint64(dst[4*i:], u)
+		}
+		if i < len(src) {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(src[i]))
+		}
+	case isa.F64:
+		for i, v := range src {
+			binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(float64(v)))
+		}
+	default:
+		return false
+	}
+	m.touch(end)
+	return true
+}

@@ -18,12 +18,43 @@ type Machine struct {
 	streams [isa.MaxStreams]stream
 	sregs   [isa.NumScalarRegs]int64
 	heap    int64 // bump allocator watermark for AllocDRAM
+	// dirty is the high-water mark of DRAM writes since the last
+	// ResetDRAM; bytes at and beyond it are guaranteed zero, so a reset
+	// zeroes only [0, dirty).
+	dirty int64
+
+	// noFast disables the bulk unit-stride operand paths, forcing the
+	// reference element interpreter (see fastpath.go).
+	noFast bool
+	// transBuf is the Transposition Engine's reusable staging tile.
+	transBuf []float32
+	// meta memoizes per-program execution metadata (encoded size, loop
+	// end table) keyed by program identity. Programs are compiled once
+	// and immutable, so the memo is sound; the map is bounded by the
+	// number of distinct programs this machine runs.
+	meta map[*isa.Program]*progMeta
 
 	// OnDMA, when set, observes Dma instructions (queue id and byte
 	// count); the system layer uses it to trigger point-to-point
 	// transfers. The machine itself moves no data for Dma.
 	OnDMA func(queue int32, bytes int64)
 }
+
+// progMeta is the per-program execution metadata Run derives once: the
+// encoded byte size (for the icache admission check) and, for every
+// LoopBegin at index i, the index of its matching LoopEnd — so the
+// interpreter's hot loop does not rescan the instruction stream on every
+// outer-loop iteration.
+type progMeta struct {
+	encLen  int
+	loopEnd []int32
+}
+
+// SetFastPath enables or disables the bulk unit-stride operand paths
+// (on by default). The fast paths are bit-identical to the element
+// interpreter — cycle accounting included — so this switch exists only
+// for the differential checkers and benchmarks that prove it.
+func (m *Machine) SetFastPath(on bool) { m.noFast = !on }
 
 // stream is one configured address generator.
 type stream struct {
@@ -93,11 +124,24 @@ func (m *Machine) AllocDRAM(n int64) (int64, error) {
 	return addr, nil
 }
 
-// ResetDRAM clears the allocator and zeroes device memory.
+// ResetDRAM clears the allocator and zeroes device memory. Only the
+// written prefix [0, dirty) needs clearing: ensure-grown memory starts
+// zeroed and every write advances the dirty watermark, so bytes beyond
+// it are already zero.
 func (m *Machine) ResetDRAM() {
 	m.heap = 0
-	for i := range m.dram {
-		m.dram[i] = 0
+	end := m.dirty
+	if end > int64(len(m.dram)) {
+		end = int64(len(m.dram))
+	}
+	clear(m.dram[:end])
+	m.dirty = 0
+}
+
+// touch advances the dirty watermark past a write ending at end.
+func (m *Machine) touch(end int64) {
+	if end > m.dirty {
+		m.dirty = end
 	}
 }
 
@@ -126,6 +170,7 @@ func (m *Machine) WriteDRAM(addr int64, data []byte) error {
 	}
 	m.ensure(addr + int64(len(data)))
 	copy(m.dram[addr:], data)
+	m.touch(addr + int64(len(data)))
 	return nil
 }
 
@@ -142,33 +187,75 @@ func (m *Machine) ReadDRAM(addr, n int64) ([]byte, error) {
 
 // Run executes a program to completion and returns its cycle accounting.
 // The program must validate and its encoded form must fit the
-// instruction cache.
+// instruction cache. Programs are treated as immutable: per-program
+// metadata (encoded size, loop table) is memoized on first execution.
 func (m *Machine) Run(p *isa.Program) (Result, error) {
-	if err := p.Validate(); err != nil {
+	meta, err := m.progMetaFor(p)
+	if err != nil {
 		return Result{}, err
 	}
-	if enc, err := isa.Encode(p); err != nil {
-		return Result{}, err
-	} else if len(enc) > m.cfg.ICacheBytes {
+	if meta.encLen > m.cfg.ICacheBytes {
 		return Result{}, fmt.Errorf("drx: program %s (%d B encoded) exceeds %d B icache",
-			p.Name, len(enc), m.cfg.ICacheBytes)
+			p.Name, meta.encLen, m.cfg.ICacheBytes)
 	}
-	ex := &execution{m: m}
-	if err := ex.block(p.Instrs, 0, len(p.Instrs), nil); err != nil {
+	var ex execution
+	ex.m = m
+	ex.meta = meta
+	if err := ex.block(p.Instrs, 0, len(p.Instrs)); err != nil {
 		return Result{}, fmt.Errorf("drx: %s: %w", p.Name, err)
 	}
 	return ex.res, nil
 }
 
-// execution holds the per-run interpreter state.
-type execution struct {
-	m      *Machine
-	res    Result
-	halted bool
+// progMetaFor validates p once and derives its execution metadata.
+func (m *Machine) progMetaFor(p *isa.Program) (*progMeta, error) {
+	if meta, ok := m.meta[p]; ok {
+		return meta, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	enc, err := isa.Encode(p)
+	if err != nil {
+		return nil, err
+	}
+	meta := &progMeta{encLen: len(enc), loopEnd: make([]int32, len(p.Instrs))}
+	var stack [isa.MaxLoopDepth]int32
+	depth := 0
+	for i, in := range p.Instrs {
+		switch in.Op {
+		case isa.LoopBegin:
+			stack[depth] = int32(i)
+			depth++
+		case isa.LoopEnd:
+			depth--
+			meta.loopEnd[stack[depth]] = int32(i)
+		}
+	}
+	if m.meta == nil {
+		m.meta = make(map[*isa.Program]*progMeta)
+	}
+	m.meta[p] = meta
+	return meta, nil
 }
 
+// execution holds the per-run interpreter state. The loop index stack is
+// a fixed array (Validate bounds nesting by isa.MaxLoopDepth), so hot
+// loops allocate nothing.
+type execution struct {
+	m      *Machine
+	meta   *progMeta
+	res    Result
+	halted bool
+	depth  int
+	idx    [isa.MaxLoopDepth]int32
+}
+
+// loopIdx is the live loop index stack, outermost first.
+func (ex *execution) loopIdx() []int32 { return ex.idx[:ex.depth] }
+
 // block interprets instrs[from:to) under the current loop index stack.
-func (ex *execution) block(instrs []isa.Instr, from, to int, loopIdx []int32) error {
+func (ex *execution) block(instrs []isa.Instr, from, to int) error {
 	for pc := from; pc < to && !ex.halted; pc++ {
 		in := instrs[pc]
 		ex.res.Instrs++
@@ -184,20 +271,19 @@ func (ex *execution) block(instrs []isa.Instr, from, to int, loopIdx []int32) er
 			ex.res.CtrlCycles += barrierCycles
 			ex.join()
 		case isa.LoopBegin:
-			end, err := matchLoop(instrs, pc, to)
-			if err != nil {
-				return err
-			}
+			end := int(ex.meta.loopEnd[pc])
 			// One cycle to configure the Instruction Repeater; iterations
 			// themselves are free of branch overhead (hardware loops).
 			ex.res.CtrlCycles++
-			idx := append(loopIdx, 0)
+			ex.idx[ex.depth] = 0
+			ex.depth++
 			for i := int32(0); i < in.N && !ex.halted; i++ {
-				idx[len(idx)-1] = i
-				if err := ex.block(instrs, pc+1, end, idx); err != nil {
+				ex.idx[ex.depth-1] = i
+				if err := ex.block(instrs, pc+1, end); err != nil {
 					return err
 				}
 			}
+			ex.depth--
 			pc = end
 		case isa.LoopEnd:
 			// Reached only when block bounds are wrong.
@@ -214,15 +300,15 @@ func (ex *execution) block(instrs []isa.Instr, from, to int, loopIdx []int32) er
 				strides:    in.Strides,
 			}
 		case isa.Load:
-			if err := ex.load(in, loopIdx); err != nil {
+			if err := ex.load(in, ex.loopIdx()); err != nil {
 				return fmt.Errorf("instr %d: %w", pc, err)
 			}
 		case isa.Store:
-			if err := ex.store(in, loopIdx); err != nil {
+			if err := ex.store(in, ex.loopIdx()); err != nil {
 				return fmt.Errorf("instr %d: %w", pc, err)
 			}
 		case isa.Trans:
-			if err := ex.transpose(in, loopIdx); err != nil {
+			if err := ex.transpose(in, ex.loopIdx()); err != nil {
 				return fmt.Errorf("instr %d: %w", pc, err)
 			}
 		case isa.Dma:
@@ -244,7 +330,7 @@ func (ex *execution) block(instrs []isa.Instr, from, to int, loopIdx []int32) er
 			if !in.Op.IsVector() {
 				return fmt.Errorf("instr %d: unimplemented opcode %s", pc, in.Op)
 			}
-			if err := ex.vector(in, loopIdx); err != nil {
+			if err := ex.vector(in, ex.loopIdx()); err != nil {
 				return fmt.Errorf("instr %d: %w", pc, err)
 			}
 		}
@@ -261,22 +347,6 @@ func (ex *execution) join() {
 	}
 	ex.res.ComputeCycles = mx
 	ex.res.MemCycles = mx
-}
-
-func matchLoop(instrs []isa.Instr, begin, to int) (int, error) {
-	depth := 0
-	for i := begin + 1; i < to; i++ {
-		switch instrs[i].Op {
-		case isa.LoopBegin:
-			depth++
-		case isa.LoopEnd:
-			if depth == 0 {
-				return i, nil
-			}
-			depth--
-		}
-	}
-	return 0, fmt.Errorf("instr %d: loop without endloop", begin)
 }
 
 // addr computes a stream's current element address under the loop
@@ -314,16 +384,18 @@ func (ex *execution) load(in isa.Instr, loopIdx []int32) error {
 	}
 	sa, da := src.addr(loopIdx), dst.addr(loopIdx)
 	n := int64(in.N)
-	for i := int64(0); i < n; i++ {
-		v, err := ex.m.readElem(src.dtype, sa+i*int64(src.elemStride))
-		if err != nil {
-			return err
+	if !ex.m.loadSpan(src.dtype, sa, src.elemStride, da, dst.elemStride, n) {
+		for i := int64(0); i < n; i++ {
+			v, err := ex.m.readElem(src.dtype, sa+i*int64(src.elemStride))
+			if err != nil {
+				return err
+			}
+			si := da + i*int64(dst.elemStride)
+			if si < 0 || si >= int64(len(ex.m.scratch)) {
+				return fmt.Errorf("load: scratch index %d out of range", si)
+			}
+			ex.m.scratch[si] = v
 		}
-		si := da + i*int64(dst.elemStride)
-		if si < 0 || si >= int64(len(ex.m.scratch)) {
-			return fmt.Errorf("load: scratch index %d out of range", si)
-		}
-		ex.m.scratch[si] = v
 	}
 	bytes := n * int64(src.dtype.Size())
 	ex.res.BytesLoaded += bytes
@@ -346,13 +418,15 @@ func (ex *execution) store(in isa.Instr, loopIdx []int32) error {
 	}
 	sa, da := src.addr(loopIdx), dst.addr(loopIdx)
 	n := int64(in.N)
-	for i := int64(0); i < n; i++ {
-		si := sa + i*int64(src.elemStride)
-		if si < 0 || si >= int64(len(ex.m.scratch)) {
-			return fmt.Errorf("store: scratch index %d out of range", si)
-		}
-		if err := ex.m.writeElem(dst.dtype, da+i*int64(dst.elemStride), ex.m.scratch[si]); err != nil {
-			return err
+	if !ex.m.storeSpan(dst.dtype, da, dst.elemStride, sa, src.elemStride, n) {
+		for i := int64(0); i < n; i++ {
+			si := sa + i*int64(src.elemStride)
+			if si < 0 || si >= int64(len(ex.m.scratch)) {
+				return fmt.Errorf("store: scratch index %d out of range", si)
+			}
+			if err := ex.m.writeElem(dst.dtype, da+i*int64(dst.elemStride), ex.m.scratch[si]); err != nil {
+				return err
+			}
 		}
 	}
 	bytes := n * int64(dst.dtype.Size())
@@ -380,10 +454,16 @@ func (ex *execution) transpose(in isa.Instr, loopIdx []int32) error {
 	if sa < 0 || sa+total > int64(len(ex.m.scratch)) || da < 0 || da+total > int64(len(ex.m.scratch)) {
 		return fmt.Errorf("trans: tile outside scratchpad")
 	}
-	tmp := make([]float32, total)
+	// Stage through a reusable tile buffer: the engine's banked SRAM in
+	// hardware, and an allocation-free hot loop here.
+	if int64(cap(ex.m.transBuf)) < total {
+		ex.m.transBuf = make([]float32, total)
+	}
+	tmp := ex.m.transBuf[:total]
 	for r := int64(0); r < rows; r++ {
-		for c := int64(0); c < cols; c++ {
-			tmp[c*rows+r] = ex.m.scratch[sa+r*cols+c]
+		row := ex.m.scratch[sa+r*cols : sa+(r+1)*cols]
+		for c, v := range row {
+			tmp[int64(c)*rows+r] = v
 		}
 	}
 	copy(ex.m.scratch[da:da+total], tmp)
@@ -421,6 +501,7 @@ func (m *Machine) writeElem(dt isa.DT, elem int64, v float32) error {
 		return fmt.Errorf("dram write at element %d (%v) out of range", elem, dt)
 	}
 	m.ensure(off + int64(dt.Size()))
+	m.touch(off + int64(dt.Size()))
 	b := m.dram[off:]
 	switch dt {
 	case isa.U8:
@@ -443,8 +524,22 @@ func (m *Machine) writeElem(dt isa.DT, elem int64, v float32) error {
 
 // clampRound matches the tensor package's half-away-from-zero rounding
 // and saturation, so DRX stores agree with the reference executor.
+//
+// Rounding is computed as trunc(x ± 0.5) rather than math.Round: Trunc
+// compiles to a single ROUNDSD instruction while Round is a software
+// bit-manipulation routine, and narrowing stores pay this per element.
+// For inputs that are exact float32 values the two agree everywhere
+// (including subnormals, where x±0.5 rounds to ±0.5 exactly, and huge
+// values, where the tie in x+0.5 breaks to the even — unchanged — x);
+// TestClampRoundMatchesMathRound checks the equivalence across the
+// float32 range.
 func clampRound(v float32, lo, hi float64) float64 {
-	x := math.Round(float64(v))
+	x := float64(v)
+	if x >= 0 {
+		x = math.Trunc(x + 0.5)
+	} else {
+		x = math.Trunc(x - 0.5)
+	}
 	if x < lo {
 		return lo
 	}

@@ -1,0 +1,120 @@
+package drxc
+
+import (
+	"testing"
+
+	"dmx/internal/drx"
+	"dmx/internal/restructure"
+	"dmx/internal/tensor"
+)
+
+// Cache tests assert on *Compiled pointer identity and on stat deltas,
+// never on absolute counter values: the cache is process-wide and other
+// tests in the binary populate it too.
+
+func TestCompileCachedPointerIdentity(t *testing.T) {
+	cfg := drx.DefaultConfig()
+	c1, err := CompileCached(restructure.SignalNormalize(5, 40), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A separately constructed, structurally identical kernel must hit
+	// the same artifact — this is the EnqueueRestructure hot path, where
+	// callers rebuild the kernel per dispatch.
+	c2, err := CompileCached(restructure.SignalNormalize(5, 40), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("repeat CompileCached of an identical kernel returned a distinct compilation")
+	}
+}
+
+func TestCompileCachedKeysOnConfig(t *testing.T) {
+	k := restructure.SignalNormalize(5, 48)
+	c1, err := CompileCached(k, drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CompileCached(k, drx.DefaultConfig().WithLanes(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("CompileCached ignored the hardware configuration in its key")
+	}
+}
+
+// sameSigCacheKernel mirrors the fuzzer's ad-hoc kernels: fixed name and
+// geometry, varying stage structure. Signature collides; the cache key
+// must not.
+func sameSigCacheKernel(e restructure.Expr) *restructure.Kernel {
+	return &restructure.Kernel{
+		Name: "cachecollide",
+		Params: []restructure.Param{
+			{Name: "a", DType: tensor.Float32, Shape: []int{4, 32}, Dir: restructure.In},
+			{Name: "out", DType: tensor.Float32, Shape: []int{4, 32}, Dir: restructure.Out},
+		},
+		Stages: []restructure.Stage{&restructure.MapStage{
+			Out: "out", Ins: []string{"a"},
+			Accs: []restructure.Access{restructure.IdentityAccess(2)},
+			Expr: e,
+		}},
+	}
+}
+
+func TestCompileCachedKeysOnStageStructure(t *testing.T) {
+	k1 := sameSigCacheKernel(restructure.AddE(restructure.InN(0), restructure.C(1)))
+	k2 := sameSigCacheKernel(restructure.MulE(restructure.InN(0), restructure.C(3)))
+	if k1.Signature() != k2.Signature() {
+		t.Fatal("test premise broken: signatures differ")
+	}
+	cfg := drx.DefaultConfig()
+	c1, err := CompileCached(k1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CompileCached(k2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("cache returned one compilation for same-signature kernels with different stages")
+	}
+}
+
+func TestWarmCompiledPopulates(t *testing.T) {
+	cfg := drx.DefaultConfig()
+	k := restructure.SignalNormalize(3, 56) // geometry unique to this test
+	_, missBefore := CacheStats()
+	// Duplicates must be compiled once.
+	if err := WarmCompiled(cfg, []*restructure.Kernel{k, restructure.SignalNormalize(3, 56)}); err != nil {
+		t.Fatal(err)
+	}
+	_, missAfterWarm := CacheStats()
+	if got := missAfterWarm - missBefore; got != 1 {
+		t.Fatalf("WarmCompiled compiled %d times, want 1", got)
+	}
+	hitsBefore, _ := CacheStats()
+	if _, err := CompileCached(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	hitsAfter, missAfter := CacheStats()
+	if hitsAfter != hitsBefore+1 || missAfter != missAfterWarm {
+		t.Fatalf("CompileCached after warm-up missed the cache (hits %d→%d, misses %d→%d)",
+			hitsBefore, hitsAfter, missAfterWarm, missAfter)
+	}
+}
+
+func TestCompileCachedErrorNotCached(t *testing.T) {
+	// A kernel that fails to compile must fail identically on retry and
+	// must not poison the cache.
+	bad := &restructure.Kernel{Name: "bad"}
+	cfg := drx.DefaultConfig()
+	if _, err := CompileCached(bad, cfg); err == nil {
+		t.Fatal("empty kernel compiled")
+	}
+	if _, err := CompileCached(bad, cfg); err == nil {
+		t.Fatal("empty kernel compiled on retry")
+	}
+}

@@ -46,9 +46,11 @@ func Execute(c *Compiled, m *drx.Machine, inputs map[string]*tensor.Tensor) (map
 }
 
 // CompileAndRun is a convenience wrapper: compile the kernel for the
-// machine's configuration, execute it, and return outputs plus timing.
+// machine's configuration (through the process-wide program cache, so
+// repeat dispatches of one kernel compile once), execute it, and return
+// outputs plus timing.
 func CompileAndRun(k *restructure.Kernel, m *drx.Machine, inputs map[string]*tensor.Tensor) (map[string]*tensor.Tensor, drx.Result, error) {
-	c, err := Compile(k, m.Config())
+	c, err := CompileCached(k, m.Config())
 	if err != nil {
 		return nil, drx.Result{}, err
 	}

@@ -1,0 +1,129 @@
+package drxc_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dmx/internal/drx"
+	"dmx/internal/drxc"
+	"dmx/internal/restructure"
+	"dmx/internal/sweep"
+	"dmx/internal/tensor"
+	"dmx/internal/workload"
+)
+
+// The workload-wide differential checker: every restructuring hop of
+// every benchmark application — the five Table I pipelines plus the
+// GenAI-RAG and PIR+NER chains — must be byte- and Result-identical
+// between the machine's bulk fast paths and the element interpreter.
+// This file is an external test package because workload depends (via
+// dmxsys) on drxc itself.
+
+type hopCase struct {
+	bench  string
+	hop    int
+	kernel *restructure.Kernel
+}
+
+func allWorkloadHops(t *testing.T) []hopCase {
+	t.Helper()
+	benches, err := workload.Suite(workload.TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rag, err := workload.GenAIRAG(workload.TestScale); err != nil {
+		t.Fatal(err)
+	} else {
+		benches = append(benches, rag)
+	}
+	if pir, err := workload.PIRWithNER(workload.TestScale); err != nil {
+		t.Fatal(err)
+	} else {
+		benches = append(benches, pir)
+	}
+	var hops []hopCase
+	for _, b := range benches {
+		for i, h := range b.Pipeline.Hops {
+			hops = append(hops, hopCase{bench: b.Name, hop: i, kernel: h.Kernel})
+		}
+	}
+	if len(hops) < 7 {
+		t.Fatalf("expected hops from every benchmark, got %d", len(hops))
+	}
+	return hops
+}
+
+func randHopInputs(seed int64, k *restructure.Kernel) map[string]*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	inputs := make(map[string]*tensor.Tensor)
+	for _, p := range k.Inputs() {
+		in := tensor.New(p.DType, p.Shape...)
+		it := tensor.NewIter(p.Shape)
+		for it.Next() {
+			switch p.DType {
+			case tensor.Complex64:
+				in.SetComplex(complex(rng.Float64()*4-2, rng.Float64()*4-2), it.Index()...)
+			case tensor.Uint8:
+				in.Set(float64(rng.Intn(256)), it.Index()...)
+			case tensor.Int8:
+				in.Set(float64(rng.Intn(256)-128), it.Index()...)
+			case tensor.Int16:
+				in.Set(float64(rng.Intn(1<<16)-1<<15), it.Index()...)
+			case tensor.Int32:
+				in.Set(float64(rng.Intn(1<<20)-1<<19), it.Index()...)
+			default:
+				in.Set(rng.Float64()*200-100, it.Index()...)
+			}
+		}
+		inputs[p.Name] = in
+	}
+	return inputs
+}
+
+func TestFastPathWorkloadHopsBitIdentical(t *testing.T) {
+	hops := allWorkloadHops(t)
+	cfg := drx.DefaultConfig()
+	kernels := make([]*restructure.Kernel, len(hops))
+	for i, h := range hops {
+		kernels[i] = h.kernel
+	}
+	if err := drxc.WarmCompiled(cfg, kernels); err != nil {
+		t.Fatal(err)
+	}
+	err := sweep.Each(len(hops), func(i int) error {
+		h := hops[i]
+		c, err := drxc.CompileCached(h.kernel, cfg)
+		if err != nil {
+			return fmt.Errorf("%s hop %d (%s): compile: %w", h.bench, h.hop, h.kernel.Name, err)
+		}
+		inputs := randHopInputs(3000+int64(i), h.kernel)
+		outs := [2]map[string]*tensor.Tensor{}
+		ress := [2]drx.Result{}
+		for j := 0; j < 2; j++ {
+			m, err := drx.New(cfg)
+			if err != nil {
+				return err
+			}
+			m.SetFastPath(j == 0)
+			if outs[j], ress[j], err = drxc.Execute(c, m, inputs); err != nil {
+				return fmt.Errorf("%s hop %d (%s, fast=%v): %w", h.bench, h.hop, h.kernel.Name, j == 0, err)
+			}
+		}
+		if ress[0] != ress[1] {
+			return fmt.Errorf("%s hop %d (%s): Result divergence:\nfast:   %+v\ninterp: %+v",
+				h.bench, h.hop, h.kernel.Name, ress[0], ress[1])
+		}
+		for name, a := range outs[0] {
+			if !bytes.Equal(a.Bytes(), outs[1][name].Bytes()) {
+				return fmt.Errorf("%s hop %d (%s): output %q not byte-identical",
+					h.bench, h.hop, h.kernel.Name, name)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package restructure
+
+import (
+	"testing"
+
+	"dmx/internal/tensor"
+)
+
+// sameSigKernel builds a kernel with a fixed name and geometry but a
+// caller-chosen map expression — the same Signature, different program.
+func sameSigKernel(e Expr) *Kernel {
+	return &Kernel{
+		Name: "samesig",
+		Params: []Param{
+			{Name: "a", DType: tensor.Float32, Shape: []int{8, 8}, Dir: In},
+			{Name: "out", DType: tensor.Float32, Shape: []int{8, 8}, Dir: Out},
+		},
+		Stages: []Stage{&MapStage{
+			Out: "out", Ins: []string{"a"},
+			Accs: []Access{IdentityAccess(2)},
+			Expr: e,
+		}},
+	}
+}
+
+func TestFingerprintDistinguishesStages(t *testing.T) {
+	k1 := sameSigKernel(AddE(InN(0), C(1)))
+	k2 := sameSigKernel(MulE(InN(0), C(2)))
+	if k1.Signature() != k2.Signature() {
+		t.Fatalf("signatures should match: %q vs %q", k1.Signature(), k2.Signature())
+	}
+	if k1.Fingerprint() == k2.Fingerprint() {
+		t.Fatalf("fingerprints must differ for different stages: %q", k1.Fingerprint())
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	// Two separately constructed but structurally identical kernels must
+	// agree — this is what lets the compile cache hit across call sites.
+	k1, k2 := SignalNormalize(6, 96), SignalNormalize(6, 96)
+	if k1.Fingerprint() != k2.Fingerprint() {
+		t.Fatal("structurally identical kernels disagree on Fingerprint")
+	}
+	if k1.Fingerprint() != k1.Fingerprint() {
+		t.Fatal("Fingerprint is not stable across calls")
+	}
+	if k3 := SignalNormalize(6, 97); k3.Fingerprint() == k1.Fingerprint() {
+		t.Fatal("Fingerprint ignores geometry")
+	}
+}
+
+func TestFingerprintExtendsSignature(t *testing.T) {
+	for _, k := range []*Kernel{MelSpectrogram(4, 16, 8), RecordFrame(4, 32), SumReduce(2, 64)} {
+		fp, sig := k.Fingerprint(), k.Signature()
+		if len(fp) <= len(sig) || fp[:len(sig)] != sig {
+			t.Errorf("%s: Fingerprint does not extend Signature", k.Name)
+		}
+	}
+}

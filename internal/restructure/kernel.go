@@ -3,6 +3,7 @@ package restructure
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"dmx/internal/tensor"
 )
@@ -95,11 +96,21 @@ func (s *StageStats) Add(s2 StageStats) {
 }
 
 // Kernel is a complete restructuring program: typed parameters plus an
-// ordered list of stages.
+// ordered list of stages. A kernel is immutable once built; mutating
+// Params or Stages after the first Fingerprint call is not supported.
 type Kernel struct {
 	Name   string
 	Params []Param
 	Stages []Stage
+
+	// fp memoizes Fingerprint. Rendering stage structure goes through
+	// fmt's reflection and costs about as much as a small compile, which
+	// would cancel the compile cache's win on the dispatch hot loop;
+	// pipelines hold one *Kernel per hop and enqueue it repeatedly, so
+	// one rendering per kernel amortizes to nothing. An atomic pointer
+	// keeps a concurrent first call safe: racing computations produce
+	// identical strings, so last-write-wins is harmless.
+	fp atomic.Pointer[string]
 }
 
 // Signature identifies the kernel's name and exact geometry — two
@@ -113,6 +124,29 @@ func (k *Kernel) Signature() string {
 		fmt.Fprintf(&b, "|%s:%v%v", p.Name, p.DType, p.Shape)
 	}
 	return b.String()
+}
+
+// Fingerprint extends Signature with the structure of every stage —
+// kind, operand wiring, access matrices, expression trees. Two kernels
+// with equal fingerprints are the same program, so the fingerprint is a
+// sound key for caching *compiled* artifacts (internal/drxc keys its
+// process-wide program cache on it). Signature alone is not: ad-hoc
+// kernels (fuzzers, user programs) can reuse a name and geometry with
+// different stages.
+func (k *Kernel) Fingerprint() string {
+	if p := k.fp.Load(); p != nil {
+		return *p
+	}
+	var b strings.Builder
+	b.WriteString(k.Signature())
+	for _, s := range k.Stages {
+		// %+v renders every exported stage field deterministically:
+		// slices in order, Expr trees through their String methods.
+		fmt.Fprintf(&b, "|%T%+v", s, s)
+	}
+	s := b.String()
+	k.fp.Store(&s)
+	return s
 }
 
 // Param looks up a parameter by name.
