@@ -31,12 +31,18 @@ func (m *Machine) loadSpan(dt isa.DT, sa int64, sstride int32, da int64, dstride
 		return false
 	}
 	esz := int64(dt.Size())
+	// Huge (but Validate-legal) bases can wrap these products negative;
+	// a wrapped off or end would slip past the DRAMBytes check and panic
+	// on the slice below, where the element interpreter returns an "out
+	// of range" error. off < 0 and end < off detect the wraps (esz and n
+	// are small positives, so neither product overflows otherwise) and
+	// route such programs to the interpreter for the identical error.
 	off := sa * esz
 	end := off + n*esz
-	if sa < 0 || end > m.cfg.DRAMBytes {
+	if sa < 0 || off < 0 || end < off || end > m.cfg.DRAMBytes {
 		return false
 	}
-	if da < 0 || da+n > int64(len(m.scratch)) {
+	if da < 0 || da+n < da || da+n > int64(len(m.scratch)) {
 		return false
 	}
 	m.ensure(end)
@@ -89,12 +95,14 @@ func (m *Machine) storeSpan(dt isa.DT, da int64, dstride int32, sa int64, sstrid
 		return false
 	}
 	esz := int64(dt.Size())
+	// Overflow guards mirror loadSpan: wrapped offsets fall back to the
+	// element interpreter so adversarial bases error instead of panic.
 	off := da * esz
 	end := off + n*esz
-	if da < 0 || end > m.cfg.DRAMBytes {
+	if da < 0 || off < 0 || end < off || end > m.cfg.DRAMBytes {
 		return false
 	}
-	if sa < 0 || sa+n > int64(len(m.scratch)) {
+	if sa < 0 || sa+n < sa || sa+n > int64(len(m.scratch)) {
 		return false
 	}
 	m.ensure(end)

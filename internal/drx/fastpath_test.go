@@ -166,6 +166,42 @@ func TestFastPathFallbacksBitIdentical(t *testing.T) {
 	}
 }
 
+// TestFastPathOverflowAddrsIdentical drives stream bases large enough
+// that the span byte-offset products wrap negative. isa.Validate admits
+// any non-negative base, so these programs must fall back and error
+// exactly like the element interpreter instead of panicking on a
+// wrapped slice bound.
+func TestFastPathOverflowAddrsIdentical(t *testing.T) {
+	cfg := fastTestConfig()
+	// 3<<60 elements × 4 bytes wraps to a negative DRAM byte offset.
+	ovf := int64(3) << 60
+	// A scratch base this close to MaxInt64 wraps base+n negative.
+	huge := int64(math.MaxInt64) - 16
+	scratchProg := func(op isa.Instr) *isa.Program {
+		return &isa.Program{
+			Name: "scratchovf",
+			Instrs: []isa.Instr{
+				{Op: isa.CfgStream, Dst: 0, Space: isa.DRAM, DType: isa.F32, Base: 0, ElemStride: 1},
+				{Op: isa.CfgStream, Dst: 1, Space: isa.Scratch, DType: isa.F32, Base: huge, ElemStride: 1},
+				op,
+				{Op: isa.Halt},
+			},
+		}
+	}
+	cases := []struct {
+		name string
+		prog *isa.Program
+	}{
+		{"dram_src_overflow", copyProgram(isa.F32, isa.F32, ovf, 8192, 1, 1, 1, 64, 2)},
+		{"dram_dst_overflow", copyProgram(isa.F32, isa.F32, 0, ovf, 1, 1, 1, 64, 2)},
+		{"scratch_load_overflow", scratchProg(isa.Instr{Op: isa.Load, Dst: 1, Src1: 0, N: 64})},
+		{"scratch_store_overflow", scratchProg(isa.Instr{Op: isa.Store, Dst: 0, Src1: 1, N: 64})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { runBoth(t, cfg, tc.prog, 1<<13) })
+	}
+}
+
 func TestFastPathScratchOOBIdentical(t *testing.T) {
 	cfg := fastTestConfig()
 	// Scratch walk exceeds the scratchpad after a few iterations: the

@@ -49,6 +49,57 @@ func TestFingerprintDeterministic(t *testing.T) {
 	}
 }
 
+// sameExprKernel builds a kernel with fixed name, geometry, and
+// expression but caller-chosen input wiring and access matrix — the
+// same Signature and the same *MapStage.String() rendering, so only a
+// field-complete fingerprint can tell the variants apart.
+func sameExprKernel(in string, a Access) *Kernel {
+	return &Kernel{
+		Name: "samewire",
+		Params: []Param{
+			{Name: "a", DType: tensor.Float32, Shape: []int{8, 8}, Dir: In},
+			{Name: "b", DType: tensor.Float32, Shape: []int{8, 8}, Dir: In},
+			{Name: "out", DType: tensor.Float32, Shape: []int{8, 8}, Dir: Out},
+		},
+		Stages: []Stage{&MapStage{
+			Out: "out", Ins: []string{in},
+			Accs: []Access{a},
+			Expr: InN(0),
+		}},
+	}
+}
+
+func TestFingerprintDistinguishesAccesses(t *testing.T) {
+	// *MapStage.String() omits Accs; a Stringer-based fingerprint
+	// collides these two kernels and the process-wide compile cache
+	// would serve the identity program for the transposing kernel.
+	k1 := sameExprKernel("a", IdentityAccess(2))
+	k2 := sameExprKernel("a", PermuteAccess([]int{1, 0}))
+	if k1.Signature() != k2.Signature() {
+		t.Fatalf("signatures should match: %q vs %q", k1.Signature(), k2.Signature())
+	}
+	if k1.Fingerprint() == k2.Fingerprint() {
+		t.Fatalf("kernels differing only in access matrix share a fingerprint: %q", k1.Fingerprint())
+	}
+	// Same coefficient matrix, different offsets.
+	if k3 := sameExprKernel("a", StridedAccess([]int{1, 0}, []int{1, 1})); k3.Fingerprint() == k1.Fingerprint() {
+		t.Fatal("fingerprint ignores access offsets")
+	}
+}
+
+func TestFingerprintDistinguishesInputs(t *testing.T) {
+	// *MapStage.String() also omits Ins: same stage reading parameter
+	// "a" vs "b" must not share a compiled program.
+	k1 := sameExprKernel("a", IdentityAccess(2))
+	k2 := sameExprKernel("b", IdentityAccess(2))
+	if k1.Signature() != k2.Signature() {
+		t.Fatalf("signatures should match: %q vs %q", k1.Signature(), k2.Signature())
+	}
+	if k1.Fingerprint() == k2.Fingerprint() {
+		t.Fatalf("kernels differing only in input wiring share a fingerprint: %q", k1.Fingerprint())
+	}
+}
+
 func TestFingerprintExtendsSignature(t *testing.T) {
 	for _, k := range []*Kernel{MelSpectrogram(4, 16, 8), RecordFrame(4, 32), SumReduce(2, 64)} {
 		fp, sig := k.Fingerprint(), k.Signature()

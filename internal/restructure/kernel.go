@@ -2,6 +2,7 @@ package restructure
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"sync/atomic"
 
@@ -140,9 +141,20 @@ func (k *Kernel) Fingerprint() string {
 	var b strings.Builder
 	b.WriteString(k.Signature())
 	for _, s := range k.Stages {
-		// %+v renders every exported stage field deterministically:
-		// slices in order, Expr trees through their String methods.
-		fmt.Fprintf(&b, "|%T%+v", s, s)
+		// Render the stage's concrete value, not the interface: fmt's
+		// 'v' verb prefers a Stringer, and stage String methods are
+		// compact diagnostics that omit fields (*MapStage.String drops
+		// Ins and Accs — cache poison). Dereferencing first strips a
+		// pointer-receiver String from the method set, so %+v falls
+		// through to field-by-field reflection: every exported field —
+		// operand wiring, access matrices — lands in the key
+		// deterministically, while Expr trees still render completely
+		// via their (value-receiver, lossless) String methods.
+		v := reflect.ValueOf(s)
+		for v.Kind() == reflect.Pointer && !v.IsNil() {
+			v = v.Elem()
+		}
+		fmt.Fprintf(&b, "|%T%+v", s, v.Interface())
 	}
 	s := b.String()
 	k.fp.Store(&s)
