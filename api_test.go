@@ -1,0 +1,114 @@
+package dmx
+
+// The public surface of package dmx is a compatibility contract: the
+// aliases, constants, and functions in dmx.go/chain.go are what
+// downstream users build against. This test renders every exported
+// declaration into a canonical listing and diffs it against a checked-in
+// golden file, so any surface change — addition, removal, or signature
+// edit — shows up in review as a golden diff rather than slipping
+// through. Regenerate deliberately with:
+//
+//	go test -run TestPublicAPISurface -update .
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite golden files")
+
+// apiSurface parses the package's non-test sources and renders each
+// exported top-level declaration (bodies stripped, unexported members
+// filtered) in filename-then-source order.
+func apiSurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["dmx"]
+	if !ok {
+		t.Fatalf("package dmx not found (got %v)", pkgs)
+	}
+	names := make([]string, 0, len(pkg.Files))
+	for name := range pkg.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	for _, name := range names {
+		f := pkg.Files[name]
+		if !ast.FileExports(f) {
+			continue
+		}
+		fmt.Fprintf(&buf, "## %s\n\n", filepath.Base(name))
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.FuncDecl:
+				d.Body = nil
+				d.Doc = nil
+			case *ast.GenDecl:
+				d.Doc = nil
+				for _, sp := range d.Specs {
+					switch sp := sp.(type) {
+					case *ast.TypeSpec:
+						sp.Doc, sp.Comment = nil, nil
+					case *ast.ValueSpec:
+						sp.Doc, sp.Comment = nil, nil
+					}
+				}
+			}
+			if err := cfg.Fprint(&buf, fset, d); err != nil {
+				t.Fatal(err)
+			}
+			buf.WriteString("\n\n")
+		}
+	}
+	return buf.String()
+}
+
+func TestPublicAPISurface(t *testing.T) {
+	got := apiSurface(t)
+	golden := filepath.Join("testdata", "api_surface.txt")
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Point at the first diverging line so the diff is actionable.
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("public API surface changed at line %d:\n  golden: %s\n  source: %s\n"+
+				"intentional? regenerate with: go test -run TestPublicAPISurface -update .",
+				i+1, wl[i], gl[i])
+		}
+	}
+	t.Fatalf("public API surface changed: golden has %d lines, source renders %d\n"+
+		"intentional? regenerate with: go test -run TestPublicAPISurface -update .",
+		len(wl), len(gl))
+}

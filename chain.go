@@ -1,6 +1,9 @@
 package dmx
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // ChainBuilder assembles a Pipeline fluently: alternate Kernel and
 // Motion calls describe the chain in order, IO sets the request payload
@@ -12,9 +15,14 @@ import "fmt"
 //	    Kernel(svm, melBytes).
 //	    IO(audioBytes, labelBytes).
 //	    Build()
+//
+// Every builder error is accumulated, not just the first: Build returns
+// them joined (errors.Join), so one round trip surfaces every mistake
+// in the chain description. errors.Is works against each individual
+// error.
 type ChainBuilder struct {
-	p   Pipeline
-	err error
+	p    Pipeline
+	errs []error
 }
 
 // NewChain starts a pipeline with the given name.
@@ -23,18 +31,13 @@ func NewChain(name string) *ChainBuilder {
 }
 
 func (b *ChainBuilder) fail(format string, args ...any) *ChainBuilder {
-	if b.err == nil {
-		b.err = fmt.Errorf("dmx: chain %q: "+format, append([]any{b.p.Name}, args...)...)
-	}
+	b.errs = append(b.errs, fmt.Errorf("dmx: chain %q: "+format, append([]any{b.p.Name}, args...)...))
 	return b
 }
 
 // Kernel appends an application kernel stage. The first call opens the
 // chain; later calls must each follow a Motion hop.
 func (b *ChainBuilder) Kernel(spec *AccelSpec, inBytes int64) *ChainBuilder {
-	if b.err != nil {
-		return b
-	}
 	if len(b.p.Stages) != len(b.p.Hops) {
 		return b.fail("Kernel after Kernel; add the Motion between them")
 	}
@@ -45,9 +48,6 @@ func (b *ChainBuilder) Kernel(spec *AccelSpec, inBytes int64) *ChainBuilder {
 // Motion appends the data restructuring hop between the previous kernel
 // and the next one.
 func (b *ChainBuilder) Motion(k *RestructureKernel, inBytes, outBytes int64) *ChainBuilder {
-	if b.err != nil {
-		return b
-	}
 	if len(b.p.Stages) != len(b.p.Hops)+1 {
 		return b.fail("Motion without a preceding Kernel")
 	}
@@ -58,21 +58,20 @@ func (b *ChainBuilder) Motion(k *RestructureKernel, inBytes, outBytes int64) *Ch
 // IO sets the request payload shipped to the first kernel and the result
 // returned from the last.
 func (b *ChainBuilder) IO(inputBytes, outputBytes int64) *ChainBuilder {
-	if b.err != nil {
-		return b
-	}
 	b.p.InputBytes = inputBytes
 	b.p.OutputBytes = outputBytes
 	return b
 }
 
-// Build validates and returns the pipeline.
+// Build validates and returns the pipeline. All accumulated builder
+// errors are returned joined; the pipeline is nil if any occurred.
 func (b *ChainBuilder) Build() (*Pipeline, error) {
-	if b.err != nil {
-		return nil, b.err
-	}
+	errs := b.errs
 	if len(b.p.Stages) == len(b.p.Hops) && len(b.p.Hops) > 0 {
-		return nil, fmt.Errorf("dmx: chain %q ends in a Motion; add the consuming Kernel", b.p.Name)
+		errs = append(errs, fmt.Errorf("dmx: chain %q ends in a Motion; add the consuming Kernel", b.p.Name))
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	// Deep-copy so neither the builder nor other Build results can
 	// mutate the returned pipeline.

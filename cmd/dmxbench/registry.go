@@ -45,5 +45,8 @@ func registry() []experiment {
 		{"load", "serving: latency vs offered load with saturation check", func() (renderer, error) {
 			return experiments.Load()
 		}},
+		{"faults", "serving: availability vs fault rate under graceful degradation", func() (renderer, error) {
+			return experiments.Faults()
+		}},
 	}
 }

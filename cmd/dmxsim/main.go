@@ -20,6 +20,19 @@
 // the report shows per-app offered vs achieved throughput and latency
 // quantiles. -discipline selects how contended stations order waiting
 // jobs (fifo, priority, wfq).
+//
+// -faults turns on seeded deterministic fault injection (DRX outages,
+// transient restructure errors, PCIe link degradation/loss, accelerator
+// stalls):
+//
+//	dmxsim -app sound-detection -arrival poisson -rate 2000 -requests 64 \
+//	    -faults drx=5ms/200us,transient=0.01 -fault-seed 42
+//
+// Injection implies the default recovery policy (bounded retries with
+// exponential backoff, graceful degradation of DRX-down hops to
+// CPU-mediated restructuring); -retry caps the attempts and -deadline
+// arms a per-stage watchdog. The same -faults spec and -fault-seed
+// always reproduce the same report.
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"strings"
 
 	"dmx/internal/dmxsys"
+	"dmx/internal/faults"
 	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/sim"
@@ -67,6 +81,12 @@ type options struct {
 	requests   int
 	seed       uint64
 	discipline string
+
+	// Fault injection and recovery (empty faults = none injected).
+	faults    string
+	faultSeed uint64
+	retry     int
+	deadline  string
 }
 
 func main() {
@@ -85,6 +105,10 @@ func main() {
 	flag.IntVar(&o.requests, "requests", 16, "requests per app in load-generation mode")
 	flag.Uint64Var(&o.seed, "seed", 1, "PRNG seed for poisson arrivals")
 	flag.StringVar(&o.discipline, "discipline", "fifo", "service discipline at contended stations: fifo | priority | wfq")
+	flag.StringVar(&o.faults, "faults", "", "fault-injection spec, e.g. 'drx=5ms/200us,transient=0.01,link=20ms/1ms/0.25,stall=10ms/500us'")
+	flag.Uint64Var(&o.faultSeed, "fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the spec's seed)")
+	flag.IntVar(&o.retry, "retry", 0, "max attempts per stage under faults (0 = default policy of 3 when -faults is set)")
+	flag.StringVar(&o.deadline, "deadline", "", "per-stage watchdog deadline, e.g. '500us' (empty = no watchdog)")
 	flag.Parse()
 
 	// One buffered writer carries everything — the event trace, the
@@ -124,6 +148,9 @@ func run(o options, out io.Writer) error {
 			return err
 		}
 		cfg.Sched = sched
+	}
+	if err := applyFaults(o, &cfg); err != nil {
+		return err
 	}
 	if o.trace {
 		cfg.Trace = func(at sim.Time, app, event string) {
@@ -165,6 +192,7 @@ func run(o options, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(out, rep)
+	printFaultCounts(sys, cfg, out)
 	if o.verbose {
 		for _, a := range rep.Apps {
 			thr := a.Throughput(2)
@@ -188,6 +216,49 @@ func run(o options, out io.Writer) error {
 	return writeTraceFile(o, cfg, out)
 }
 
+// applyFaults wires the -faults/-fault-seed/-retry/-deadline flags into
+// the config. Injection implies the default retry policy — faulted runs
+// recover (retry, then degrade to CPU restructuring) rather than fail —
+// and -retry / -deadline tune it.
+func applyFaults(o options, cfg *dmxsys.Config) error {
+	if o.faults != "" {
+		plan, err := faults.ParseSpec(o.faults)
+		if err != nil {
+			return err
+		}
+		if o.faultSeed != 0 {
+			plan.Seed = o.faultSeed
+		}
+		cfg.Faults = plan
+	}
+	if o.faults == "" && o.retry == 0 && o.deadline == "" {
+		return nil
+	}
+	r := faults.DefaultRetry()
+	if o.retry > 0 {
+		r.MaxAttempts = o.retry
+	}
+	if o.deadline != "" {
+		d, err := faults.ParseDuration(o.deadline)
+		if err != nil {
+			return err
+		}
+		r.StageDeadline = d
+	}
+	cfg.Retry = r
+	return nil
+}
+
+// printFaultCounts summarizes the incidents the run actually observed.
+func printFaultCounts(sys *dmxsys.System, cfg dmxsys.Config, out io.Writer) {
+	if cfg.Faults == nil {
+		return
+	}
+	c := sys.FaultCounts()
+	fmt.Fprintf(out, "faults observed: %d DRX outages, %d link incidents, %d stalls, %d transients\n",
+		c.DRXOutages, c.LinkIncidents, c.Stalls, c.Transients)
+}
+
 // runLoad drives the assembled system in load-generation mode.
 func runLoad(o options, cfg dmxsys.Config, sys *dmxsys.System, out io.Writer) error {
 	arr, err := traffic.ParseArrival(o.arrival)
@@ -200,6 +271,7 @@ func runLoad(o options, cfg dmxsys.Config, sys *dmxsys.System, out io.Writer) er
 		return err
 	}
 	fmt.Fprintln(out, rep)
+	printFaultCounts(sys, cfg, out)
 	if o.stats && cfg.Obs != nil {
 		fmt.Fprintln(out, obs.Aggregate(cfg.Obs.Events(), obs.Duration(rep.Makespan)))
 	}

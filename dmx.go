@@ -30,6 +30,7 @@ import (
 	"dmx/internal/accel"
 	"dmx/internal/dmxsys"
 	"dmx/internal/drx"
+	"dmx/internal/faults"
 	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/restructure"
@@ -106,14 +107,61 @@ func DefaultConfig(p Placement) Config { return dmxsys.DefaultConfig(p) }
 // DefaultDRX returns the paper's DRX ASIC configuration.
 func DefaultDRX() DRXConfig { return drx.DefaultConfig() }
 
-// Simulate runs one request through every pipeline concurrently on a
-// freshly assembled system and returns the aggregated report.
-func Simulate(cfg Config, pipelines ...*Pipeline) (RunReport, error) {
+// Unified execution surface. Run is the single entry point behind which
+// the three historical front-ends (Simulate, SimulateStream,
+// SimulateLoad) are thin wrappers.
+type (
+	// RunSpec selects and parameterizes the execution mode: a
+	// single-request latency run (the zero value), a closed-loop
+	// stream, or a traffic-generated load. Build one directly or with
+	// SingleSpec/StreamSpec/LoadSpec.
+	RunSpec = dmxsys.RunSpec
+	// RunMode is the execution front-end selector of a RunSpec.
+	RunMode = dmxsys.RunMode
+	// Report is Run's union result: exactly one of Single, Stream, or
+	// Load is non-nil, matching the spec's mode.
+	Report = dmxsys.Report
+)
+
+// Execution modes.
+const (
+	ModeSingle = dmxsys.ModeSingle
+	ModeStream = dmxsys.ModeStream
+	ModeLoad   = dmxsys.ModeLoad
+)
+
+// SingleSpec is a one-request-per-app latency run (the zero RunSpec).
+func SingleSpec() RunSpec { return dmxsys.SingleSpec() }
+
+// StreamSpec is a closed-loop run of n requests per app.
+func StreamSpec(n int) RunSpec { return dmxsys.StreamSpec(n) }
+
+// LoadSpec is a traffic-driven serving run.
+func LoadSpec(spec TrafficSpec) RunSpec { return dmxsys.LoadSpec(spec) }
+
+// Run assembles a fresh system from cfg and the pipelines and executes
+// it under the spec, returning the mode's report. It is the unified
+// entry point: the zero spec reproduces Simulate, StreamSpec(n)
+// reproduces SimulateStream, and LoadSpec(t) reproduces SimulateLoad —
+// bit for bit. The same cfg, spec, and pipelines always produce an
+// identical report.
+func Run(cfg Config, spec RunSpec, pipelines ...*Pipeline) (Report, error) {
 	sys, err := dmxsys.New(cfg, pipelines)
+	if err != nil {
+		return Report{}, err
+	}
+	return sys.Execute(spec)
+}
+
+// Simulate runs one request through every pipeline concurrently on a
+// freshly assembled system and returns the aggregated report. It is
+// Run with SingleSpec, unwrapped.
+func Simulate(cfg Config, pipelines ...*Pipeline) (RunReport, error) {
+	rep, err := Run(cfg, SingleSpec(), pipelines...)
 	if err != nil {
 		return RunReport{}, err
 	}
-	return sys.Run()
+	return *rep.Single, nil
 }
 
 // StreamReport aggregates a streamed (back-to-back request) simulation.
@@ -121,13 +169,13 @@ type StreamReport = dmxsys.StreamReport
 
 // SimulateStream issues a train of back-to-back requests per pipeline
 // and reports measured steady-state throughput (Sec. VII-A's continuous
-// arrival assumption).
+// arrival assumption). It is Run with StreamSpec(requests), unwrapped.
 func SimulateStream(cfg Config, requests int, pipelines ...*Pipeline) (StreamReport, error) {
-	sys, err := dmxsys.New(cfg, pipelines)
+	rep, err := Run(cfg, StreamSpec(requests), pipelines...)
 	if err != nil {
 		return StreamReport{}, err
 	}
-	return sys.RunStream(requests)
+	return *rep.Stream, nil
 }
 
 // Serving-layer surface: load generation with explicit arrival
@@ -147,6 +195,19 @@ type (
 	// SchedPolicy selects how contended stations order waiting jobs
 	// (Config.Sched): FIFO, priority, or weighted-fair round-robin.
 	SchedPolicy = dmxsys.SchedPolicy
+	// FaultPlan (Config.Faults) injects seeded deterministic failures:
+	// DRX unit outages, transient restructure errors, PCIe link
+	// degradation/loss, and accelerator stalls. Parse one from a CLI
+	// spec with ParseFaultPlan. nil disables injection bit-for-bit.
+	FaultPlan = faults.Plan
+	// RetryPolicy (Config.Retry) is the recovery side: per-stage
+	// watchdog deadline, bounded re-attempts with deterministic
+	// exponential backoff, and graceful degradation to CPU-mediated
+	// restructuring when a hop's DRX path is unavailable.
+	RetryPolicy = faults.RetryPolicy
+	// Outcome classifies how one request retired: clean, degraded
+	// (completed via CPU fallback), or abandoned.
+	Outcome = traffic.Outcome
 )
 
 // Arrival processes.
@@ -163,16 +224,34 @@ const (
 	SchedWFQ      = dmxsys.SchedWFQ
 )
 
+// Request outcomes.
+const (
+	OutcomeClean     = traffic.OutcomeClean
+	OutcomeDegraded  = traffic.OutcomeDegraded
+	OutcomeAbandoned = traffic.OutcomeAbandoned
+)
+
+// ParseFaultPlan parses a comma-separated fault spec — e.g.
+// "drx=5ms/200us,transient=0.01,link=20ms/1ms/0.25,stall=10ms/500us" —
+// into a FaultPlan (the dmxsim -faults syntax).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return faults.ParseSpec(spec) }
+
+// DefaultRetry returns a serving-grade retry policy: three attempts
+// with 20 µs exponential backoff (factor 2, 1 ms cap, 25% jitter) and
+// no stage watchdog unless a deadline is set explicitly.
+func DefaultRetry() RetryPolicy { return faults.DefaultRetry() }
+
 // SimulateLoad drives the pipelines with the spec's arrival process on
 // a freshly assembled system and reports per-app offered vs achieved
-// throughput and latency quantiles. The same cfg, spec, and pipelines
-// always produce an identical report.
+// throughput, latency quantiles, and failure accounting when faults
+// are configured. It is Run with LoadSpec(spec), unwrapped. The same
+// cfg, spec, and pipelines always produce an identical report.
 func SimulateLoad(cfg Config, spec TrafficSpec, pipelines ...*Pipeline) (LoadReport, error) {
-	sys, err := dmxsys.New(cfg, pipelines)
+	rep, err := Run(cfg, LoadSpec(spec), pipelines...)
 	if err != nil {
 		return LoadReport{}, err
 	}
-	return sys.RunLoad(spec)
+	return *rep.Load, nil
 }
 
 // NewRecorder returns an empty trace recorder for Config.Obs.

@@ -1,0 +1,57 @@
+package dmx_test
+
+import (
+	"fmt"
+
+	"dmx"
+)
+
+// ExampleNewChain shows the builder's error accumulation: every mistake
+// in the chain description comes back from Build in one joined error,
+// so a misassembled pipeline is fixed in a single round trip instead of
+// one error at a time.
+func ExampleNewChain() {
+	_, err := dmx.NewChain("broken").
+		Motion(nil, 1024, 2048). // no Kernel yet — hop has no producer
+		Kernel(nil, 1024).
+		Motion(nil, 2048, 4096). // chain left dangling on a Motion
+		Build()
+	fmt.Println(err)
+	// Output:
+	// dmx: chain "broken": Motion without a preceding Kernel
+	// dmx: chain "broken" ends in a Motion; add the consuming Kernel
+}
+
+// ExampleRun drives one benchmark pipeline through the unified entry
+// point under Poisson load with seeded fault injection: DRX outages
+// degrade hops to CPU-mediated restructuring instead of failing them,
+// and the same seed always reproduces the same report.
+func ExampleRun() {
+	suite, err := dmx.TestSuite()
+	if err != nil {
+		panic(err)
+	}
+	cfg := dmx.DefaultConfig(dmx.BumpInTheWire)
+	cfg.Faults, err = dmx.ParseFaultPlan("drx=1ms/2ms")
+	if err != nil {
+		panic(err)
+	}
+	cfg.Retry = dmx.DefaultRetry()
+	rep, err := dmx.Run(cfg, dmx.LoadSpec(dmx.TrafficSpec{
+		Arrival:  dmx.Poisson,
+		Rate:     4000,
+		Requests: 40,
+		Seed:     7,
+	}), suite[0].Pipeline)
+	if err != nil {
+		panic(err)
+	}
+	al := rep.Load.PerApp[0]
+	fmt.Printf("issued %d, completed %d\n", al.Requests, al.Completed)
+	fmt.Printf("some completions degraded to CPU restructuring: %v\n", al.Degraded > 0)
+	fmt.Printf("outages alone never lose a request: %v\n", al.Abandoned == 0)
+	// Output:
+	// issued 40, completed 40
+	// some completions degraded to CPU restructuring: true
+	// outages alone never lose a request: true
+}

@@ -6,6 +6,7 @@ import (
 	"dmx/internal/cpu"
 	"dmx/internal/drx"
 	"dmx/internal/energy"
+	"dmx/internal/faults"
 	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/sim"
@@ -165,6 +166,17 @@ type Config struct {
 	// shared, Standalone DRX card can become the bottleneck") while
 	// spending less idle DRX power than bump-in-the-wire (Fig. 15).
 	AppsPerStandaloneCard int
+	// Faults, when set and enabled, injects seeded deterministic
+	// failures: DRX unit outages, transient restructure errors, PCIe
+	// link degradation/loss, and accelerator stalls. nil (or a disabled
+	// plan) preserves the fault-free flow bit-for-bit.
+	Faults *faults.Plan
+	// Retry is the recovery policy: per-stage watchdog deadline,
+	// bounded re-attempts with deterministic exponential backoff, and
+	// graceful degradation to CPU-mediated restructuring when a hop's
+	// DRX path is unavailable. The zero value disables retry and the
+	// watchdog.
+	Retry faults.RetryPolicy
 }
 
 // DefaultConfig mirrors the paper's testbed: PCIe Gen3, x16 device
@@ -218,6 +230,12 @@ func (c Config) Validate() error {
 	case SchedFIFO, SchedPriority, SchedWFQ:
 	default:
 		return fmt.Errorf("dmxsys: unknown scheduling policy %d", int(c.Sched))
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

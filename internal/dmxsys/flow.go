@@ -1,11 +1,13 @@
 package dmxsys
 
 import (
+	"errors"
 	"fmt"
 
 	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/sim"
+	"dmx/internal/traffic"
 )
 
 // This file implements the end-to-end request flow for every system
@@ -84,11 +86,105 @@ type request struct {
 	// (legs within one request are strictly sequential).
 	legBegin sim.Time
 	// rx, tx are the bump-in-the-wire data queues of the hop in
-	// progress.
-	rx, tx *DataQueue
+	// progress; rxHeld/txHeld mirror the bytes currently reserved so a
+	// degrade or abandon mid-hop can release them (a held reservation
+	// would deadlock peer requests waiting on queue space).
+	rx, tx         *DataQueue
+	rxHeld, txHeld int64
 
-	// done retires the request (nil once failed).
+	// Fault-handling state, all zero on the fault-free path. attempt
+	// numbers the tries of the stage operation in progress; epoch
+	// invalidates in-flight completions after a watchdog fires;
+	// retries/timeouts accumulate for the report; outcome classifies
+	// how the request retired.
+	attempt  int
+	epoch    int
+	retries  int
+	timeouts int
+	outcome  traffic.Outcome
+	watchdog sim.EventRef
+	wdArmed  bool
+
+	// done retires the request (nil once failed or retired).
 	done func(*request)
+}
+
+// guard wraps a completion callback with the request's liveness and
+// epoch: a completion that lost a watchdog race, or that arrived after
+// the request retired, is dropped. On the fault-free path the callback
+// is returned untouched, so timing and allocation behavior are
+// unchanged.
+func (r *request) guard(f func()) func() {
+	if !r.s.hazardous {
+		return f
+	}
+	e := r.epoch
+	return func() {
+		if r.done != nil && r.epoch == e {
+			f()
+		}
+	}
+}
+
+// arm starts the per-stage watchdog, when one is configured: if the
+// guarded operation has not completed within Retry.StageDeadline, the
+// in-flight completion is invalidated (epoch bump) and onTimeout runs.
+// The stalled station keeps its slot busy — injected faults wedge
+// devices, they do not recall submitted work.
+func (r *request) arm(name string, onTimeout func()) {
+	s := r.s
+	if !s.hazardous || s.cfg.Retry.StageDeadline <= 0 {
+		return
+	}
+	e := r.epoch
+	r.watchdog = s.Eng.Schedule(s.cfg.Retry.StageDeadline, func() {
+		if r.done == nil || r.epoch != e {
+			return
+		}
+		r.epoch++
+		r.wdArmed = false
+		r.timeouts++
+		s.obsInstant(r.a, obs.TypeTimeout, 0, r.track, "", name, 0)
+		onTimeout()
+	})
+	r.wdArmed = true
+}
+
+// disarm cancels a pending watchdog (no-op when none is armed).
+func (r *request) disarm() {
+	if r.wdArmed {
+		r.watchdog.Cancel()
+		r.wdArmed = false
+	}
+}
+
+// releaseQueues returns any bump-in-the-wire queue reservations the
+// request still holds.
+func (r *request) releaseQueues() {
+	if r.rxHeld > 0 && r.rx != nil {
+		if err := r.rx.Dequeue(r.rxHeld); err != nil {
+			r.fail(fmt.Errorf("dmxsys: %w", err))
+		}
+		r.rxHeld = 0
+	}
+	if r.txHeld > 0 && r.tx != nil {
+		if err := r.tx.Dequeue(r.txHeld); err != nil {
+			r.fail(fmt.Errorf("dmxsys: %w", err))
+		}
+		r.txHeld = 0
+	}
+}
+
+// abandon retires the request unfinished after its retry budget is
+// exhausted. It still retires through done so the drive loop's
+// outstanding count drains and the run completes.
+func (r *request) abandon() {
+	r.disarm()
+	r.epoch++ // drop any completion still in flight
+	r.releaseQueues()
+	r.outcome = traffic.OutcomeAbandoned
+	r.s.obsInstant(r.a, obs.TypeAbandon, 0, r.track, "", "", 0)
+	r.finish()
 }
 
 // startRequest admits one request into app a's pipeline, calling done at
@@ -159,18 +255,53 @@ func (r *request) fail(err error) {
 
 // finish retires the request.
 func (r *request) finish() {
-	r.a.rep.Total = r.s.Eng.Now().Sub(r.start)
-	if r.done != nil {
-		r.done(r)
+	a := r.a
+	a.rep.Total = r.s.Eng.Now().Sub(r.start)
+	a.rep.Retries += r.retries
+	a.rep.Timeouts += r.timeouts
+	switch r.outcome {
+	case traffic.OutcomeDegraded:
+		a.rep.Degraded++
+	case traffic.OutcomeAbandoned:
+		a.rep.Abandoned++
+	}
+	if done := r.done; done != nil {
+		r.done = nil
+		done(r)
 	}
 }
 
-// transfer starts a fabric DMA, failing the request if the route is
-// invalid.
+// transfer starts a fabric DMA with link-fault handling: a start that
+// fails because an injected link outage is in effect is re-attempted
+// under the retry policy, and the request is abandoned once attempts
+// run out; any other error is a hard flow error, exactly as before.
 func (r *request) transfer(from, to string, n int64, done func()) {
-	if err := r.s.Fabric.Transfer(from, to, n, done); err != nil {
-		r.fail(fmt.Errorf("dmxsys: transfer %s→%s: %w", from, to, err))
+	done = r.guard(done)
+	r.fabricAttempt(from, to, 1, func() error {
+		return r.s.Fabric.Transfer(from, to, n, done)
+	})
+}
+
+func (r *request) fabricAttempt(from, to string, attempt int, start func() error) {
+	err := start()
+	if err == nil {
+		return
 	}
+	s := r.s
+	if s.hazardous && errors.Is(err, pcie.ErrLinkDown) {
+		if attempt < s.cfg.Retry.Attempts() {
+			next := attempt + 1
+			r.retries++
+			s.obsInstant(r.a, obs.TypeRetry, 0, r.track, "", from+"→"+to, int64(next))
+			s.Eng.Schedule(s.inj.RetryBackoff(s.cfg.Retry, next), r.guard(func() {
+				r.fabricAttempt(from, to, next, start)
+			}))
+			return
+		}
+		r.abandon()
+		return
+	}
+	r.fail(fmt.Errorf("dmxsys: transfer %s→%s: %w", from, to, err))
 }
 
 // stepInput ships the request payload host → first accelerator, then
@@ -180,9 +311,7 @@ func (r *request) stepInput() {
 	s.occupyPath(a, pcie.Root, a.accelDev[0], a.pipe.InputBytes)
 	s.obsInstant(a, obs.TypeInputDMA, 0, pcie.Root, a.accelDev[0], "", a.pipe.InputBytes)
 	r.legBegin = s.Eng.Now()
-	if err := s.Fabric.Transfer(pcie.Root, a.accelDev[0], a.pipe.InputBytes, r.inputArrived); err != nil {
-		r.fail(fmt.Errorf("dmxsys: input transfer: %w", err))
-	}
+	r.transfer(pcie.Root, a.accelDev[0], a.pipe.InputBytes, r.inputArrived)
 }
 
 func (r *request) inputArrived() {
@@ -194,22 +323,55 @@ func (r *request) inputArrived() {
 
 // stepKernel enqueues stage k's kernel on its accelerator.
 func (r *request) stepKernel() {
+	r.attempt = 1
+	r.kernelAttempt()
+}
+
+func (r *request) kernelAttempt() {
 	s, a, k := r.s, r.a, r.k
 	st := a.pipe.Stages[k]
+	dev := a.accelDev[k]
+	if s.hazardous {
+		// An accelerator in a stall window holds the submission until
+		// the window closes (the device is wedged, not the driver).
+		if stall := s.inj.StallUntil(dev, s.Eng.Now()); stall > 0 {
+			s.obsInstant(a, obs.TypeStall, 0, dev, "", st.Accel.Name, int64(stall))
+			s.Eng.Schedule(stall, r.guard(r.kernelAttempt))
+			return
+		}
+	}
 	step := uint8(0)
 	if k > 0 {
 		step = obs.StepNextKernel
 	}
-	s.obsInstant(a, obs.TypeKernelEnqueued, step, a.accelDev[k], "", st.Accel.Name, st.InBytes)
-	srv := s.servers[a.accelDev[k]]
+	s.obsInstant(a, obs.TypeKernelEnqueued, step, dev, "", st.Accel.Name, st.InBytes)
+	srv := s.servers[dev]
 	service := st.Accel.Latency(st.InBytes)
 	a.occupyServer(srv, service)
-	srv.SubmitClass(a.id, service, r.kernelDone)
+	r.arm(st.Accel.Name, r.kernelTimeout)
+	srv.SubmitClass(a.id, service, r.guard(r.kernelDone))
+}
+
+// kernelTimeout handles a stage watchdog firing on a kernel execution:
+// re-attempt while the budget lasts (the stale execution's completion
+// is already invalidated by the epoch bump), else abandon.
+func (r *request) kernelTimeout() {
+	s := r.s
+	if r.attempt < s.cfg.Retry.Attempts() {
+		r.attempt++
+		r.retries++
+		st := r.a.pipe.Stages[r.k]
+		s.obsInstant(r.a, obs.TypeRetry, 0, r.track, "", st.Accel.Name, int64(r.attempt))
+		s.Eng.Schedule(s.inj.RetryBackoff(s.cfg.Retry, r.attempt), r.guard(r.kernelAttempt))
+		return
+	}
+	r.abandon()
 }
 
 func (r *request) kernelDone() {
 	s, a, k := r.s, r.a, r.k
 	st := a.pipe.Stages[k]
+	r.disarm()
 	r.lap(phaseKernel)
 	s.obsInstant(a, obs.TypeKernelDone, obs.StepKernelDone, a.accelDev[k], "", st.Accel.Name, 0)
 	if k == len(a.pipe.Stages)-1 {
@@ -234,9 +396,7 @@ func (r *request) stepOutput() {
 	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
 		s.obsInstant(a, obs.TypeOutputDMA, 0, last, pcie.Root, "", a.pipe.OutputBytes)
 		r.legBegin = s.Eng.Now()
-		if err := s.Fabric.Transfer(last, pcie.Root, a.pipe.OutputBytes, r.outputDone); err != nil {
-			r.fail(fmt.Errorf("dmxsys: output transfer: %w", err))
-		}
+		r.transfer(last, pcie.Root, a.pipe.OutputBytes, r.outputDone)
 	})
 }
 
@@ -405,9 +565,10 @@ func (r *request) hopSwitchIn() {
 	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
 		s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
 		r.legBegin = s.Eng.Now()
-		if err := s.Fabric.TransferUp(from, h.InBytes, r.hopSwitchArrived); err != nil {
-			r.fail(fmt.Errorf("dmxsys: transfer up %s: %w", from, err))
-		}
+		arrived := r.guard(r.hopSwitchArrived)
+		r.fabricAttempt(from, drxTrack, 1, func() error {
+			return s.Fabric.TransferUp(from, h.InBytes, arrived)
+		})
 	})
 }
 
@@ -431,9 +592,10 @@ func (r *request) hopSwitchRestructured() {
 	}
 	s.obsInstant(a, obs.TypeP2PDMA, obs.StepP2PDMA, "drx."+a.sw, to, "", h.OutBytes)
 	r.legBegin = s.Eng.Now()
-	if err := s.Fabric.TransferDown(to, h.OutBytes, r.hopSwitchDone); err != nil {
-		r.fail(fmt.Errorf("dmxsys: transfer down %s: %w", to, err))
-	}
+	done := r.guard(r.hopSwitchDone)
+	r.fabricAttempt("drx."+a.sw, to, 1, func() error {
+		return s.Fabric.TransferDown(to, h.OutBytes, done)
+	})
 }
 
 func (r *request) hopSwitchDone() {
@@ -464,10 +626,11 @@ func (r *request) hopBumpIn() {
 	link := pcie.LinkConfig{Gen: s.cfg.Gen, Lanes: s.cfg.AccelLanes}
 	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
 		s.queueAdmit(r.rx, h.InBytes, func() {
+			r.rxHeld = h.InBytes
 			s.obsInstant(a, obs.TypeQueueDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
 			r.legBegin = s.Eng.Now()
 			s.localBytes += h.InBytes
-			s.Eng.Schedule(sim.BytesAt(h.InBytes, link.Bandwidth()), r.hopBumpAtDRX)
+			s.Eng.Schedule(sim.BytesAt(h.InBytes, link.Bandwidth()), r.guard(r.hopBumpAtDRX))
 		})
 	})
 }
@@ -484,7 +647,7 @@ func (r *request) hopBumpAtDRX() {
 // before the RX slot is released.
 func (r *request) hopBumpRestructured() {
 	h := r.a.pipe.Hops[r.k]
-	r.s.queueAdmit(r.tx, h.OutBytes, r.hopBumpTXAdmitted)
+	r.s.queueAdmit(r.tx, h.OutBytes, r.guard(r.hopBumpTXAdmitted))
 }
 
 func (r *request) hopBumpTXAdmitted() {
@@ -492,11 +655,13 @@ func (r *request) hopBumpTXAdmitted() {
 	h := a.pipe.Hops[k]
 	from := a.accelDev[k]
 	to := a.accelDev[k+1]
+	r.txHeld = h.OutBytes
 	if r.rx != nil {
 		if err := r.rx.Dequeue(h.InBytes); err != nil {
 			r.fail(fmt.Errorf("dmxsys: %w", err))
 			return
 		}
+		r.rxHeld = 0
 	}
 	r.lap(phaseRestructure)
 	s.occupyPath(a, from, to, h.OutBytes)
@@ -518,6 +683,7 @@ func (r *request) hopBumpDone() {
 			r.fail(fmt.Errorf("dmxsys: %w", err))
 			return
 		}
+		r.txHeld = 0
 	}
 	r.obsDMA(obs.TypeP2PDMA, obs.StepP2PDMA, from, to, h.OutBytes, r.legBegin)
 	r.lap(phaseMovement)
@@ -540,12 +706,29 @@ func (r *request) restructureHost(done func()) {
 	s.cpuJob(ops, bytes, done)
 }
 
-// restructureDRX queues hop k's kernel on the app's DRX unit.
+// restructureDRX queues hop k's kernel on the app's DRX unit, handling
+// injected faults: a unit inside an outage window degrades the hop to
+// the CPU fallback immediately; a transient restructure error is
+// retried with backoff until the attempt budget runs out, then
+// degrades; a configured stage watchdog degrades a restructure that
+// overstays its deadline (e.g. parked behind a retry storm).
 func (r *request) restructureDRX(done func()) {
+	r.attempt = 1
+	r.restructureAttempt(done)
+}
+
+func (r *request) restructureAttempt(done func()) {
 	s, a, k := r.s, r.a, r.k
 	kern := a.pipe.Hops[k].Kernel
+	unit := a.drxServer[k].Name()
+	if s.hazardous {
+		if down, _ := s.inj.DRXDown(unit, s.Eng.Now()); down {
+			r.degradeHop()
+			return
+		}
+	}
 	s.obsInstant(a, obs.TypeRestructure, obs.StepRestructure,
-		a.drxServer[k].Name(), "", kern.Name, a.pipe.Hops[k].InBytes)
+		unit, "", kern.Name, a.pipe.Hops[k].InBytes)
 	d, err := s.drxServiceTime(kern)
 	if err != nil {
 		// Cache warmed in New; reachable only on a mutated config.
@@ -553,7 +736,99 @@ func (r *request) restructureDRX(done func()) {
 		return
 	}
 	a.occupyServer(a.drxServer[k], d)
-	a.drxServer[k].SubmitClass(a.id, d, done)
+	r.arm(unit, r.degradeHop)
+	a.drxServer[k].SubmitClass(a.id, d, r.guard(func() {
+		r.disarm()
+		if s.hazardous && s.inj.TransientFault(unit) {
+			r.retryRestructure(done)
+			return
+		}
+		done()
+	}))
+}
+
+// retryRestructure handles a transient restructure fault: re-attempt
+// after backoff while the budget lasts, then fall back to the CPU path.
+func (r *request) retryRestructure(done func()) {
+	s := r.s
+	if r.attempt < s.cfg.Retry.Attempts() {
+		r.attempt++
+		r.retries++
+		s.obsInstant(r.a, obs.TypeRetry, 0, r.track, "", r.a.drxServer[r.k].Name(), int64(r.attempt))
+		s.Eng.Schedule(s.inj.RetryBackoff(s.cfg.Retry, r.attempt), r.guard(func() {
+			r.restructureAttempt(done)
+		}))
+		return
+	}
+	r.degradeHop()
+}
+
+// degradeHop completes hop k via CPU-mediated restructuring after its
+// DRX path proved unavailable: the driver re-fetches the producer
+// accelerator's still-valid output buffer over the host bridge,
+// restructures in software (restructure.Run semantics — bit-identical
+// to the DRX result), and ships it to the consumer. This is the
+// paper's Multi-Axl baseline path grafted onto one hop: the request
+// completes slower instead of failing.
+func (r *request) degradeHop() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	if r.outcome == traffic.OutcomeClean {
+		r.outcome = traffic.OutcomeDegraded
+	}
+	r.releaseQueues()
+	s.obsInstant(a, obs.TypeDegrade, 0, r.track, "", a.drxServer[k].Name(), h.InBytes)
+	// Time burned on the failed DRX attempts counts as restructuring.
+	r.lap(phaseRestructure)
+	if s.cfg.Placement == Integrated {
+		// The hop's payload is already in host memory (hopHostIn
+		// brought it there); restructure in software and rejoin the
+		// normal host-mediated continuation.
+		ops, bytes := s.restructureWork(h.Kernel)
+		s.occupyCPU(a, ops, bytes)
+		s.obsInstant(a, obs.TypeHostRestructure, 0, pcie.Root, "", h.Kernel.Name, h.InBytes)
+		s.cpuJob(ops, bytes, r.guard(r.hopHostRestructured))
+		return
+	}
+	from := a.accelDev[k]
+	s.occupyPath(a, from, pcie.Root, h.InBytes)
+	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, r.guard(func() {
+		s.obsInstant(a, obs.TypeHostDMA, 0, from, pcie.Root, "", h.InBytes)
+		r.legBegin = s.Eng.Now()
+		r.transfer(from, pcie.Root, h.InBytes, r.degradeAtHost)
+	}))
+}
+
+func (r *request) degradeAtHost() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeHostDMA, 0, a.accelDev[k], pcie.Root, h.InBytes, r.legBegin)
+	r.lap(phaseMovement)
+	ops, bytes := s.restructureWork(h.Kernel)
+	s.occupyCPU(a, ops, bytes)
+	s.obsInstant(a, obs.TypeHostRestructure, 0, pcie.Root, "", h.Kernel.Name, h.InBytes)
+	s.cpuJob(ops, bytes, r.guard(r.degradeRestructured))
+}
+
+func (r *request) degradeRestructured() {
+	s, a, k := r.s, r.a, r.k
+	h := a.pipe.Hops[k]
+	to := a.accelDev[k+1]
+	r.lap(phaseRestructure)
+	s.occupyPath(a, pcie.Root, to, h.OutBytes)
+	s.Eng.Schedule(DMASetupLatency, r.guard(func() {
+		s.obsInstant(a, obs.TypeHostDMA, 0, pcie.Root, to, "", h.OutBytes)
+		r.legBegin = s.Eng.Now()
+		r.transfer(pcie.Root, to, h.OutBytes, r.degradeDone)
+	}))
+}
+
+func (r *request) degradeDone() {
+	a, k := r.a, r.k
+	h := a.pipe.Hops[k]
+	r.obsDMA(obs.TypeHostDMA, 0, pcie.Root, a.accelDev[k+1], h.OutBytes, r.legBegin)
+	r.lap(phaseMovement)
+	r.nextStage()
 }
 
 // drive is the shared load driver under Run, RunStream, and RunLoad:

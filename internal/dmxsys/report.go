@@ -25,6 +25,15 @@ type AppReport struct {
 	// throughput. BottleneckResource names it.
 	Bottleneck         sim.Duration
 	BottleneckResource string
+
+	// Fault accounting (all zero on fault-free runs): total re-attempts
+	// and watchdog firings across the app's requests, plus how many
+	// requests completed degraded (CPU-fallback restructuring) or
+	// retired abandoned.
+	Retries   int
+	Timeouts  int
+	Degraded  int
+	Abandoned int
 }
 
 // StageMax reports the slowest of the app's three logical pipeline

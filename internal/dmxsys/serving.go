@@ -40,7 +40,22 @@ func (s *System) RunLoad(spec traffic.Spec) (traffic.LoadReport, error) {
 		func(app, req int, r *request) {
 			now := s.Eng.Now()
 			al := &rep.PerApp[app]
-			al.Latency.Add(obs.Duration(now.Sub(r.start)))
+			al.Retries += r.retries
+			al.Timeouts += r.timeouts
+			if r.outcome == traffic.OutcomeAbandoned {
+				// Abandoned requests retire without completing: no
+				// latency sample, no completion, no rate contribution.
+				al.Abandoned++
+				return
+			}
+			lat := obs.Duration(now.Sub(r.start))
+			al.Latency.Add(lat)
+			if r.outcome == traffic.OutcomeDegraded {
+				al.Degraded++
+				al.DegradedLat.Add(lat)
+			} else {
+				al.CleanLat.Add(lat)
+			}
 			if r.deadline != 0 && now > r.deadline {
 				al.Missed++
 			}

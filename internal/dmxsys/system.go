@@ -7,6 +7,7 @@ import (
 	"dmx/internal/drx"
 	"dmx/internal/drxc"
 	"dmx/internal/energy"
+	"dmx/internal/faults"
 	"dmx/internal/obs"
 	"dmx/internal/pcie"
 	"dmx/internal/restructure"
@@ -53,6 +54,13 @@ type System struct {
 	// cfg.Obs, or an internal recorder when only the text Trace hook is
 	// configured.
 	rec *obs.Recorder
+
+	// inj is the fault injector (nil = no faults). hazardous is true
+	// when faults or a retry policy are active; every fault/retry check
+	// in the request machine is gated on it so the fault-free flow
+	// stays bit-for-bit identical to the historical behavior.
+	inj       *faults.Injector
+	hazardous bool
 
 	// err is the first flow error (invalid fabric route, queue
 	// accounting violation, DRX timing failure). The request machine
@@ -183,6 +191,15 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 			}
 		}
 		eng.Obs = s.rec
+	}
+
+	// Fault injection: a disabled plan yields a nil injector, and every
+	// downstream query is nil-safe, so the fault-free build is
+	// unchanged.
+	s.inj = faults.New(cfg.Faults, s.rec)
+	s.hazardous = s.inj.Enabled() || cfg.Retry.Enabled()
+	if s.inj.Enabled() {
+		s.Fabric.SetFaults(s.inj)
 	}
 
 	m := cfg.CPU
@@ -474,6 +491,15 @@ func (s *System) restructureWork(k *restructure.Kernel) (ops, bytes int64) {
 
 // Switches reports how many PCIe switches the build instantiated.
 func (s *System) Switches() int { return s.nSwitches }
+
+// FaultCounts reports the incidents the injector observed during the
+// run (all zero without a fault plan).
+func (s *System) FaultCounts() faults.Counts {
+	if s.inj == nil {
+		return faults.Counts{}
+	}
+	return s.inj.Counts
+}
 
 // DRXCount reports how many DRX instances the placement deployed.
 func (s *System) DRXCount() int { return s.nDRX }

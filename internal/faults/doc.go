@@ -1,0 +1,29 @@
+// Package faults is the seeded, deterministic fault-injection and
+// recovery subsystem of the serving stack. A Plan describes four fault
+// mechanisms — DRX unit outages, transient restructuring errors, PCIe
+// link degradation/loss incidents, and accelerator stalls — and an
+// Injector materializes them against one simulation: every station
+// (DRX unit, fabric link, accelerator device) draws its incident
+// timeline from an independent splitmix64 stream derived from the plan
+// seed and the station name, exactly like internal/traffic derives
+// per-application arrival streams. The same seed therefore reproduces
+// the same incidents regardless of how many stations exist, what order
+// they are queried in, or how many sweep workers run sibling
+// simulations.
+//
+// Timelines are extended lazily: a station's outage windows are
+// generated only as far as the simulation actually queries, so the
+// discrete-event engine still drains (an eagerly scheduled infinite
+// fault timeline would hold the event queue open forever). Fault and
+// repair instants are emitted to the observability stream the first
+// time a window is observed, timestamped at the window's true begin and
+// end, so incidents are visible in Perfetto traces.
+//
+// RetryPolicy is the recovery half: per-stage watchdog deadlines,
+// bounded attempts, and exponential backoff with deterministic jitter.
+// The request state machine in internal/dmxsys consumes both: faults
+// decide when stations misbehave, the policy decides how the flow
+// reacts, and graceful degradation (rerouting a hop whose DRX is down
+// onto the CPU restructuring baseline) guarantees functional
+// completion at reduced speed.
+package faults

@@ -1,0 +1,214 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"dmx/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("drx=5ms/200us,transient=0.02,link=20ms/1ms/0.25,stall=10ms/500us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DRXMTBF != 5*sim.Millisecond || p.DRXRepair != 200*sim.Microsecond {
+		t.Errorf("drx: %v/%v", p.DRXMTBF, p.DRXRepair)
+	}
+	if p.TransientProb != 0.02 {
+		t.Errorf("transient: %g", p.TransientProb)
+	}
+	if p.LinkMTBF != 20*sim.Millisecond || p.LinkRepair != sim.Millisecond || p.LinkDegradeFactor != 0.25 {
+		t.Errorf("link: %v/%v/%g", p.LinkMTBF, p.LinkRepair, p.LinkDegradeFactor)
+	}
+	if p.StallMTBF != 10*sim.Millisecond || p.StallRepair != 500*sim.Microsecond {
+		t.Errorf("stall: %v/%v", p.StallMTBF, p.StallRepair)
+	}
+	if !p.Enabled() {
+		t.Error("plan should be enabled")
+	}
+	if s := p.String(); !strings.Contains(s, "transient=0.02") {
+		t.Errorf("String: %s", s)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"drx=5ms",            // missing repair
+		"frob=1ms/1ms",       // unknown clause
+		"transient=1.5",      // out of range
+		"link=1ms/1ms/1.0",   // factor must be < 1
+		"drx=5ms/200us/1ms",  // too many fields
+		"",                   // enables nothing
+		"transient",          // not key=value
+		"stall=banana/200us", // bad duration
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestTimelineDeterministicAndLazy(t *testing.T) {
+	mk := func() *timeline { return newTimeline(7, kindDRX, "drx.a0.0", sim.Millisecond, 100*sim.Microsecond) }
+	a, b := mk(), mk()
+	// Different query patterns over the same timeline must agree on
+	// every instant's state.
+	var probesA []bool
+	for ts := sim.Time(0); ts < sim.Time(20*sim.Millisecond); ts = ts.Add(37 * sim.Microsecond) {
+		down, _, _ := a.at(ts)
+		probesA = append(probesA, down)
+	}
+	// b queries sparsely first (different extension pattern), then densely.
+	b.at(sim.Time(15 * sim.Millisecond))
+	i := 0
+	for ts := sim.Time(0); ts < sim.Time(20*sim.Millisecond); ts = ts.Add(37 * sim.Microsecond) {
+		down, _, _ := b.at(ts)
+		if down != probesA[i] {
+			t.Fatalf("query-order dependence at %v: %v vs %v", ts, down, probesA[i])
+		}
+		i++
+	}
+	someDown := false
+	for _, d := range probesA {
+		someDown = someDown || d
+	}
+	if !someDown {
+		t.Error("1 ms MTBF / 100 us repair over 20 ms never sampled down")
+	}
+}
+
+func TestInjectorIndependentStations(t *testing.T) {
+	plan := &Plan{Seed: 3, DRXMTBF: sim.Millisecond, DRXRepair: 200 * sim.Microsecond}
+	in := New(plan, nil)
+	// Two stations must not share a timeline; with a 20% duty cycle the
+	// chance of identical 200-probe traces is negligible.
+	same := true
+	for ts := sim.Time(0); ts < sim.Time(20*sim.Millisecond); ts = ts.Add(100 * sim.Microsecond) {
+		d1, _ := in.DRXDown("drx.a0.0", ts)
+		d2, _ := in.DRXDown("drx.a1.0", ts)
+		same = same && d1 == d2
+	}
+	if same {
+		t.Error("two stations produced identical outage traces")
+	}
+	if in.Counts.DRXOutages == 0 {
+		t.Error("no outages counted")
+	}
+}
+
+func TestInjectorDisabled(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Error("nil injector reports enabled")
+	}
+	if down, _ := in.DRXDown("x", 0); down {
+		t.Error("nil injector reports a DRX outage")
+	}
+	if down, f := in.LinkState("x", 0); down || f != 1 {
+		t.Error("nil injector impairs a link")
+	}
+	if in.StallUntil("x", 0) != 0 {
+		t.Error("nil injector stalls")
+	}
+	if in.TransientFault("x") {
+		t.Error("nil injector faults")
+	}
+	if New(nil, nil) != nil || New(&Plan{}, nil) != nil {
+		t.Error("disabled plan built an injector")
+	}
+}
+
+func TestLinkDegradeFactor(t *testing.T) {
+	plan := &Plan{Seed: 5, LinkMTBF: sim.Millisecond, LinkRepair: 300 * sim.Microsecond, LinkDegradeFactor: 0.25}
+	in := New(plan, nil)
+	sawDegrade := false
+	for ts := sim.Time(0); ts < sim.Time(20*sim.Millisecond); ts = ts.Add(50 * sim.Microsecond) {
+		down, f := in.LinkState("a0.0.up", ts)
+		if down {
+			t.Fatal("degrade-factor plan reported full loss")
+		}
+		if f == 0.25 {
+			sawDegrade = true
+		} else if f != 1 {
+			t.Fatalf("unexpected factor %g", f)
+		}
+	}
+	if !sawDegrade {
+		t.Error("never observed degradation")
+	}
+}
+
+func TestRetryBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4, Backoff: 10 * sim.Microsecond, BackoffFactor: 2, MaxBackoff: 25 * sim.Microsecond}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.backoffFor(2); got != 10*sim.Microsecond {
+		t.Errorf("attempt 2: %v", got)
+	}
+	if got := p.backoffFor(3); got != 20*sim.Microsecond {
+		t.Errorf("attempt 3: %v", got)
+	}
+	if got := p.backoffFor(4); got != 25*sim.Microsecond {
+		t.Errorf("attempt 4 (capped): %v", got)
+	}
+	// Jitter is deterministic per injector stream and bounded.
+	in := New(&Plan{Seed: 9, TransientProb: 0.5}, nil)
+	p.Jitter = 0.5
+	d1 := in.RetryBackoff(p, 2)
+	if d1 < 10*sim.Microsecond || d1 >= 15*sim.Microsecond {
+		t.Errorf("jittered backoff %v outside [10us, 15us)", d1)
+	}
+	in2 := New(&Plan{Seed: 9, TransientProb: 0.5}, nil)
+	if d2 := in2.RetryBackoff(p, 2); d2 != d1 {
+		t.Errorf("same seed, different jitter: %v vs %v", d1, d2)
+	}
+}
+
+func TestRetryValidate(t *testing.T) {
+	bad := []RetryPolicy{
+		{MaxAttempts: -1},
+		{MaxAttempts: 3}, // retry without backoff
+		{MaxAttempts: 2, Backoff: -1},
+		{MaxAttempts: 2, Backoff: sim.Microsecond, Jitter: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if err := DefaultRetry().Validate(); err != nil {
+		t.Errorf("DefaultRetry invalid: %v", err)
+	}
+	if !DefaultRetry().Enabled() {
+		t.Error("DefaultRetry should enable retries")
+	}
+	if (RetryPolicy{}).Enabled() {
+		t.Error("zero policy should be disabled")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{DRXMTBF: sim.Millisecond},   // no repair
+		{LinkMTBF: sim.Millisecond},  // no repair
+		{StallMTBF: sim.Millisecond}, // no duration
+		{TransientProb: -0.1},
+		{TransientProb: 1},
+		{LinkMTBF: sim.Millisecond, LinkRepair: 1, LinkDegradeFactor: 1},
+		{DRXMTBF: -sim.Millisecond},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+	if nilPlan.String() != "faults(off)" {
+		t.Errorf("nil plan String: %s", nilPlan.String())
+	}
+}

@@ -1,0 +1,206 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"dmx/internal/sim"
+)
+
+// Plan parameterizes fault injection for one simulation. The zero value
+// (and a nil *Plan) injects nothing; each mechanism activates
+// independently when its rate field is set. All randomness flows from
+// Seed through per-station streams, so a plan is a pure description:
+// the same plan always produces the same incidents.
+type Plan struct {
+	// Seed drives every fault stream. Two runs with the same seed (and
+	// the same stations) observe identical incidents.
+	Seed uint64
+
+	// DRXMTBF is the mean up-time between outages of one DRX unit
+	// (exponentially distributed); 0 disables DRX outages. DRXRepair is
+	// the fixed outage length. While a unit is down, hops that would
+	// restructure on it degrade to the CPU baseline path.
+	DRXMTBF   sim.Duration
+	DRXRepair sim.Duration
+
+	// TransientProb is the probability that one DRX restructuring
+	// attempt faults (a correctable execution error: the attempt's
+	// latency is spent, the result is discarded, and the flow retries
+	// under its RetryPolicy). 0 disables transient errors.
+	TransientProb float64
+
+	// LinkMTBF is the mean up-time between incidents of one PCIe link;
+	// 0 disables link incidents. LinkRepair is the incident length.
+	// LinkDegradeFactor is the fraction of bandwidth the link retains
+	// during an incident: 0 means full loss (transfers fail and must be
+	// retried), values in (0, 1) stretch transfer serialization.
+	LinkMTBF          sim.Duration
+	LinkRepair        sim.Duration
+	LinkDegradeFactor float64
+
+	// StallMTBF is the mean up-time between stalls of one accelerator
+	// device; 0 disables stalls. StallRepair is the stall length: a
+	// kernel submitted during a stall waits out the window's remainder
+	// before entering service.
+	StallMTBF   sim.Duration
+	StallRepair sim.Duration
+}
+
+// Enabled reports whether the plan injects anything. A nil plan is the
+// canonical disabled state.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.DRXMTBF > 0 || p.TransientProb > 0 || p.LinkMTBF > 0 || p.StallMTBF > 0
+}
+
+// Validate sanity-checks the plan.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.DRXMTBF < 0 || p.LinkMTBF < 0 || p.StallMTBF < 0 {
+		return fmt.Errorf("faults: negative MTBF")
+	}
+	if p.DRXMTBF > 0 && p.DRXRepair <= 0 {
+		return fmt.Errorf("faults: DRX outages need a positive repair time")
+	}
+	if p.LinkMTBF > 0 && p.LinkRepair <= 0 {
+		return fmt.Errorf("faults: link incidents need a positive repair time")
+	}
+	if p.StallMTBF > 0 && p.StallRepair <= 0 {
+		return fmt.Errorf("faults: stalls need a positive duration")
+	}
+	if p.TransientProb < 0 || p.TransientProb >= 1 {
+		return fmt.Errorf("faults: transient probability %g outside [0, 1)", p.TransientProb)
+	}
+	if p.LinkDegradeFactor < 0 || p.LinkDegradeFactor >= 1 {
+		return fmt.Errorf("faults: link degrade factor %g outside [0, 1)", p.LinkDegradeFactor)
+	}
+	return nil
+}
+
+// String renders the active mechanisms compactly.
+func (p *Plan) String() string {
+	if !p.Enabled() {
+		return "faults(off)"
+	}
+	var parts []string
+	if p.DRXMTBF > 0 {
+		parts = append(parts, fmt.Sprintf("drx=%v/%v", p.DRXMTBF, p.DRXRepair))
+	}
+	if p.TransientProb > 0 {
+		parts = append(parts, fmt.Sprintf("transient=%g", p.TransientProb))
+	}
+	if p.LinkMTBF > 0 {
+		s := fmt.Sprintf("link=%v/%v", p.LinkMTBF, p.LinkRepair)
+		if p.LinkDegradeFactor > 0 {
+			s += fmt.Sprintf("/%g", p.LinkDegradeFactor)
+		}
+		parts = append(parts, s)
+	}
+	if p.StallMTBF > 0 {
+		parts = append(parts, fmt.Sprintf("stall=%v/%v", p.StallMTBF, p.StallRepair))
+	}
+	return fmt.Sprintf("faults(seed=%d %s)", p.Seed, strings.Join(parts, " "))
+}
+
+// ParseSpec builds a plan from a CLI spec: comma-separated clauses
+//
+//	drx=<mtbf>/<repair>          DRX unit outages
+//	transient=<prob>             per-attempt restructure faults
+//	link=<mtbf>/<repair>[/<f>]   link incidents (f = retained bandwidth
+//	                             fraction; omitted or 0 = full loss)
+//	stall=<mtbf>/<dur>           accelerator stalls
+//
+// with durations in Go syntax (e.g. "5ms", "200us"). The seed is not
+// part of the spec; callers set it separately (the -fault-seed flag).
+func ParseSpec(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, clause := range strings.Split(spec, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: clause %q is not key=value", clause)
+		}
+		switch key {
+		case "drx":
+			ds, err := splitDurations(key, val, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			p.DRXMTBF, p.DRXRepair = ds[0], ds[1]
+		case "transient":
+			prob, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: transient probability %q: %w", val, err)
+			}
+			p.TransientProb = prob
+		case "link":
+			fields := strings.Split(val, "/")
+			ds, err := splitDurations(key, strings.Join(fields[:min(2, len(fields))], "/"), 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			p.LinkMTBF, p.LinkRepair = ds[0], ds[1]
+			if len(fields) == 3 {
+				f, err := strconv.ParseFloat(fields[2], 64)
+				if err != nil {
+					return nil, fmt.Errorf("faults: link degrade factor %q: %w", fields[2], err)
+				}
+				p.LinkDegradeFactor = f
+			} else if len(fields) > 3 {
+				return nil, fmt.Errorf("faults: link clause %q has too many fields", val)
+			}
+		case "stall":
+			ds, err := splitDurations(key, val, 2, 2)
+			if err != nil {
+				return nil, err
+			}
+			p.StallMTBF, p.StallRepair = ds[0], ds[1]
+		default:
+			return nil, fmt.Errorf("faults: unknown clause %q (want drx, transient, link, or stall)", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Enabled() {
+		return nil, fmt.Errorf("faults: spec %q enables nothing", spec)
+	}
+	return p, nil
+}
+
+// ParseDuration parses a wall-clock duration string ("150us", "2ms")
+// into virtual time — the same syntax the ParseSpec clauses use.
+func ParseDuration(s string) (sim.Duration, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("faults: duration %q: %w", s, err)
+	}
+	return sim.FromSeconds(d.Seconds()), nil
+}
+
+// splitDurations parses between minN and maxN slash-separated durations.
+func splitDurations(key, val string, minN, maxN int) ([]sim.Duration, error) {
+	fields := strings.Split(val, "/")
+	if len(fields) < minN || len(fields) > maxN {
+		return nil, fmt.Errorf("faults: %s clause %q wants %d duration fields", key, val, minN)
+	}
+	out := make([]sim.Duration, len(fields))
+	for i, f := range fields {
+		d, err := time.ParseDuration(f)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %s duration %q: %w", key, f, err)
+		}
+		out[i] = sim.FromSeconds(d.Seconds())
+	}
+	return out, nil
+}

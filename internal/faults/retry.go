@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"fmt"
+
+	"dmx/internal/sim"
+)
+
+// RetryPolicy is the recovery side of fault handling: how many times a
+// stage operation (a kernel execution, a DRX restructure, a fabric
+// transfer) may be attempted, how long to back off between attempts,
+// and the per-stage watchdog deadline that detects stalled operations.
+// The zero value disables both retry and the watchdog, preserving the
+// historical fail-fast flow exactly.
+type RetryPolicy struct {
+	// MaxAttempts bounds attempts per stage operation; values ≤ 1 mean
+	// a single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; each further
+	// attempt multiplies it by BackoffFactor (default 2), capped at
+	// MaxBackoff when that is positive.
+	Backoff       sim.Duration
+	BackoffFactor float64
+	MaxBackoff    sim.Duration
+	// Jitter, in [0, 1), adds a deterministic pseudo-random fraction of
+	// the computed backoff (drawn from the injector's retry stream) so
+	// co-failing requests do not retry in lockstep.
+	Jitter float64
+	// StageDeadline, when positive, arms a watchdog per stage
+	// operation: an operation that has not completed within the
+	// deadline is declared timed out and retried (or the request
+	// abandoned once attempts are exhausted). 0 disables the watchdog —
+	// a stalled stage then holds its flow forever, as before.
+	StageDeadline sim.Duration
+}
+
+// DefaultRetry is a sensible serving-grade policy: three attempts with
+// 20 µs exponential backoff (factor 2, 1 ms cap, 25% jitter) and no
+// stage watchdog unless a deadline is configured explicitly.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:   3,
+		Backoff:       20 * sim.Microsecond,
+		BackoffFactor: 2,
+		MaxBackoff:    sim.Millisecond,
+		Jitter:        0.25,
+	}
+}
+
+// Enabled reports whether the policy changes flow behavior at all.
+func (p RetryPolicy) Enabled() bool {
+	return p.MaxAttempts > 1 || p.StageDeadline > 0
+}
+
+// Validate sanity-checks the policy.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("faults: negative MaxAttempts %d", p.MaxAttempts)
+	}
+	if p.Backoff < 0 || p.MaxBackoff < 0 || p.StageDeadline < 0 {
+		return fmt.Errorf("faults: negative retry durations")
+	}
+	if p.BackoffFactor < 0 {
+		return fmt.Errorf("faults: negative backoff factor %g", p.BackoffFactor)
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		return fmt.Errorf("faults: jitter %g outside [0, 1)", p.Jitter)
+	}
+	if p.MaxAttempts > 1 && p.Backoff == 0 {
+		return fmt.Errorf("faults: retry needs a positive backoff")
+	}
+	return nil
+}
+
+// Attempts reports the effective attempt bound (≥ 1).
+func (p RetryPolicy) Attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoffFor computes the base delay before attempt n (n ≥ 2), without
+// jitter: Backoff · BackoffFactor^(n-2), capped at MaxBackoff.
+func (p RetryPolicy) backoffFor(attempt int) sim.Duration {
+	d := p.Backoff
+	factor := p.BackoffFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	for i := 2; i < attempt; i++ {
+		d = sim.Duration(float64(d) * factor)
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}

@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"math"
+
+	"dmx/internal/sim"
+)
+
+// Stream is a splitmix64 generator: tiny, fast, and identical on every
+// platform. Each station owns one, derived from the plan seed and the
+// station's name, so incident timelines are independent of how many
+// stations exist and of the order they are queried in.
+type Stream struct{ state uint64 }
+
+// NewStream returns a stream seeded directly with the given state.
+func NewStream(seed uint64) *Stream { return &Stream{state: seed} }
+
+// Uint64 returns the next raw sample.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed duration with the given
+// mean (inverse-CDF sampling; 1-u keeps the log argument positive).
+func (s *Stream) Exp(mean sim.Duration) sim.Duration {
+	return sim.FromSeconds(-math.Log(1-s.Float64()) * mean.Seconds())
+}
+
+// stationSeed derives an independent stream state for one (kind,
+// station) pair: an FNV-1a hash of the labels mixed into the plan seed
+// through one splitmix round. Distinct stations — and distinct fault
+// kinds on the same station — get uncorrelated streams.
+func stationSeed(seed uint64, kind, name string) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(kind); i++ {
+		h = (h ^ uint64(kind[i])) * fnvPrime
+	}
+	h = (h ^ '/') * fnvPrime
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * fnvPrime
+	}
+	s := Stream{state: seed ^ h}
+	return s.Uint64()
+}

@@ -86,6 +86,24 @@ const (
 	TypeCommand
 	// TypeRecv anchors the destination end of a DMA flow arrow.
 	TypeRecv
+	// TypeFault marks a station (DRX unit, link, accelerator) entering
+	// an injected incident window; TypeRepair marks its recovery.
+	TypeFault
+	TypeRepair
+	// TypeRetry marks a stage operation being re-attempted after a
+	// fault or watchdog timeout.
+	TypeRetry
+	// TypeTimeout marks a stage watchdog firing on a stalled operation.
+	TypeTimeout
+	// TypeStall marks a kernel submission waiting out an accelerator
+	// stall window.
+	TypeStall
+	// TypeDegrade marks a hop rerouting to CPU-mediated restructuring
+	// because its DRX path is unavailable.
+	TypeDegrade
+	// TypeAbandon marks a request retiring unfinished after exhausting
+	// its retry budget.
+	TypeAbandon
 )
 
 var typeNames = [...]string{
@@ -105,6 +123,13 @@ var typeNames = [...]string{
 	TypePhase:           "phase",
 	TypeCommand:         "command",
 	TypeRecv:            "recv",
+	TypeFault:           "fault",
+	TypeRepair:          "repair",
+	TypeRetry:           "retry",
+	TypeTimeout:         "timeout",
+	TypeStall:           "stall",
+	TypeDegrade:         "degrade",
+	TypeAbandon:         "abandon",
 }
 
 func (t Type) String() string {

@@ -33,6 +33,20 @@ func RenderText(ev *Event) (string, bool) {
 		return fmt.Sprintf("CPU-mediated DMA %s→%s (%d B)", ev.Track, ev.Peer, ev.Bytes), true
 	case TypeOutputDMA:
 		return fmt.Sprintf("result output DMA %s→host (%d B)", ev.Track, ev.Bytes), true
+	case TypeFault:
+		return fmt.Sprintf("fault injected: %s impaired", ev.Name), true
+	case TypeRepair:
+		return fmt.Sprintf("fault repaired: %s healthy", ev.Name), true
+	case TypeRetry:
+		return fmt.Sprintf("retrying %s (attempt %d)", ev.Name, ev.Bytes), true
+	case TypeTimeout:
+		return fmt.Sprintf("stage watchdog fired on %s", ev.Name), true
+	case TypeStall:
+		return fmt.Sprintf("accelerator %s stalled (%d ps)", ev.Track, ev.Bytes), true
+	case TypeDegrade:
+		return fmt.Sprintf("degrading hop to CPU restructuring (%s unavailable)", ev.Name), true
+	case TypeAbandon:
+		return "request abandoned: retry budget exhausted", true
 	}
 	return "", false
 }

@@ -1,10 +1,28 @@
 package pcie
 
 import (
+	"errors"
 	"fmt"
 
 	"dmx/internal/sim"
 )
+
+// ErrLinkDown marks a transfer rejected because a link on its path is
+// in a full-loss fault window. Callers distinguish it (errors.Is) from
+// structural route errors: a down link is retryable, a bad route is a
+// bug.
+var ErrLinkDown = errors.New("pcie: link down")
+
+// LinkFaults is the fabric's fault-injection hook: given a channel name
+// and the current virtual time it reports whether the link is fully
+// down (transfers fail with ErrLinkDown) or degraded (factor < 1 is the
+// fraction of bandwidth retained; serialization stretches by 1/factor).
+// A healthy link reports (false, 1). The hook must be deterministic in
+// its arguments — internal/faults satisfies this with seeded
+// per-station timelines.
+type LinkFaults interface {
+	LinkState(name string, at sim.Time) (down bool, factor float64)
+}
 
 // Gen is a PCIe generation (the Fig. 19 sensitivity axis).
 type Gen int
@@ -84,7 +102,15 @@ type Fabric struct {
 	switches map[string]*swtch
 	devices  map[string]*device
 	order    []string // device insertion order, for deterministic reports
+
+	// faults, when set, is consulted on every transfer start. nil (the
+	// default) is the fault-free fabric with zero per-transfer overhead
+	// beyond one branch, preserving historical behavior bit-for-bit.
+	faults LinkFaults
 }
+
+// SetFaults installs the fault hook (nil restores the healthy fabric).
+func (f *Fabric) SetFaults(h LinkFaults) { f.faults = h }
 
 // New creates an empty fabric on the engine.
 func New(eng *sim.Engine) *Fabric {
@@ -245,10 +271,43 @@ func (f *Fabric) Transfer(from, to string, n int64, done func()) error {
 			}
 		}
 	}
-	for _, ch := range path {
-		ch.Start(n, complete)
+	if f.faults == nil {
+		// Healthy fast path: no fault queries, no extra allocation —
+		// bit-for-bit the historical behavior.
+		for _, ch := range path {
+			ch.Start(n, complete)
+		}
+		return nil
+	}
+	// Fault-aware path: a down link rejects the whole transfer before
+	// any channel is touched; a degraded link stretches its own
+	// serialization by 1/factor (link-level retransmission at the
+	// reduced rate — the extra bytes also count as moved traffic).
+	now := f.eng.Now()
+	loads := make([]int64, len(path))
+	for i, ch := range path {
+		var err error
+		if loads[i], err = f.linkLoad(ch, n, now); err != nil {
+			return err
+		}
+	}
+	for i, ch := range path {
+		ch.Start(loads[i], complete)
 	}
 	return nil
+}
+
+// linkLoad resolves one channel's effective payload under the fault
+// hook at the given instant.
+func (f *Fabric) linkLoad(ch *sim.Channel, n int64, now sim.Time) (int64, error) {
+	down, factor := f.faults.LinkState(ch.Name(), now)
+	if down {
+		return 0, fmt.Errorf("%w: %s", ErrLinkDown, ch.Name())
+	}
+	if factor > 0 && factor < 1 {
+		return int64(float64(n) / factor), nil
+	}
+	return n, nil
 }
 
 // TransferUp moves n bytes from a device into its switch (terminating at
@@ -258,6 +317,12 @@ func (f *Fabric) TransferUp(dev string, n int64, done func()) error {
 	d, ok := f.devices[dev]
 	if !ok {
 		return fmt.Errorf("pcie: unknown device %q", dev)
+	}
+	if f.faults != nil {
+		var err error
+		if n, err = f.linkLoad(d.link.up, n, f.eng.Now()); err != nil {
+			return err
+		}
 	}
 	d.link.up.Start(n, func() {
 		if done != nil {
@@ -272,6 +337,12 @@ func (f *Fabric) TransferDown(dev string, n int64, done func()) error {
 	d, ok := f.devices[dev]
 	if !ok {
 		return fmt.Errorf("pcie: unknown device %q", dev)
+	}
+	if f.faults != nil {
+		var err error
+		if n, err = f.linkLoad(d.link.down, n, f.eng.Now()); err != nil {
+			return err
+		}
 	}
 	d.link.down.Start(n, func() {
 		if done != nil {
