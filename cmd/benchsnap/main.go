@@ -1,11 +1,13 @@
-// Command benchsnap runs the DRX data-plane benchmarks once and writes
-// a compact JSON snapshot (benchmark name → ns/op, allocs/op).
+// Command benchsnap runs a benchmark package set once and writes a
+// compact JSON snapshot (benchmark name → ns/op, allocs/op).
 //
 // Usage:
 //
-//	benchsnap                          # print snapshot JSON to stdout
+//	benchsnap                          # DRX data-plane set, JSON to stdout
 //	benchsnap -o BENCH_drx_baseline.json
 //	benchsnap -check BENCH_drx_baseline.json
+//	benchsnap -pkgs ./internal/sim/ -o BENCH_engine_baseline.json
+//	benchsnap -pkgs ./internal/sim/ -check BENCH_engine_baseline.json
 //
 // The snapshot is a smoke artifact, not a performance gate: -benchtime=1x
 // timings on shared CI runners are noisy, so -check compares only the
@@ -31,12 +33,10 @@ type measurement struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// benchPackages are the packages whose benchmarks form the snapshot.
-var benchPackages = []string{
-	"./internal/drx/",
-	"./internal/drxc/",
-	"./internal/dmxrt/",
-}
+// defaultPackages is the DRX data-plane benchmark set, the original
+// snapshot scope (kept as the default so existing invocations and the
+// committed BENCH_drx_baseline.json stay valid).
+const defaultPackages = "./internal/drx/,./internal/drxc/,./internal/dmxrt/"
 
 // benchLine matches `go test -bench` output rows, e.g.
 //
@@ -49,16 +49,22 @@ func run() int {
 	out := flag.String("o", "", "write snapshot JSON to this file (default: stdout)")
 	check := flag.String("check", "", "compare against a baseline snapshot instead of writing")
 	benchtime := flag.String("benchtime", "1x", "value passed to go test -benchtime")
+	pkgs := flag.String("pkgs", defaultPackages, "comma-separated benchmark packages to snapshot")
 	flag.Parse()
 
-	snap, err := capture(*benchtime)
+	pkgList := strings.Split(*pkgs, ",")
+	for i := range pkgList {
+		pkgList[i] = strings.TrimSpace(pkgList[i])
+	}
+
+	snap, err := capture(*benchtime, pkgList)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
 		return 1
 	}
 
 	if *check != "" {
-		return compare(*check, snap)
+		return compare(*check, *pkgs, snap)
 	}
 
 	blob, err := json.MarshalIndent(snap, "", "  ")
@@ -79,8 +85,8 @@ func run() int {
 }
 
 // capture runs the benchmark packages and parses the measurements.
-func capture(benchtime string) (map[string]measurement, error) {
-	args := append([]string{"test", "-run", "^$", "-bench", ".", "-benchtime", benchtime}, benchPackages...)
+func capture(benchtime string, pkgs []string) (map[string]measurement, error) {
+	args := append([]string{"test", "-run", "^$", "-bench", ".", "-benchtime", benchtime}, pkgs...)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
@@ -115,7 +121,7 @@ func capture(benchtime string) (map[string]measurement, error) {
 // compare reports differences against a baseline file. Missing or extra
 // benchmarks and alloc regressions fail; timing drift is informational
 // because -benchtime=1x numbers on shared runners are noise.
-func compare(path string, got map[string]measurement) int {
+func compare(path, pkgs string, got map[string]measurement) int {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchsnap: %v\n", err)
@@ -156,7 +162,11 @@ func compare(path string, got map[string]measurement) int {
 		}
 	}
 	if bad {
-		fmt.Println("\nbenchsnap: snapshot drifted; regenerate with: go run ./cmd/benchsnap -o BENCH_drx_baseline.json")
+		regen := fmt.Sprintf("go run ./cmd/benchsnap -o %s", path)
+		if pkgs != defaultPackages {
+			regen = fmt.Sprintf("go run ./cmd/benchsnap -pkgs %s -o %s", pkgs, path)
+		}
+		fmt.Printf("\nbenchsnap: snapshot drifted; regenerate with: %s\n", regen)
 		return 1
 	}
 	return 0

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkEngineSchedule measures the DES scheduling hot loop: every
 // simulated kernel completion, DMA, and driver delay passes through
@@ -37,6 +40,126 @@ func BenchmarkEngineScheduleFlat(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Schedule(Nanosecond, nop)
 		e.Step()
+	}
+}
+
+// benchRNG is a splitmix64 stream: deterministic, allocation-free, and
+// cheap enough to sit inside a timed loop without dominating it.
+type benchRNG uint64
+
+func (r *benchRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Queue-shape delay generators. These are the pending-set shapes the
+// dmxsys models actually produce (per the cpuprofile audit in
+// EXPERIMENTS.md): uniform and bimodal holds from mixed DMA/kernel/driver
+// delays, near-monotone holds from per-byte wire times on a loaded link,
+// and heavy-cancel from watchdog timers and channel re-predictions that
+// are almost always canceled before they fire.
+
+func delayUniform(r *benchRNG) Duration {
+	return Duration(r.next()%1_000_000) * Picosecond // 0–1 µs
+}
+
+func delayBimodal(r *benchRNG) Duration {
+	if r.next()%5 == 0 {
+		return 900*Nanosecond + Duration(r.next()%100_000)*Picosecond // 0.9–1 µs
+	}
+	return Duration(r.next()%50_000) * Picosecond // 0–50 ns
+}
+
+func delayNearMonotone(r *benchRNG) Duration {
+	return 100*Nanosecond + Duration(r.next()%1_000)*Picosecond // 100 ns ± 1 ns
+}
+
+// benchShape measures one steady-state schedule+fire pair with `pending`
+// events in flight: the fixed-occupancy regime a saturated serving run
+// holds the engine in. The warm lap before the timer carries the queue
+// through full epochs so structure growth is not timed.
+func benchShape(b *testing.B, pending int, delay func(*benchRNG) Duration) {
+	e := NewEngine()
+	rng := benchRNG(0x5eed)
+	nop := func() {}
+	for i := 0; i < pending; i++ {
+		e.Schedule(delay(&rng), nop)
+	}
+	for i := 0; i < 2*pending; i++ {
+		e.Schedule(delay(&rng), nop)
+		e.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(delay(&rng), nop)
+		e.Step()
+	}
+}
+
+// occupancies spans the regimes that matter: 1k pending is a busy
+// single-host run, 64k is the cluster-scale saturation regime the
+// roadmap's fleet work will hold the engine in.
+var occupancies = []int{1024, 65536}
+
+func BenchmarkEngineScheduleUniform(b *testing.B) {
+	for _, p := range occupancies {
+		b.Run(fmt.Sprintf("pending=%d", p), func(b *testing.B) { benchShape(b, p, delayUniform) })
+	}
+}
+
+func BenchmarkEngineScheduleBimodal(b *testing.B) {
+	for _, p := range occupancies {
+		b.Run(fmt.Sprintf("pending=%d", p), func(b *testing.B) { benchShape(b, p, delayBimodal) })
+	}
+}
+
+func BenchmarkEngineScheduleNearMonotone(b *testing.B) {
+	for _, p := range occupancies {
+		b.Run(fmt.Sprintf("pending=%d", p), func(b *testing.B) { benchShape(b, p, delayNearMonotone) })
+	}
+}
+
+// BenchmarkEngineScheduleHeavyCancel holds occupancy near `pending`
+// while churning cancels through a ring of live refs: the watchdog /
+// re-prediction regime where most timers never fire. Each iteration
+// cancels one ring timer (usually still live), schedules its
+// replacement plus one progress event, then fires events as needed to
+// hold occupancy — so the clock advances and the ladder keeps
+// spilling and reseeding under the churn.
+func BenchmarkEngineScheduleHeavyCancel(b *testing.B) {
+	for _, p := range occupancies {
+		b.Run(fmt.Sprintf("pending=%d", p), func(b *testing.B) {
+			e := NewEngine()
+			rng := benchRNG(0xcace1)
+			nop := func() {}
+			refs := make([]EventRef, p)
+			for i := range refs {
+				refs[i] = e.Schedule(delayUniform(&rng), nop)
+			}
+			churn := func(i int) {
+				slot := i % p
+				refs[slot].Cancel()
+				refs[slot] = e.Schedule(delayUniform(&rng), nop)
+				e.Schedule(delayUniform(&rng), nop)
+				for e.Pending() > p {
+					e.Step()
+				}
+			}
+			for i := 0; i < 2*p; i++ { // warm through full epochs
+				churn(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				churn(i)
+			}
+		})
 	}
 }
 

@@ -31,8 +31,9 @@ type Channel struct {
 	// free recycles retired Transfers: the channel hot loop (start,
 	// advance, complete, restart) then runs without allocating.
 	free []*Transfer
-	// finished is scratch for complete(), reused across calls.
+	// finished and dones are scratch for complete(), reused across calls.
 	finished []*Transfer
+	dones    []func()
 
 	// TotalBytes accumulates every byte the channel has carried; the
 	// energy model charges transfer energy against it.
@@ -178,10 +179,13 @@ func (c *Channel) advance() {
 }
 
 // reschedule re-predicts the next completion under the current share.
+// The timer reset rides Engine.Reschedule: the canceled prediction's
+// event node is purged and reused immediately (no tombstone to re-pop),
+// and an unchanged prediction is coalesced in place.
 func (c *Channel) reschedule() {
-	c.nextDone.Cancel()
-	c.nextDone = EventRef{}
 	if len(c.active) == 0 {
+		c.nextDone.Cancel()
+		c.nextDone = EventRef{}
 		return
 	}
 	least := c.active[0].remaining
@@ -192,7 +196,7 @@ func (c *Channel) reschedule() {
 	}
 	share := c.bytesPerSec / float64(len(c.active))
 	wait := Duration(least / share * float64(Second))
-	c.nextDone = c.eng.Schedule(wait, c.completeFn)
+	c.nextDone = c.eng.Reschedule(c.nextDone, wait, c.completeFn)
 }
 
 // complete retires every transfer whose bytes have drained, then
@@ -223,12 +227,21 @@ func (c *Channel) complete() {
 	}
 	c.reschedule()
 	// Callbacks run after bookkeeping so they may start new transfers on
-	// this same channel re-entrantly.
+	// this same channel re-entrantly. The completion storm — several
+	// transfers retiring at one instant — goes through the engine's
+	// batch path: one queue walk schedules every callback, in Start
+	// order (identical firing order to a Schedule-per-callback loop).
+	dones := c.dones[:0]
 	for _, t := range finished {
 		if t.done != nil {
-			c.eng.Schedule(0, t.done)
+			dones = append(dones, t.done)
 		}
 		c.recycle(t)
 	}
+	c.eng.ScheduleBatch(0, dones)
+	for i := range dones {
+		dones[i] = nil
+	}
+	c.dones = dones[:0]
 	c.finished = finished[:0]
 }

@@ -7,6 +7,18 @@
 // bit-for-bit), so the kernel is callback-based — no goroutines, no
 // wall-clock reads — and ties are broken by schedule order.
 //
+// Pending events live in a ladder queue (queue.go): tiered time
+// buckets with a sorted bottom rung, giving amortized O(1)
+// schedule/fire/cancel at any occupancy while realizing the exact
+// (time, seq) total order a binary heap would (enforced by a
+// differential fuzz harness against a reference heap engine).
+// Cancellation purges eagerly — no tombstones, so Pending counts live
+// events exactly — and event nodes are recycled through per-engine
+// slabs, keeping the steady-state loop allocation-free at any
+// occupancy. ScheduleBatch files same-instant completion storms in one
+// queue walk; Reschedule is the timer-reset idiom with an in-place
+// fast path for the latest-scheduled event.
+//
 // The kernel is also the lowest-level producer of the observability
 // stream (internal/obs): Engine carries an optional *obs.Recorder;
 // Server emits a service span per completed job (per-slot sub-tracks

@@ -1,0 +1,512 @@
+package sim
+
+// This file implements the engine's pending-event set as a ladder queue
+// (Tang & Goh's calendar-queue variant): tiered time buckets with a
+// sorted bottom rung, spilled and refined lazily as the clock advances.
+//
+// Shape:
+//
+//	bottom  — the span currently being consumed, sorted ascending by
+//	          (at, seq) and popped from a moving head index.
+//	rungs   — rung 0 is the widest tier; each deeper rung subdivides
+//	          one over-full bucket spilled from its parent. Buckets are
+//	          unsorted: order is imposed only when a bucket is small
+//	          enough to become the bottom.
+//	top     — unsorted overflow for events at or beyond the ladder's
+//	          horizon (topStart). When every rung drains, top seeds the
+//	          next epoch: a fresh rung 0 sized so buckets hold ~1 event.
+//
+// Schedule appends to top or a bucket in O(1) (amortized: each event is
+// touched a constant number of times on its way down the tiers, and
+// sorting only ever happens on threshold-bounded buckets). Cancel
+// removes the event from its tier immediately — a swap-remove in the
+// unsorted tiers, a shift in the small sorted bottom — so no tombstones
+// are ever re-popped and Pending can count live events exactly.
+//
+// Determinism: every event is ordered by the unique key (at, seq), so
+// bucket sort order — and therefore firing order — is a total order
+// identical to the reference heap's. The differential fuzz test
+// (engine_diff_test.go) drives this structure and a container/heap
+// reference side by side to enforce that equivalence.
+
+const (
+	// spillThreshold is the largest bucket sorted directly into the
+	// bottom rung; bigger buckets spawn a refinement rung instead.
+	spillThreshold = 48
+	// maxRungs bounds refinement depth. At the cap, over-full buckets
+	// are sorted whole rather than subdivided further.
+	maxRungs = 8
+	// maxBuckets bounds one rung's bucket count (and so its memory),
+	// whatever the event population.
+	maxBuckets = 1 << 16
+	// bottomSpillMax bounds the sorted bottom's live span. Inserts into
+	// bottom shift O(len) elements, which is fine at spill sizes but
+	// degenerates when the clock is frozen while events churn below
+	// every rung threshold (mass timer setup before the first Step):
+	// bottom would grow without bound and every insert would pay a
+	// longer shift. Past this size the live span is re-laddered into a
+	// fresh rung and inserts go back to O(1) appends.
+	bottomSpillMax = 4 * spillThreshold
+)
+
+// Event location tags. loc tells Cancel which tier an event sits in so
+// the purge is O(1) (plus a short shift in the sorted bottom).
+const (
+	locNone   int8 = iota // popped, firing, or on the free list
+	locBottom             // in ladder.bottom at index pos
+	locTop                // in ladder.top at index pos
+	locRung               // in ladder.rungs[rungIdx].buckets[bucket] at pos
+)
+
+// rung is one ladder tier: a run of equal-width time buckets consumed
+// left to right from cur.
+type rung struct {
+	width   Duration   // time width of one bucket (≥ 1 ps)
+	start   Time       // start of buckets[0]
+	cur     int        // lowest bucket not yet spilled
+	count   int        // live events across all buckets
+	buckets [][]*event // unsorted; slices keep capacity across epochs
+}
+
+// threshold is the earliest time an event may still be inserted into
+// this rung: the start of its current (unspilled) bucket.
+func (r *rung) threshold() Time {
+	return r.start.Add(Duration(r.cur) * r.width)
+}
+
+// ladder is the tiered event queue. The zero value is empty and ready:
+// topStart zero routes the first events into top, and the first pop
+// seeds the ladder from there.
+type ladder struct {
+	n int // live events across all tiers
+
+	bottom []*event // sorted ascending by (at, seq)
+	bhead  int      // consumption head within bottom
+
+	rungs []rung
+
+	top      []*event // unsorted far-future overflow
+	topMin   Time     // conservative bounds over top (stale-high/low
+	topMax   Time     // after cancels, which only widens the next rung)
+	topStart Time     // events at ≥ topStart go to top
+}
+
+// insert files one event into the tier its timestamp selects.
+func (q *ladder) insert(ev *event) {
+	ts := ev.at
+	// Empty-queue fast path: park the event directly in bottom and move
+	// the horizon just past it, skipping the top/seed round-trip. This
+	// is the drained-engine regime (one timer in flight at a time) and
+	// the first event of every run.
+	if q.n == 0 && len(q.rungs) == 0 {
+		q.n = 1
+		q.bottom = append(q.bottom[:0], ev)
+		q.bhead = 0
+		ev.loc = locBottom
+		ev.pos = 0
+		q.topStart = ts.Add(1)
+		return
+	}
+	q.n++
+	if ts >= q.topStart {
+		if len(q.top) == 0 {
+			q.topMin, q.topMax = ts, ts
+		} else if ts < q.topMin {
+			q.topMin = ts
+		} else if ts > q.topMax {
+			q.topMax = ts
+		}
+		ev.loc = locTop
+		ev.pos = int32(len(q.top))
+		q.top = append(q.top, ev)
+		return
+	}
+	for i := range q.rungs {
+		r := &q.rungs[i]
+		if ts >= r.threshold() {
+			q.insertRung(ev, i)
+			return
+		}
+	}
+	q.insertBottom(ev)
+}
+
+// insertBatch files a block of events that share one timestamp and
+// carry consecutive seqs. The destination tier is resolved once for the
+// whole block; within a tier the block lands contiguously, which is
+// exactly the order a Schedule-per-event loop would have produced.
+func (q *ladder) insertBatch(evs []*event) {
+	if len(evs) == 0 {
+		return
+	}
+	ts := evs[0].at
+	q.n += len(evs)
+	if ts >= q.topStart {
+		if len(q.top) == 0 {
+			q.topMin, q.topMax = ts, ts
+		} else if ts < q.topMin {
+			q.topMin = ts
+		} else if ts > q.topMax {
+			q.topMax = ts
+		}
+		for _, ev := range evs {
+			ev.loc = locTop
+			ev.pos = int32(len(q.top))
+			q.top = append(q.top, ev)
+		}
+		return
+	}
+	for i := range q.rungs {
+		if ts >= q.rungs[i].threshold() {
+			q.insertRungBatch(evs, i)
+			return
+		}
+	}
+	if q.reladderBottom() && ts >= q.rungs[len(q.rungs)-1].threshold() {
+		q.insertRungBatch(evs, len(q.rungs)-1)
+		return
+	}
+	// Sorted block insert into the live span of bottom: one shift, one
+	// position fix-up for the whole batch.
+	lo := q.bottomSearch(ts, evs[0].seq)
+	q.bottom = append(q.bottom, evs...) // grow; contents fixed below
+	copy(q.bottom[lo+len(evs):], q.bottom[lo:])
+	copy(q.bottom[lo:], evs)
+	for j := lo; j < len(q.bottom); j++ {
+		q.bottom[j].loc = locBottom
+		q.bottom[j].pos = int32(j)
+	}
+}
+
+// bucketIndex maps a timestamp to a bucket of r, clamping to the last
+// bucket so conservative rung bounds can never index out of range.
+func (r *rung) bucketIndex(ts Time) int {
+	b := int(ts.Sub(r.start) / r.width)
+	if b >= len(r.buckets) {
+		b = len(r.buckets) - 1
+	}
+	return b
+}
+
+func (q *ladder) insertRung(ev *event, i int) {
+	r := &q.rungs[i]
+	b := r.bucketIndex(ev.at)
+	ev.loc = locRung
+	ev.rungIdx = int16(i)
+	ev.bucket = int32(b)
+	ev.pos = int32(len(r.buckets[b]))
+	r.buckets[b] = append(r.buckets[b], ev)
+	r.count++
+}
+
+// insertRungBatch files a same-timestamp block contiguously into one
+// bucket of rung i, preserving the block's seq order.
+func (q *ladder) insertRungBatch(evs []*event, i int) {
+	r := &q.rungs[i]
+	b := r.bucketIndex(evs[0].at)
+	bkt := r.buckets[b]
+	for _, ev := range evs {
+		ev.loc = locRung
+		ev.rungIdx = int16(i)
+		ev.bucket = int32(b)
+		ev.pos = int32(len(bkt))
+		bkt = append(bkt, ev)
+	}
+	r.buckets[b] = bkt
+	r.count += len(evs)
+}
+
+// reladderBottom pushes bottom's live span into a new deepest rung when
+// it has outgrown bottomSpillMax, so inserts below every rung threshold
+// stay O(1) even when the clock is not advancing. All bottom times are
+// below every existing rung's threshold (that is why they were routed
+// here), so the new rung is strictly deeper than the rest of the ladder
+// and the consume-deepest-first order is preserved. Reports whether it
+// re-laddered; bottom is empty afterwards.
+func (q *ladder) reladderBottom() bool {
+	live := q.bottom[q.bhead:]
+	if len(live) < bottomSpillMax || len(q.rungs) >= maxRungs || sameInstant(live) {
+		return false
+	}
+	span := live[len(live)-1].at.Sub(live[0].at) + 1
+	q.pushRung(live, live[0].at, span)
+	q.bottom = q.bottom[:0]
+	q.bhead = 0
+	return true
+}
+
+// bottomSearch returns the insertion index in bottom's live span for
+// key (at, seq), keeping ascending (at, seq) order.
+func (q *ladder) bottomSearch(at Time, seq uint64) int {
+	lo, hi := q.bhead, len(q.bottom)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := q.bottom[mid]
+		if m.at < at || (m.at == at && m.seq < seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (q *ladder) insertBottom(ev *event) {
+	if q.reladderBottom() && ev.at >= q.rungs[len(q.rungs)-1].threshold() {
+		q.insertRung(ev, len(q.rungs)-1)
+		return
+	}
+	lo := q.bottomSearch(ev.at, ev.seq)
+	q.bottom = append(q.bottom, nil)
+	copy(q.bottom[lo+1:], q.bottom[lo:])
+	q.bottom[lo] = ev
+	ev.loc = locBottom
+	for j := lo; j < len(q.bottom); j++ {
+		q.bottom[j].pos = int32(j)
+	}
+}
+
+// remove purges a live event from whichever tier holds it. O(1) in the
+// unsorted tiers (swap-remove), a short shift in the sorted bottom.
+func (q *ladder) remove(ev *event) {
+	q.n--
+	switch ev.loc {
+	case locBottom:
+		i := int(ev.pos)
+		copy(q.bottom[i:], q.bottom[i+1:])
+		last := len(q.bottom) - 1
+		q.bottom[last] = nil
+		q.bottom = q.bottom[:last]
+		for j := i; j < last; j++ {
+			q.bottom[j].pos = int32(j)
+		}
+	case locTop:
+		i, last := int(ev.pos), len(q.top)-1
+		q.top[i] = q.top[last]
+		q.top[i].pos = int32(i)
+		q.top[last] = nil
+		q.top = q.top[:last]
+		// topMin/topMax stay as conservative bounds: a stale bound only
+		// widens the next epoch's rung, never misplaces an event.
+	case locRung:
+		r := &q.rungs[ev.rungIdx]
+		bkt := r.buckets[ev.bucket]
+		i, last := int(ev.pos), len(bkt)-1
+		bkt[i] = bkt[last]
+		bkt[i].pos = int32(i)
+		bkt[last] = nil
+		r.buckets[ev.bucket] = bkt[:last]
+		r.count--
+	}
+	ev.loc = locNone
+}
+
+// peek returns the earliest live event without consuming it, refilling
+// the bottom rung from the upper tiers as needed. Nil when empty.
+func (q *ladder) peek() *event {
+	if q.n == 0 {
+		return nil
+	}
+	for q.bhead >= len(q.bottom) {
+		q.refill()
+	}
+	return q.bottom[q.bhead]
+}
+
+// pop consumes and returns the earliest live event, or nil when empty.
+func (q *ladder) pop() *event {
+	ev := q.peek()
+	if ev == nil {
+		return nil
+	}
+	q.bottom[q.bhead] = nil
+	q.bhead++
+	q.n--
+	ev.loc = locNone
+	return ev
+}
+
+// refill advances the epoch one step: drop drained rungs, then either
+// spill the next bucket of the deepest rung (sorting it into bottom or
+// refining it into a deeper rung) or seed a fresh ladder from top.
+// Callers loop until bottom is non-empty; each call makes progress.
+func (q *ladder) refill() {
+	q.bottom = q.bottom[:0]
+	q.bhead = 0
+	for len(q.rungs) > 0 && q.rungs[len(q.rungs)-1].count == 0 {
+		q.rungs = q.rungs[:len(q.rungs)-1]
+	}
+	if len(q.rungs) == 0 {
+		q.seedFromTop()
+		return
+	}
+	pi := len(q.rungs) - 1
+	r := &q.rungs[pi]
+	for len(r.buckets[r.cur]) == 0 {
+		r.cur++
+	}
+	cur := r.cur
+	b := r.buckets[cur]
+	bucketStart := r.start.Add(Duration(cur) * r.width)
+	r.count -= len(b)
+	r.cur++
+	if len(b) <= spillThreshold || len(q.rungs) >= maxRungs || r.width <= 1 || sameInstant(b) {
+		q.spillToBottom(b)
+	} else {
+		q.pushRung(b, bucketStart, r.width)
+	}
+	// Reset the spilled bucket through the index: pushRung may have
+	// grown q.rungs, invalidating r.
+	q.rungs[pi].buckets[cur] = q.rungs[pi].buckets[cur][:0]
+}
+
+// seedFromTop starts a new ladder epoch from the overflow tier: small
+// populations sort straight into bottom, larger ones build a rung 0
+// sized for about one event per bucket.
+func (q *ladder) seedFromTop() {
+	if len(q.top) == 0 {
+		return
+	}
+	if len(q.top) <= spillThreshold {
+		q.spillToBottom(q.top)
+		for i := range q.top {
+			q.top[i] = nil
+		}
+		q.top = q.top[:0]
+		q.topStart = q.topMax.Add(1)
+		return
+	}
+	span := q.topMax.Sub(q.topMin) + 1
+	q.pushRung(q.top, q.topMin, span)
+	for i := range q.top {
+		q.top[i] = nil
+	}
+	q.top = q.top[:0]
+	r := &q.rungs[len(q.rungs)-1]
+	q.topStart = r.start.Add(Duration(len(r.buckets)) * r.width)
+}
+
+// pushRung appends a rung spanning [start, start+span) and distributes
+// evs into its buckets, reusing the rung struct and bucket slices left
+// from earlier epochs so steady-state operation does not allocate.
+func (q *ladder) pushRung(evs []*event, start Time, span Duration) {
+	nb := len(evs)
+	if nb > maxBuckets {
+		nb = maxBuckets
+	}
+	width := (span + Duration(nb) - 1) / Duration(nb)
+	if width < 1 {
+		width = 1
+	}
+	nb = int((span + width - 1) / width)
+	if len(q.rungs) < cap(q.rungs) {
+		q.rungs = q.rungs[:len(q.rungs)+1]
+	} else {
+		q.rungs = append(q.rungs, rung{})
+	}
+	r := &q.rungs[len(q.rungs)-1]
+	r.start, r.width, r.cur = start, width, 0
+	r.count = len(evs)
+	if cap(r.buckets) >= nb {
+		r.buckets = r.buckets[:nb]
+	} else {
+		old := r.buckets[:cap(r.buckets)]
+		r.buckets = append(old, make([][]*event, nb-len(old))...)
+	}
+	ri := int16(len(q.rungs) - 1)
+	for _, ev := range evs {
+		b := r.bucketIndex(ev.at)
+		ev.rungIdx = ri
+		ev.bucket = int32(b)
+		ev.pos = int32(len(r.buckets[b]))
+		ev.loc = locRung
+		r.buckets[b] = append(r.buckets[b], ev)
+	}
+}
+
+// spillToBottom installs evs (copied, then sorted by (at, seq)) as the
+// new bottom rung. Callers guarantee bottom is empty.
+func (q *ladder) spillToBottom(evs []*event) {
+	q.bottom = append(q.bottom[:0], evs...)
+	sortEvents(q.bottom)
+	for i, ev := range q.bottom {
+		ev.loc = locBottom
+		ev.pos = int32(i)
+	}
+	q.bhead = 0
+}
+
+// sameInstant reports whether every event in evs shares one timestamp
+// (the degenerate bucket no amount of subdividing can split).
+func sameInstant(evs []*event) bool {
+	for _, ev := range evs[1:] {
+		if ev.at != evs[0].at {
+			return false
+		}
+	}
+	return true
+}
+
+// eventLess is the queue's total order: time, then schedule order. seq
+// is unique, so the order is strict and every comparison sort yields
+// the same permutation.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// sortEvents sorts in place by (at, seq) without allocating: insertion
+// sort for short runs, median-of-three quicksort above that (recursing
+// into the smaller side to bound depth).
+func sortEvents(s []*event) {
+	for len(s) > 24 {
+		mid := len(s) / 2
+		hi := len(s) - 1
+		// Median-of-three pivot moved to s[0].
+		if eventLess(s[mid], s[0]) {
+			s[mid], s[0] = s[0], s[mid]
+		}
+		if eventLess(s[hi], s[0]) {
+			s[hi], s[0] = s[0], s[hi]
+		}
+		if eventLess(s[hi], s[mid]) {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		s[0], s[mid] = s[mid], s[0]
+		pivot := s[0]
+		i, j := 1, hi
+		for {
+			for i <= j && eventLess(s[i], pivot) {
+				i++
+			}
+			for eventLess(pivot, s[j]) {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+			i++
+			j--
+		}
+		s[0], s[j] = s[j], s[0]
+		if j < len(s)-j-1 {
+			sortEvents(s[:j])
+			s = s[j+1:]
+		} else {
+			sortEvents(s[j+1:])
+			s = s[:j]
+		}
+	}
+	for i := 1; i < len(s); i++ {
+		ev := s[i]
+		j := i
+		for j > 0 && eventLess(ev, s[j-1]) {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = ev
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+// White-box checks on the ladder's internal shape. The ordering
+// contract itself is enforced by the differential harness in
+// engine_diff_test.go; these tests pin structural bounds that only
+// matter for complexity, not correctness.
+
+// A frozen clock with schedule/cancel churn is the sorted bottom's
+// worst case: nothing ever pops, so without re-laddering every insert
+// below the rung thresholds would shift an ever-growing array. The
+// live span must stay bounded by bottomSpillMax (the re-ladder
+// trigger), and the queue must still drain in exact order afterwards.
+func TestFrozenClockChurnKeepsBottomBounded(t *testing.T) {
+	e := NewEngine()
+	rng := benchRNG(0xb0b)
+	nop := func() {}
+	refs := make([]EventRef, 1024)
+	for i := range refs {
+		refs[i] = e.Schedule(delayUniform(&rng), nop)
+	}
+	maxLive := 0
+	for i := 0; i < 50000; i++ {
+		slot := i % len(refs)
+		refs[slot].Cancel()
+		refs[slot] = e.Schedule(delayUniform(&rng), nop)
+		if live := len(e.lq.bottom) - e.lq.bhead; live > maxLive {
+			maxLive = live
+		}
+	}
+	if maxLive > bottomSpillMax {
+		t.Fatalf("bottom live span reached %d under frozen-clock churn, want ≤ %d",
+			maxLive, bottomSpillMax)
+	}
+	// With the clock frozen nothing ever pops, so refill/seedFromTop
+	// never run: any rung present proves the re-ladder path fired.
+	if len(e.lq.rungs) == 0 {
+		t.Fatal("churn never re-laddered bottom; the workload is not exercising the bound")
+	}
+	var last Time
+	fired := 0
+	e.Schedule(0, nop) // sentinel at now; must not disturb order
+	for e.Step() {
+		if e.Now() < last {
+			t.Fatalf("clock went backwards after re-laddering: %v after %v", e.Now(), last)
+		}
+		last = e.Now()
+		fired++
+	}
+	if want := 1024 + 1; fired != want { // ring survivors + sentinel
+		t.Fatalf("drained %d events, want %d", fired, want)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// Same churn through ScheduleBatch: the batch bottom path re-ladders
+// too, and batches stay contiguous through it.
+func TestFrozenClockBatchChurnKeepsBottomBounded(t *testing.T) {
+	e := NewEngine()
+	rng := benchRNG(0xbeef)
+	maxLive := 0
+	var got []int
+	id := 0
+	for i := 0; i < 4000; i++ {
+		fns := make([]func(), 3)
+		for j := range fns {
+			v := id
+			id++
+			fns[j] = func() { got = append(got, v) }
+		}
+		e.ScheduleBatch(delayUniform(&rng), fns)
+		if live := len(e.lq.bottom) - e.lq.bhead; live > maxLive {
+			maxLive = live
+		}
+	}
+	// A batch may land while bottom is just under the trigger, so allow
+	// one batch of slack.
+	if maxLive > bottomSpillMax+3 {
+		t.Fatalf("bottom live span reached %d under frozen-clock batch churn, want ≤ %d",
+			maxLive, bottomSpillMax+3)
+	}
+	e.Run()
+	lastOf := map[int]int{}
+	for _, v := range got {
+		b, m := v/3, v%3
+		if last, ok := lastOf[b]; ok && m != last+1 {
+			t.Fatalf("batch %d fired member %d after %d", b, m, last)
+		} else if !ok && m != 0 {
+			t.Fatalf("batch %d started at member %d", b, m)
+		}
+		lastOf[b] = m
+	}
+	if len(got) != id {
+		t.Fatalf("fired %d callbacks, want %d", len(got), id)
+	}
+}
