@@ -220,7 +220,7 @@ func applyOps(t *testing.T, data []byte) {
 	}
 	for i < len(data) {
 		op := next()
-		switch op % 8 {
+		switch op % 10 {
 		case 0, 1: // plain schedule, spread over a wide range
 			delay := Duration(next())*17*Nanosecond + Duration(next())*Picosecond
 			d.schedule(delay, 0, false)
@@ -237,6 +237,23 @@ func applyOps(t *testing.T, data []byte) {
 			d.step()
 		case 7:
 			d.runUntil(Duration(next()) * 11 * Nanosecond)
+		case 8:
+			// Frozen-clock burst: more than bottomSpillMax distinct
+			// timestamps in a picosecond-pitch span with no Step in
+			// between, the regime that forces reladderBottom.
+			n := bottomSpillMax + int(next()%64)
+			base := Duration(next()) * Nanosecond
+			for j := 0; j < n; j++ {
+				d.schedule(base+Duration(j)*Picosecond, 0, false)
+			}
+		case 9:
+			// Bounded multi-step: long enough to fully consume a burst's
+			// reladder rung in place, without the final refill a drain()
+			// would trigger — the state gap-timestamp schedules hit.
+			n := int(next()) * 4
+			for j := 0; j < n; j++ {
+				d.step()
+			}
 		}
 	}
 	d.drain()
@@ -256,9 +273,71 @@ func FuzzLadderVsHeap(f *testing.F) {
 		0, 255, 255, 0, 0, 0, 2, 128, 5, 0, 5, 0, 5, 1,
 		7, 40, 4, 0, 6, 1, 17, 34, 3, 7, 2, 6, 6, 6, 7, 255,
 	})
+	f.Add([]byte{8, 0, 4, 9, 10, 8, 63, 0, 9, 255, 0, 0, 50})
+	f.Add(drainedRungGapSeed())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		applyOps(t, data)
 	})
+}
+
+// drainedRungGapSeed encodes the drained-reladder-rung panic repro
+// (REVIEW finding, fixed in queue.go) as an op stream: seed rung 0
+// from a spread-out far cluster, burst-schedule under a frozen clock
+// until the bottom re-ladders, drain exactly the burst so the reladder
+// rung sits fully consumed but undropped, then schedule into the gap
+// between that rung's end and rung 0's threshold.
+func drainedRungGapSeed() []byte {
+	var s []byte
+	for k := byte(60); k < 124; k++ {
+		s = append(s, 0, k, 0) // 64 far schedules, 17ns apart
+	}
+	s = append(s, 6, 6)      // fire the parked event, seed rung 0, consume its first bucket
+	s = append(s, 8, 8, 0)   // burst: 200 events 1ps apart from the frozen now
+	s = append(s, 9, 50)     // step 200×: drain the reladder rung in place
+	s = append(s, 0, 0, 100) // gap schedule: now+100ps, below rung 0's threshold
+	return s
+}
+
+// TestLadderDrainedRungGapInsert is the deterministic form of the
+// drained-rung regression: a re-laddered bottom rung that has been
+// fully consumed (cur past the last bucket) stays in the ladder until
+// the next refill, and its threshold equals its end — so an event in
+// the gap between that end and the shallower rung's threshold used to
+// be filed into a bucket behind the drained cursor, where the next
+// refill ran off the end of the bucket array. Both the single and the
+// batch insert path are driven through the gap; the heap reference
+// checks the realized order.
+func TestLadderDrainedRungGapInsert(t *testing.T) {
+	d := newDiffDriver(t)
+	// Far cluster: the first event parks in bottom and sets the
+	// horizon; the rest overflow to top, spread wide enough to seed a
+	// multi-bucket rung 0 with a ~50ns bucket width.
+	d.schedule(Microsecond, 0, false)
+	for i := 0; i < 64; i++ {
+		d.schedule(2*Microsecond+Duration(i)*50*Nanosecond, 0, false)
+	}
+	// Fire the parked event, then the first rung-0 event: rung 0 now
+	// has its threshold one bucket width past the frozen clock.
+	d.step()
+	d.step()
+	// Frozen-clock burst below every rung threshold: overgrows bottom
+	// past bottomSpillMax, re-laddering the live span into a new
+	// deepest rung only a couple hundred picoseconds wide.
+	const burst = bottomSpillMax + 8
+	for j := 0; j < burst; j++ {
+		d.schedule(Duration(j+1)*Picosecond, 0, false)
+	}
+	// Drain exactly the burst: the reladder rung ends fully consumed
+	// in place but is not dropped until the next refill.
+	for j := 0; j < burst; j++ {
+		d.step()
+	}
+	// Gap schedules: past the drained rung's end, below rung 0's
+	// threshold — one through Schedule, one through ScheduleBatch.
+	d.schedule(Nanosecond, 0, false)
+	d.batch(2*Nanosecond, 3)
+	d.drain()
+	d.check()
 }
 
 // TestLadderVsHeapRandom gives the differential harness broad coverage

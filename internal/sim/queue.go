@@ -69,9 +69,21 @@ type rung struct {
 }
 
 // threshold is the earliest time an event may still be inserted into
-// this rung: the start of its current (unspilled) bucket.
+// this rung: the start of its current (unspilled) bucket. It is only
+// meaningful while the rung is undrained — callers must check drained()
+// first, because a drained rung's threshold equals its end, and a
+// timestamp in the gap between that end and a shallower rung's
+// threshold would be clamped into a bucket behind cur, where refill
+// can never reach it (it would run off the end of buckets instead).
 func (r *rung) threshold() Time {
 	return r.start.Add(Duration(r.cur) * r.width)
+}
+
+// drained reports whether every bucket of the rung has been spilled.
+// A drained rung accepts no inserts: it stays in the ladder only until
+// the next refill drops it.
+func (r *rung) drained() bool {
+	return r.cur >= len(r.buckets)
 }
 
 // ladder is the tiered event queue. The zero value is empty and ready:
@@ -123,7 +135,7 @@ func (q *ladder) insert(ev *event) {
 	}
 	for i := range q.rungs {
 		r := &q.rungs[i]
-		if ts >= r.threshold() {
+		if !r.drained() && ts >= r.threshold() {
 			q.insertRung(ev, i)
 			return
 		}
@@ -157,7 +169,8 @@ func (q *ladder) insertBatch(evs []*event) {
 		return
 	}
 	for i := range q.rungs {
-		if ts >= q.rungs[i].threshold() {
+		r := &q.rungs[i]
+		if !r.drained() && ts >= r.threshold() {
 			q.insertRungBatch(evs, i)
 			return
 		}
