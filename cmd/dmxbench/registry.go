@@ -45,6 +45,9 @@ func registry() []experiment {
 		{"load", "serving: latency vs offered load with saturation check", func() (renderer, error) {
 			return experiments.Load()
 		}},
+		{"batching", "serving: continuous-batching window vs throughput/p99 tradeoff", func() (renderer, error) {
+			return experiments.Batching()
+		}},
 		{"faults", "serving: availability vs fault rate under graceful degradation", func() (renderer, error) {
 			return experiments.Faults()
 		}},

@@ -19,7 +19,18 @@
 // burst, open-loop fixed rate, or seeded Poisson at -rate req/s), and
 // the report shows per-app offered vs achieved throughput and latency
 // quantiles. -discipline selects how contended stations order waiting
-// jobs (fifo, priority, wfq).
+// jobs (fifo, priority, wfq, edf, srs).
+//
+// The serving layer's SLO machinery hangs off four more flags:
+// -batch-window enables continuous batching (arrivals of one app within
+// the window coalesce into one pipeline walk; the report gains a
+// batches line), -batch-max caps the batch size, -slo sets the
+// per-request latency budget (the miss accounting in the report, and
+// the deadlines EDF schedules by), and -admit bounds each app's
+// outstanding requests with immediate rejection beyond the limit:
+//
+//	dmxsim -app sound-detection -apps 4 -arrival poisson -rate 4000 -requests 64 \
+//	    -batch-window 200us -discipline edf -slo 30ms -admit 32
 //
 // -faults turns on seeded deterministic fault injection (DRX outages,
 // transient restructure errors, PCIe link degradation/loss, accelerator
@@ -82,6 +93,12 @@ type options struct {
 	seed       uint64
 	discipline string
 
+	// Serving SLO machinery (zero values = all disabled).
+	batchWindow string
+	batchMax    int
+	admit       int
+	slo         string
+
 	// Fault injection and recovery (empty faults = none injected).
 	faults    string
 	faultSeed uint64
@@ -104,7 +121,11 @@ func main() {
 	flag.Float64Var(&o.rate, "rate", 1000, "offered request rate per app in req/s (open and poisson arrivals)")
 	flag.IntVar(&o.requests, "requests", 16, "requests per app in load-generation mode")
 	flag.Uint64Var(&o.seed, "seed", 1, "PRNG seed for poisson arrivals")
-	flag.StringVar(&o.discipline, "discipline", "fifo", "service discipline at contended stations: fifo | priority | wfq")
+	flag.StringVar(&o.discipline, "discipline", "fifo", "service discipline at contended stations: fifo | priority | wfq | edf | srs")
+	flag.StringVar(&o.batchWindow, "batch-window", "", "continuous-batching window, e.g. '200us' (empty = batching off)")
+	flag.IntVar(&o.batchMax, "batch-max", 0, "max requests per batch; reaching it flushes the window early (0 = uncapped)")
+	flag.IntVar(&o.admit, "admit", 0, "per-app admission limit on outstanding requests in load mode (0 = unlimited)")
+	flag.StringVar(&o.slo, "slo", "", "per-request latency budget, e.g. '30ms' (deadline-miss accounting; the deadline EDF schedules by)")
 	flag.StringVar(&o.faults, "faults", "", "fault-injection spec, e.g. 'drx=5ms/200us,transient=0.01,link=20ms/1ms/0.25,stall=10ms/500us'")
 	flag.Uint64Var(&o.faultSeed, "fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the spec's seed)")
 	flag.IntVar(&o.retry, "retry", 0, "max attempts per stage under faults (0 = default policy of 3 when -faults is set)")
@@ -152,6 +173,15 @@ func run(o options, out io.Writer) error {
 	if err := applyFaults(o, &cfg); err != nil {
 		return err
 	}
+	if o.batchWindow != "" {
+		w, err := faults.ParseDuration(o.batchWindow)
+		if err != nil {
+			return fmt.Errorf("-batch-window: %w", err)
+		}
+		cfg.BatchWindow = w
+	}
+	cfg.BatchMax = o.batchMax
+	cfg.AdmitLimit = o.admit
 	if o.trace {
 		cfg.Trace = func(at sim.Time, app, event string) {
 			fmt.Fprintf(out, "  [%12v] %-24s %s\n", at, app, event)
@@ -266,6 +296,13 @@ func runLoad(o options, cfg dmxsys.Config, sys *dmxsys.System, out io.Writer) er
 		return err
 	}
 	spec := traffic.Spec{Arrival: arr, Rate: o.rate, Requests: o.requests, Seed: o.seed}
+	if o.slo != "" {
+		d, err := faults.ParseDuration(o.slo)
+		if err != nil {
+			return fmt.Errorf("-slo: %w", err)
+		}
+		spec.Deadline = d
+	}
 	rep, err := sys.RunLoad(spec)
 	if err != nil {
 		return err

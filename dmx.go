@@ -99,6 +99,15 @@ const (
 	Gen5 = pcie.Gen5
 )
 
+// Virtual-time units for Duration-typed knobs (Duration counts
+// picoseconds): cfg.BatchWindow = 200 * dmx.Microsecond.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
 // DefaultConfig returns the paper's testbed configuration for a
 // placement: PCIe Gen3 x16 device links under x8-uplink switches, the
 // 128-lane / 64 KB / 1 GHz DRX ASIC, and the calibrated Xeon host.
@@ -179,7 +188,11 @@ func SimulateStream(cfg Config, requests int, pipelines ...*Pipeline) (StreamRep
 }
 
 // Serving-layer surface: load generation with explicit arrival
-// processes and latency/throughput reporting.
+// processes and latency/throughput reporting. Continuous batching
+// (Config.BatchWindow/BatchMax), SLO-aware scheduling (Config.Sched =
+// SchedEDF/SchedSRS with TrafficSpec deadlines), and admission control
+// (Config.AdmitLimit, LoadReport rejection counts) all configure
+// through the same Config + TrafficSpec pair.
 type (
 	// TrafficSpec parameterizes a load run: arrival process (closed,
 	// open, Poisson), per-app request rate and count, PRNG seed, and an
@@ -193,7 +206,8 @@ type (
 	// AppLoad is one application's serving summary.
 	AppLoad = traffic.AppLoad
 	// SchedPolicy selects how contended stations order waiting jobs
-	// (Config.Sched): FIFO, priority, or weighted-fair round-robin.
+	// (Config.Sched): FIFO, priority, weighted-fair round-robin,
+	// earliest-deadline-first, or shortest-remaining-service.
 	SchedPolicy = dmxsys.SchedPolicy
 	// FaultPlan (Config.Faults) injects seeded deterministic failures:
 	// DRX unit outages, transient restructure errors, PCIe link
@@ -217,11 +231,16 @@ const (
 	Poisson    = traffic.Poisson
 )
 
-// Scheduling policies.
+// Scheduling policies. SchedEDF and SchedSRS are the SLO-aware
+// disciplines: earliest-deadline-first (deadlines from
+// TrafficSpec.Deadline/AppDeadlines) and shortest-remaining-service
+// (the per-stage occupancy model as the service estimate).
 const (
 	SchedFIFO     = dmxsys.SchedFIFO
 	SchedPriority = dmxsys.SchedPriority
 	SchedWFQ      = dmxsys.SchedWFQ
+	SchedEDF      = dmxsys.SchedEDF
+	SchedSRS      = dmxsys.SchedSRS
 )
 
 // Request outcomes.
@@ -229,6 +248,7 @@ const (
 	OutcomeClean     = traffic.OutcomeClean
 	OutcomeDegraded  = traffic.OutcomeDegraded
 	OutcomeAbandoned = traffic.OutcomeAbandoned
+	OutcomeRejected  = traffic.OutcomeRejected
 )
 
 // ParseFaultPlan parses a comma-separated fault spec — e.g.

@@ -55,3 +55,40 @@ func ExampleRun() {
 	// some completions degraded to CPU restructuring: true
 	// outages alone never lose a request: true
 }
+
+// ExampleRun_continuousBatching turns on the serving layer's continuous
+// batching and SLO-aware scheduling: arrivals of one application within
+// the batch window coalesce and walk the pipeline as a single unit (one
+// kernel launch and one DMA descriptor per leg instead of one per
+// request), contended stations order their backlogs
+// earliest-deadline-first, and an admission limit bounds each app's
+// outstanding requests. Completions still split out per request, so
+// latency and deadline accounting stay per-request.
+func ExampleRun_continuousBatching() {
+	suite, err := dmx.TestSuite()
+	if err != nil {
+		panic(err)
+	}
+	cfg := dmx.DefaultConfig(dmx.BumpInTheWire)
+	cfg.BatchWindow = 200 * dmx.Microsecond
+	cfg.BatchMax = 8
+	cfg.Sched = dmx.SchedEDF
+	cfg.AdmitLimit = 64
+	rep, err := dmx.Run(cfg, dmx.LoadSpec(dmx.TrafficSpec{
+		Arrival:  dmx.OpenLoop,
+		Rate:     50000,
+		Requests: 32,
+		Deadline: 80 * dmx.Millisecond,
+	}), suite[0].Pipeline)
+	if err != nil {
+		panic(err)
+	}
+	al := rep.Load.PerApp[0]
+	fmt.Printf("completed %d of %d\n", al.Completed, al.Requests)
+	fmt.Printf("batches %d carrying %d requests\n", al.Batches, al.BatchedRequests)
+	fmt.Printf("rejected %d\n", al.Rejected)
+	// Output:
+	// completed 32 of 32
+	// batches 4 carrying 32 requests
+	// rejected 0
+}

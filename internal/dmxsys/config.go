@@ -87,12 +87,25 @@ const (
 	// SchedWFQ is weighted-fair round-robin across apps with
 	// Config.AppWeight shares.
 	SchedWFQ
+	// SchedEDF is earliest-deadline-first: every contended station
+	// serves the waiting job whose request has the nearest absolute
+	// deadline (requests without a deadline sort last). Deadlines come
+	// from the load spec (traffic.Spec.Deadline / AppDeadlines).
+	SchedEDF
+	// SchedSRS is shortest-remaining-service: stations serve the waiting
+	// job whose request has the least precomputed service demand still
+	// ahead of it in its pipeline (the per-stage occupancy model that
+	// also drives AppReport.Bottleneck). Short requests overtake long
+	// ones, which minimizes mean sojourn time under mixed request sizes.
+	SchedSRS
 )
 
 var schedNames = [...]string{
 	SchedFIFO:     "fifo",
 	SchedPriority: "priority",
 	SchedWFQ:      "wfq",
+	SchedEDF:      "edf",
+	SchedSRS:      "srs",
 }
 
 func (p SchedPolicy) String() string {
@@ -109,7 +122,7 @@ func ParseSched(s string) (SchedPolicy, error) {
 			return SchedPolicy(i), nil
 		}
 	}
-	return 0, fmt.Errorf("dmxsys: unknown discipline %q (want fifo, priority, or wfq)", s)
+	return 0, fmt.Errorf("dmxsys: unknown discipline %q (want fifo, priority, wfq, edf, or srs)", s)
 }
 
 // Config parameterizes a system build.
@@ -177,6 +190,28 @@ type Config struct {
 	// DRX path is unavailable. The zero value disables retry and the
 	// watchdog.
 	Retry faults.RetryPolicy
+	// BatchWindow enables continuous batching: requests of one
+	// application that arrive within BatchWindow of the first pending
+	// request coalesce into a single batch that walks the pipeline as
+	// one unit (one driver round trip, one DMA descriptor, and one
+	// kernel/DRX dispatch per station, with payloads scaled by the batch
+	// size). Completions split back out per request, so latency
+	// accounting stays per-request: early members pay the residual
+	// window as queueing delay. Zero (the default) disables batching
+	// and preserves the unbatched serving path bit-for-bit.
+	BatchWindow sim.Duration
+	// BatchMax caps how many requests one batch may carry; reaching the
+	// cap flushes the window early. Zero means no cap (the window alone
+	// closes batches). Bump-in-the-wire placements additionally cap
+	// batches so a batch's hop payload never exceeds an inline DRX data
+	// queue.
+	BatchMax int
+	// AdmitLimit enables per-app admission control under RunLoad: an
+	// arrival that finds AdmitLimit of its app's requests already
+	// outstanding (queued, batching, or executing) is rejected
+	// immediately instead of deepening the backlog, and counts in
+	// LoadReport as Rejected. Zero disables admission control.
+	AdmitLimit int
 }
 
 // DefaultConfig mirrors the paper's testbed: PCIe Gen3, x16 device
@@ -227,9 +262,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dmxsys: standalone cards must serve at least 1 app")
 	}
 	switch c.Sched {
-	case SchedFIFO, SchedPriority, SchedWFQ:
+	case SchedFIFO, SchedPriority, SchedWFQ, SchedEDF, SchedSRS:
 	default:
 		return fmt.Errorf("dmxsys: unknown scheduling policy %d", int(c.Sched))
+	}
+	if c.BatchWindow < 0 {
+		return fmt.Errorf("dmxsys: negative batch window %v", c.BatchWindow)
+	}
+	if c.BatchMax < 0 {
+		return fmt.Errorf("dmxsys: negative batch cap %d", c.BatchMax)
+	}
+	if c.AdmitLimit < 0 {
+		return fmt.Errorf("dmxsys: negative admission limit %d", c.AdmitLimit)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -248,6 +292,10 @@ func (c Config) discipline() sim.Discipline {
 		return sim.NewPriority(c.AppPriority)
 	case SchedWFQ:
 		return sim.NewWRR(c.AppWeight)
+	case SchedEDF:
+		return sim.NewEDF()
+	case SchedSRS:
+		return sim.NewSRS()
 	}
 	return sim.NewFIFO()
 }

@@ -20,4 +20,19 @@
 // device tracks, and — via the sim layer — device service spans and link
 // occupancy counters. Config.Trace, the human-readable event log, is a
 // text rendering of the same stream; RunReport.Metrics is its aggregate.
+//
+// The serving layer turns one-shot runs into request streams: RunLoad
+// drives a traffic.Spec arrival process through per-request state
+// machines (flow.go) and reports per-app rates, latency quantiles, and
+// outcome counters. In front of the state machine sits an optional
+// continuous-batching accumulator (batch.go): arrivals of an app inside
+// Config.BatchWindow coalesce and walk the pipeline as one batch — one
+// kernel launch, one driver round trip, and one DMA descriptor per
+// transfer leg — then split back out per request for latency and
+// deadline accounting. Contended stations order their backlogs by
+// Config.Sched (FIFO, priority, weighted fair, earliest-deadline-first,
+// shortest-remaining-service), and Config.AdmitLimit sheds arrivals
+// past a per-app outstanding cap as rejections. Batching off
+// (BatchWindow 0) is byte-identical to the unbatched path; batched
+// members under fault injection retry and degrade individually.
 package dmxsys

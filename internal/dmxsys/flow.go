@@ -3,6 +3,7 @@ package dmxsys
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"dmx/internal/obs"
 	"dmx/internal/pcie"
@@ -187,25 +188,96 @@ func (r *request) abandon() {
 	r.finish()
 }
 
+// admit is the serving front door for one arrival: admission control
+// first (RunLoad only), then the batching window when one is
+// configured, then the solo per-request state machine. With admission
+// control and batching both disabled it is startRequest, bit-for-bit.
+func (s *System) admit(a *appInstance, deadline sim.Duration, done func(*request)) {
+	if s.admitting && s.cfg.AdmitLimit > 0 && a.inflight >= s.cfg.AdmitLimit {
+		s.obsInstant(a, obs.TypeReject, 0, a.track, "", "", int64(a.inflight))
+		r := &request{s: s, a: a, track: a.track, outcome: traffic.OutcomeRejected}
+		// The request never executes: retire it through done directly so
+		// the drive loop's outstanding count drains, without touching
+		// a.requests (occupancy and report totals cover executed
+		// requests only).
+		done(r)
+		return
+	}
+	if s.cfg.BatchWindow > 0 && s.cfg.Placement != AllCPU {
+		s.enqueueBatch(a, deadline, done)
+		return
+	}
+	s.startRequest(a, deadline, done)
+}
+
 // startRequest admits one request into app a's pipeline, calling done at
 // completion. deadline, when positive, is the per-request latency
 // budget relative to now.
 func (s *System) startRequest(a *appInstance, deadline sim.Duration, done func(*request)) {
+	s.newRequest(a, deadline, done).launch()
+}
+
+// newRequest creates one request of app a without dispatching it (a
+// batched member parks in the accumulation window instead).
+func (s *System) newRequest(a *appInstance, deadline sim.Duration, done func(*request)) *request {
 	now := s.Eng.Now()
 	track := a.track
-	if a.requests > 0 {
+	// Per-request trace tracks matter only when a recorder is attached;
+	// skipping the format keeps the headless serving path free of
+	// per-request string allocations.
+	if s.rec != nil && a.requests > 0 {
 		track = fmt.Sprintf("%s/r%d", a.track, a.requests)
 	}
 	a.requests++
+	a.inflight++
 	r := &request{s: s, a: a, track: track, mark: now, start: now, done: done}
 	if deadline > 0 {
 		r.deadline = now.Add(deadline)
 	}
-	if s.cfg.Placement == AllCPU {
+	return r
+}
+
+// launch dispatches the request into its placement's walk.
+func (r *request) launch() {
+	if r.s.cfg.Placement == AllCPU {
 		r.stepCPUKernel()
 		return
 	}
 	r.stepInput()
+}
+
+// deadlineKey is the EDF scheduling key shared by solo requests and
+// batches: the absolute deadline, or MaxInt64 for "no deadline" so
+// deadline-carrying work always overtakes best-effort work.
+func deadlineKey(deadline sim.Time) int64 {
+	if deadline == 0 {
+		return math.MaxInt64
+	}
+	return int64(deadline)
+}
+
+// kernelKey is the request's scheduling key when submitting stage k's
+// kernel: its absolute deadline under EDF, the precomputed station
+// service still ahead of it under SRS, 0 (ignored) otherwise.
+func (r *request) kernelKey() int64 {
+	switch r.s.cfg.Sched {
+	case SchedEDF:
+		return deadlineKey(r.deadline)
+	case SchedSRS:
+		return int64(r.a.remAtKernel[r.k])
+	}
+	return 0
+}
+
+// hopKey is the analogous key when submitting hop k's restructuring.
+func (r *request) hopKey() int64 {
+	switch r.s.cfg.Sched {
+	case SchedEDF:
+		return deadlineKey(r.deadline)
+	case SchedSRS:
+		return int64(r.a.remAtHop[r.k])
+	}
+	return 0
 }
 
 // lap closes the current contiguous segment, attributing it to phase p.
@@ -256,6 +328,7 @@ func (r *request) fail(err error) {
 // finish retires the request.
 func (r *request) finish() {
 	a := r.a
+	a.inflight--
 	a.rep.Total = r.s.Eng.Now().Sub(r.start)
 	a.rep.Retries += r.retries
 	a.rep.Timeouts += r.timeouts
@@ -349,7 +422,7 @@ func (r *request) kernelAttempt() {
 	service := st.Accel.Latency(st.InBytes)
 	a.occupyServer(srv, service)
 	r.arm(st.Accel.Name, r.kernelTimeout)
-	srv.SubmitClass(a.id, service, r.guard(r.kernelDone))
+	srv.SubmitKeyed(a.id, r.kernelKey(), service, r.guard(r.kernelDone))
 }
 
 // kernelTimeout handles a stage watchdog firing on a kernel execution:
@@ -737,7 +810,7 @@ func (r *request) restructureAttempt(done func()) {
 	}
 	a.occupyServer(a.drxServer[k], d)
 	r.arm(unit, r.degradeHop)
-	a.drxServer[k].SubmitClass(a.id, d, r.guard(func() {
+	a.drxServer[k].SubmitKeyed(a.id, r.hopKey(), d, r.guard(func() {
 		r.disarm()
 		if s.hazardous && s.inj.TransientFault(unit) {
 			r.retryRestructure(done)
@@ -745,6 +818,24 @@ func (r *request) restructureAttempt(done func()) {
 		}
 		done()
 	}))
+}
+
+// restructureContinuation is the step that follows hop k's successful
+// DRX restructuring under the current placement — the continuation a
+// request peeled out of a failing batch resumes with once its solo
+// retry of the restructure succeeds.
+func (r *request) restructureContinuation() func() {
+	switch r.s.cfg.Placement {
+	case Integrated:
+		return r.hopHostRestructured
+	case Standalone:
+		return r.hopCardRestructured
+	case PCIeIntegrated:
+		return r.hopSwitchRestructured
+	case BumpInTheWire:
+		return r.hopBumpRestructured
+	}
+	return func() { r.fail(fmt.Errorf("dmxsys: restructure under %v", r.s.cfg.Placement)) }
 }
 
 // retryRestructure handles a transient restructure fault: re-attempt
@@ -833,19 +924,24 @@ func (r *request) degradeDone() {
 
 // drive is the shared load driver under Run, RunStream, and RunLoad:
 // app i's request j is admitted at i·StartStagger + offsets(i)[j], the
-// engine runs to completion, and every retirement invokes onDone. The
+// engine runs to completion, and every retirement invokes onDone.
+// deadline is app i's per-request latency budget (nil = none). The
 // first flow error (or a deadlocked request train) is returned after
 // the drain.
-func (s *System) drive(offsets func(app int) []sim.Duration, deadline sim.Duration, onDone func(app, req int, r *request)) error {
+func (s *System) drive(offsets func(app int) []sim.Duration, deadline func(app int) sim.Duration, onDone func(app, req int, r *request)) error {
 	remaining := 0
 	for i, a := range s.apps {
 		i, a := i, a
 		start := sim.Duration(i) * s.cfg.StartStagger
+		dl := sim.Duration(0)
+		if deadline != nil {
+			dl = deadline(i)
+		}
 		for j, off := range offsets(i) {
 			j := j
 			remaining++
 			s.Eng.Schedule(start+off, func() {
-				s.startRequest(a, deadline, func(r *request) {
+				s.admit(a, dl, func(r *request) {
 					remaining--
 					onDone(i, j, r)
 				})

@@ -36,12 +36,22 @@ func (s *System) RunLoad(spec traffic.Spec) (traffic.LoadReport, error) {
 	for i := range s.apps {
 		arrivals[i] = spec.Arrivals(i)
 	}
-	err := s.drive(func(app int) []sim.Duration { return arrivals[app] }, spec.Deadline,
+	// Admission control is a serving-layer behavior: only RunLoad has a
+	// rejection channel in its report, so the limit gates here and not
+	// under Run/RunStream.
+	s.admitting = true
+	err := s.drive(func(app int) []sim.Duration { return arrivals[app] }, spec.DeadlineFor,
 		func(app, req int, r *request) {
 			now := s.Eng.Now()
 			al := &rep.PerApp[app]
 			al.Retries += r.retries
 			al.Timeouts += r.timeouts
+			if r.outcome == traffic.OutcomeRejected {
+				// Rejected requests never executed: no latency sample,
+				// no completion.
+				al.Rejected++
+				return
+			}
 			if r.outcome == traffic.OutcomeAbandoned {
 				// Abandoned requests retire without completing: no
 				// latency sample, no completion, no rate contribution.
@@ -76,6 +86,8 @@ func (s *System) RunLoad(spec traffic.Spec) (traffic.LoadReport, error) {
 		if span := lasts[i].Sub(firsts[i]).Seconds(); al.Completed > 1 && span > 0 {
 			al.Achieved = float64(al.Completed-1) / span
 		}
+		al.Batches = s.apps[i].nbatches
+		al.BatchedRequests = s.apps[i].batchedReqs
 	}
 	rep.Finalize()
 	return rep, nil

@@ -55,6 +55,15 @@ type System struct {
 	// configured.
 	rec *obs.Recorder
 
+	// batchPool recycles retired batch shells (members slice and
+	// completion closures included) so steady-state batching never
+	// allocates beyond the requests themselves.
+	batchPool []*batch
+	// admitting is true while RunLoad drives the system; admission
+	// control applies only there (Run and RunStream issue fixed request
+	// sets whose reports have no rejection channel).
+	admitting bool
+
 	// inj is the fault injector (nil = no faults). hazardous is true
 	// when faults or a retry policy are active; every fault/retry check
 	// in the request machine is gated on it so the fault-free flow
@@ -94,6 +103,33 @@ type appInstance struct {
 	// requests counts admitted requests, giving each streamed request
 	// its own trace track (spans of one track must nest).
 	requests int
+
+	// inflight counts requests admitted and not yet retired; admission
+	// control (Config.AdmitLimit) rejects arrivals past the limit.
+	inflight int
+
+	// Continuous-batching state. pending holds the open accumulation
+	// window's members (in arrival order); flushRef/flushArmed track the
+	// pending window-expiry event and flushFn is its preallocated
+	// closure so re-arming the window never allocates. nbatches and
+	// batchedReqs feed the LoadReport batching line; maxBatch caps the
+	// batch size so a bump-in-the-wire batch's hop payload always fits
+	// the inline DRX data queues (0 = uncapped).
+	pending     []*request
+	flushRef    sim.EventRef
+	flushArmed  bool
+	flushFn     func()
+	nbatches    int
+	batchedReqs int
+	maxBatch    int
+
+	// remAtKernel[k] / remAtHop[k] are the precomputed station service
+	// demands still ahead of a request when it submits stage k's kernel
+	// / hop k's restructure — the SchedSRS scheduling keys, derived from
+	// the same per-stage model as the capacity bound (nil for AllCPU,
+	// which has no contended stations).
+	remAtKernel []sim.Duration
+	remAtHop    []sim.Duration
 
 	// occ accumulates, per shared resource (server, link, or host
 	// channel), the exclusive occupancy the app's requests charged it.
@@ -334,6 +370,64 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 				}
 			}
 		}
+
+		// Remaining-service tables (the SchedSRS keys): walk the pipeline
+		// backwards accumulating each station's precomputed service
+		// demand. MultiAxl hops restructure on the uncontended CPU
+		// channels, so they contribute nothing to station demand.
+		if cfg.Placement != AllCPU {
+			n := len(p.Stages)
+			a.remAtKernel = make([]sim.Duration, n)
+			a.remAtHop = make([]sim.Duration, len(p.Hops))
+			for k := n - 1; k >= 0; k-- {
+				svc := p.Stages[k].Accel.Latency(p.Stages[k].InBytes)
+				if k < len(p.Hops) {
+					hop := sim.Duration(0)
+					if cfg.Placement.UsesDRX() {
+						d, err := s.drxServiceTime(p.Hops[k].Kernel)
+						if err != nil {
+							return nil, err
+						}
+						hop = d
+					}
+					a.remAtHop[k] = hop + a.remAtKernel[k+1]
+					a.remAtKernel[k] = svc + a.remAtHop[k]
+				} else {
+					a.remAtKernel[k] = svc
+				}
+			}
+		}
+
+		// Batch-size ceiling: a bump-in-the-wire batch moves n× a hop's
+		// payload through the inline DRX data queues, so cap n where the
+		// scaled payload would exceed a queue (otherwise the batch could
+		// never be admitted and the flow would deadlock).
+		if cfg.Placement == BumpInTheWire && cfg.BatchWindow > 0 {
+			for _, h := range p.Hops {
+				per := h.InBytes
+				if h.OutBytes > per {
+					per = h.OutBytes
+				}
+				if per <= 0 {
+					continue
+				}
+				cap := int(QueuePairBytes / per)
+				if cap < 1 {
+					cap = 1
+				}
+				if a.maxBatch == 0 || cap < a.maxBatch {
+					a.maxBatch = cap
+				}
+			}
+		}
+
+		// Preallocated window-expiry closure: arming the batch window in
+		// steady state reuses it instead of allocating per window.
+		a.flushFn = func() {
+			a.flushArmed = false
+			s.flush(a)
+		}
+
 		s.apps = append(s.apps, a)
 	}
 	return s, nil

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"dmx/internal/dmxsys"
+	"dmx/internal/sim"
+	"dmx/internal/sweep"
+	"dmx/internal/traffic"
+	"dmx/internal/workload"
+)
+
+// The batching experiment reproduces the continuous-batching tradeoff
+// curve: sweeping the accumulation window on the bump-in-the-wire
+// placement shows saturated throughput improving with window size (one
+// kernel launch, one driver round trip, and one DMA descriptor per
+// batch instead of per request) while low-load tail latency degrades
+// (an arrival that opens a window waits the full window before
+// dispatch). Both effects are measured per benchmark:
+//
+//   - the throughput column drives an open-loop arrival train far above
+//     capacity, so every window's batches fill and the completion rate
+//     is gated by amortized service time (completions over makespan —
+//     the whole run is one saturated busy period);
+//   - the p99 column offers a light Poisson trickle whose inter-arrival
+//     gaps exceed the window, so batches stay near size one and the
+//     window is pure added latency.
+//
+// The miniature (test-scale) corpus makes per-dispatch fixed costs a
+// visible fraction of service time, which is the regime where batching
+// matters; at multi-megabyte paper scale the same sweep flattens, since
+// byte-proportional work dwarfs the amortized overheads.
+
+// batchWindows is the accumulation-window axis (0 = batching off, the
+// unbatched serving path bit-for-bit). The ladder deliberately stays in
+// the many-batches-in-flight regime: pushing the window until the whole
+// train fits one batch would serialize the pipeline's stations (a giant
+// batch occupies one station at a time, losing the stage overlap
+// consecutive batches retain) and the curve would bend back down.
+var batchWindows = []sim.Duration{
+	0,
+	10 * sim.Microsecond,
+	20 * sim.Microsecond,
+	40 * sim.Microsecond,
+}
+
+const (
+	// batchRequests is the per-point request count.
+	batchRequests = 128
+	// batchSatRate is the saturating open-loop rate: 2.5 µs inter-arrival,
+	// several times every test-scale benchmark's unbatched capacity, so
+	// even the 10 µs window coalesces and each doubling of the window
+	// roughly doubles the batch.
+	batchSatRate = 400000.0
+	// batchLowRate is the light Poisson rate for the latency column:
+	// 2.5 ms mean inter-arrival, orders of magnitude above the widest
+	// window, so batches stay near size one.
+	batchLowRate = 400.0
+	// batchSeed fixes the Poisson timeline.
+	batchSeed = 7
+)
+
+// BatchPoint is one window's measurement for one benchmark.
+type BatchPoint struct {
+	Window sim.Duration
+	// Batches and MeanSize describe the coalescing the saturated run
+	// achieved.
+	Batches  int
+	MeanSize float64
+	// Throughput is the saturated completion rate in requests per
+	// second: completions over the busy period (makespan net of the
+	// constant window-open offset, which in a continuous arrival train
+	// shifts every completion once and does not recur per batch).
+	// SatP99 is that run's p99.
+	Throughput float64
+	SatP99     sim.Duration
+	// LowP99 is the light-load p99 — the column that degrades as the
+	// window grows.
+	LowP99 sim.Duration
+}
+
+// BatchCurve is one benchmark's window sweep.
+type BatchCurve struct {
+	Bench  string
+	Points []BatchPoint
+}
+
+// BatchResult is the batching experiment: one tradeoff curve per
+// benchmark.
+type BatchResult struct {
+	Curves []BatchCurve
+}
+
+// batchSuite caches the test-scale benchmark suite (distinct from the
+// paper-scale cache the other experiments share).
+var batchSuite struct {
+	once    sync.Once
+	benches []*workload.Benchmark
+	err     error
+}
+
+// batchBenches returns the five Table I benchmarks at test scale.
+func batchBenches() ([]*workload.Benchmark, error) {
+	batchSuite.once.Do(func() {
+		batchSuite.benches, batchSuite.err = workload.Suite(workload.TestScale)
+	})
+	return batchSuite.benches, batchSuite.err
+}
+
+// batchJob is one (benchmark, window) sweep cell.
+type batchJob struct {
+	bench  *workload.Benchmark
+	window sim.Duration
+}
+
+// batchRun builds a fresh bump-in-the-wire system with the given window
+// and runs one load.
+func batchRun(bench *workload.Benchmark, window sim.Duration, spec traffic.Spec) (traffic.AppLoad, sim.Duration, error) {
+	cfg := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
+	cfg.BatchWindow = window
+	sys, err := dmxsys.New(cfg, []*dmxsys.Pipeline{bench.Pipeline})
+	if err != nil {
+		return traffic.AppLoad{}, 0, err
+	}
+	rep, err := sys.RunLoad(spec)
+	if err != nil {
+		return traffic.AppLoad{}, 0, err
+	}
+	return rep.PerApp[0], rep.Makespan, nil
+}
+
+// Batching runs the continuous-batching tradeoff experiment. The
+// (benchmark × window) cells are independent simulations and run on the
+// sweep worker pool.
+func Batching() (*BatchResult, error) {
+	benches, err := batchBenches()
+	if err != nil {
+		return nil, err
+	}
+	var jobs []batchJob
+	for _, b := range benches {
+		for _, w := range batchWindows {
+			jobs = append(jobs, batchJob{bench: b, window: w})
+		}
+	}
+	points, err := sweep.Map(jobs, func(_ int, j batchJob) (BatchPoint, error) {
+		sat, makespan, err := batchRun(j.bench, j.window, traffic.Spec{
+			Arrival:  traffic.OpenLoop,
+			Rate:     batchSatRate,
+			Requests: batchRequests,
+		})
+		if err != nil {
+			return BatchPoint{}, err
+		}
+		low, _, err := batchRun(j.bench, j.window, traffic.Spec{
+			Arrival:  traffic.Poisson,
+			Rate:     batchLowRate,
+			Requests: batchRequests,
+			Seed:     batchSeed,
+		})
+		if err != nil {
+			return BatchPoint{}, err
+		}
+		p := BatchPoint{
+			Window:  j.window,
+			Batches: sat.Batches,
+			SatP99:  sat.P99,
+			LowP99:  low.P99,
+		}
+		if sat.Batches > 0 {
+			p.MeanSize = float64(sat.BatchedRequests) / float64(sat.Batches)
+		}
+		if s := (makespan - j.window).Seconds(); s > 0 {
+			p.Throughput = float64(sat.Completed) / s
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &BatchResult{Curves: make([]BatchCurve, len(benches))}
+	for i, b := range benches {
+		res.Curves[i] = BatchCurve{
+			Bench:  b.Name,
+			Points: points[i*len(batchWindows) : (i+1)*len(batchWindows)],
+		}
+	}
+	return res, nil
+}
+
+// Render emits one table per benchmark: the saturated-throughput column
+// rises with the window while the light-load p99 column falls behind.
+func (r *BatchResult) Render() string {
+	t := newTable("Serving: continuous-batching window tradeoff (Bump-in-the-Wire, test scale)",
+		"", "window", "batches", "mean size", "sat thr", "sat p99", "low-load p99")
+	for _, c := range r.Curves {
+		t.rowf("%s", c.Bench)
+		base := c.Points[0]
+		for _, p := range c.Points {
+			t.row("",
+				p.Window.String(),
+				fmt.Sprintf("%d", p.Batches),
+				fmt.Sprintf("%.2f", p.MeanSize),
+				fmt.Sprintf("%.4g/s", p.Throughput),
+				p.SatP99.String(),
+				p.LowP99.String())
+		}
+		last := c.Points[len(c.Points)-1]
+		t.rowf("  widest window: %.2fx saturated throughput, +%v light-load p99 vs unbatched",
+			last.Throughput/base.Throughput, (last.LowP99 - base.LowP99).String())
+	}
+	return t.String()
+}

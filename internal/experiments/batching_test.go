@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBatchingCurveShape pins the acceptance contract of the batching
+// figure: under open-loop saturation the completion rate strictly
+// improves with every widening of the accumulation window (amortized
+// dispatch buys real throughput), while the light-load p99 strictly
+// degrades (an arrival that opens a window eats the window). Window 0
+// must coalesce nothing, and wider windows must coalesce strictly
+// harder.
+func TestBatchingCurveShape(t *testing.T) {
+	res, err := Batching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves) != 5 {
+		t.Fatalf("%d curves, want 5", len(res.Curves))
+	}
+	for _, c := range res.Curves {
+		if len(c.Points) != len(batchWindows) {
+			t.Fatalf("%s: %d points, want %d", c.Bench, len(c.Points), len(batchWindows))
+		}
+		base := c.Points[0]
+		if base.Window != 0 {
+			t.Fatalf("%s: first point window %v, want 0", c.Bench, base.Window)
+		}
+		if base.Batches != 0 {
+			t.Errorf("%s: window 0 formed %d batches; batching off must coalesce nothing",
+				c.Bench, base.Batches)
+		}
+		for i := 1; i < len(c.Points); i++ {
+			prev, p := c.Points[i-1], c.Points[i]
+			if p.Batches == 0 || p.MeanSize <= 1 {
+				t.Errorf("%s at %v: %d batches of mean size %.2f; saturation must coalesce",
+					c.Bench, p.Window, p.Batches, p.MeanSize)
+			}
+			if p.Throughput <= prev.Throughput {
+				t.Errorf("%s: saturated throughput %.4g/s at %v does not improve on %.4g/s at %v",
+					c.Bench, p.Throughput, p.Window, prev.Throughput, prev.Window)
+			}
+			if p.LowP99 <= prev.LowP99 {
+				t.Errorf("%s: light-load p99 %v at %v does not degrade from %v at %v",
+					c.Bench, p.LowP99, p.Window, prev.LowP99, prev.Window)
+			}
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "widest window") {
+		t.Error("render missing the per-bench summary line")
+	}
+}

@@ -104,6 +104,12 @@ const (
 	// TypeAbandon marks a request retiring unfinished after exhausting
 	// its retry budget.
 	TypeAbandon
+	// TypeReject marks a request refused at admission because its app
+	// was already at the configured outstanding-request limit.
+	TypeReject
+	// TypeBatch marks a batching window closing: Bytes carries the
+	// number of requests the batch coalesced.
+	TypeBatch
 )
 
 var typeNames = [...]string{
@@ -130,6 +136,8 @@ var typeNames = [...]string{
 	TypeStall:           "stall",
 	TypeDegrade:         "degrade",
 	TypeAbandon:         "abandon",
+	TypeReject:          "reject",
+	TypeBatch:           "batch",
 }
 
 func (t Type) String() string {

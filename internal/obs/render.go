@@ -47,6 +47,10 @@ func RenderText(ev *Event) (string, bool) {
 		return fmt.Sprintf("degrading hop to CPU restructuring (%s unavailable)", ev.Name), true
 	case TypeAbandon:
 		return "request abandoned: retry budget exhausted", true
+	case TypeReject:
+		return "request rejected at admission: app at outstanding limit", true
+	case TypeBatch:
+		return fmt.Sprintf("batch window closed: dispatching %d coalesced requests", ev.Bytes), true
 	}
 	return "", false
 }

@@ -16,6 +16,11 @@ package sim
 type Job struct {
 	// Class is the tenant id the discipline schedules by.
 	Class int
+	// Key is the per-job scheduling key the Keyed discipline orders by
+	// (smaller first): an absolute deadline under EDF, a remaining
+	// service estimate under SRS. Class-based disciplines ignore it;
+	// SubmitClass leaves it zero.
+	Key int64
 	// Service is the job's precomputed service time.
 	Service  Duration
 	done     func()
@@ -144,6 +149,85 @@ func (q *Priority) Push(j Job) {
 
 // Pop implements Discipline.
 func (q *Priority) Pop() (Job, bool) {
+	if len(q.heap) == 0 {
+		return Job{}, false
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = Job{} // release the done closure
+	q.heap = q.heap[:last]
+	// Sift down.
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < len(q.heap) && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < len(q.heap) && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+	return top, true
+}
+
+// Keyed serves the waiting job with the smallest Job.Key (ties in
+// submission order). Unlike Priority, whose key is a static per-class
+// table lookup, the key travels with the job, so one discipline covers
+// every smallest-key-first policy: earliest-deadline-first when the key
+// is the request's absolute deadline, shortest-remaining-service when
+// it is the precomputed service demand still ahead of the request.
+// Jobs without a meaningful key should carry math.MaxInt64 (EDF's "no
+// deadline" convention) so keyed work always overtakes them.
+type Keyed struct {
+	name string
+	heap []Job // binary min-heap on (Key, seq)
+}
+
+// NewEDF returns a keyed discipline for earliest-deadline-first
+// scheduling: submitters set Job.Key to the request's absolute
+// deadline (math.MaxInt64 when none).
+func NewEDF() *Keyed { return &Keyed{name: "edf"} }
+
+// NewSRS returns a keyed discipline for shortest-remaining-service
+// scheduling: submitters set Job.Key to the service demand still ahead
+// of the request.
+func NewSRS() *Keyed { return &Keyed{name: "srs"} }
+
+// Name implements Discipline.
+func (q *Keyed) Name() string { return q.name }
+
+// Len implements Discipline.
+func (q *Keyed) Len() int { return len(q.heap) }
+
+func (q *Keyed) less(i, j int) bool {
+	if q.heap[i].Key != q.heap[j].Key {
+		return q.heap[i].Key < q.heap[j].Key
+	}
+	return q.heap[i].seq < q.heap[j].seq
+}
+
+// Push implements Discipline.
+func (q *Keyed) Push(j Job) {
+	q.heap = append(q.heap, j)
+	// Sift up.
+	for i := len(q.heap) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+// Pop implements Discipline.
+func (q *Keyed) Pop() (Job, bool) {
 	if len(q.heap) == 0 {
 		return Job{}, false
 	}

@@ -126,6 +126,77 @@ func TestPriorityEqualKeysPreserveSubmissionOrder(t *testing.T) {
 	}
 }
 
+func TestKeyedServesSmallestKeyFirstTiesInOrder(t *testing.T) {
+	q := NewEDF()
+	keys := []int64{30, 10, 20, 10, 30}
+	for i, k := range keys {
+		q.Push(Job{Class: i, Key: k, seq: uint64(i)})
+	}
+	got := drain(q)
+	// Smallest key first; the two key-10 jobs in submission order, then
+	// key 20, then the two key-30 jobs in submission order.
+	want := []int{1, 3, 2, 0, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keyed order = %v, want %v", got, want)
+		}
+	}
+	if q.Name() != "edf" || NewSRS().Name() != "srs" {
+		t.Fatalf("constructor names: %q / %q", q.Name(), NewSRS().Name())
+	}
+}
+
+func TestKeyedEqualKeysPreserveSubmissionOrder(t *testing.T) {
+	q := NewSRS()
+	for i := 0; i < 30; i++ {
+		q.Push(Job{Class: i % 3, Key: 7, seq: uint64(i)})
+	}
+	var prev uint64
+	for i := 0; i < 30; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue drained early")
+		}
+		if i > 0 && j.seq < prev {
+			t.Fatalf("equal-key jobs reordered: seq %d after %d", j.seq, prev)
+		}
+		prev = j.seq
+	}
+}
+
+func TestKeyedPopReleasesClosure(t *testing.T) {
+	q := NewEDF()
+	q.Push(Job{Key: 1, done: func() {}})
+	q.Push(Job{Key: 2, done: func() {}})
+	q.Pop()
+	// The vacated tail slot (past the shrunken length) must be zeroed.
+	if q.heap[:2][1].done != nil {
+		t.Fatal("vacated heap slot still pins the done closure")
+	}
+}
+
+// SubmitKeyed must thread the key through to the discipline, and a
+// server under EDF must serve the backlog deadline-first.
+func TestServerSubmitKeyedOrdersByKey(t *testing.T) {
+	e := NewEngine()
+	s := NewServerDisc(e, "srv", 1, NewEDF())
+	var order []int64
+	mk := func(key int64) func() {
+		return func() { order = append(order, key) }
+	}
+	s.SubmitKeyed(0, 50, Nanosecond, mk(50)) // seizes the slot
+	s.SubmitKeyed(0, 40, Nanosecond, mk(40))
+	s.SubmitKeyed(0, 10, Nanosecond, mk(10))
+	s.SubmitKeyed(0, 20, Nanosecond, mk(20))
+	e.Run()
+	want := []int64{50, 10, 20, 40}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order = %v, want %v", order, want)
+		}
+	}
+}
+
 func TestWRRInterleavesByWeight(t *testing.T) {
 	// Class 0 has weight 2, class 1 weight 1: the service pattern is
 	// 0,0,1, 0,0,1, ...

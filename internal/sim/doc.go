@@ -19,6 +19,16 @@
 // queue walk; Reschedule is the timer-reset idiom with an in-place
 // fast path for the latest-scheduled event.
 //
+// Server's backlog ordering is pluggable (Discipline): FIFO's
+// power-of-two ring is the zero-allocation default, Priority and WFQ
+// order by static per-class tables, and Keyed is a (key, seq) min-heap
+// whose key travels with the job — NewEDF submits absolute deadlines
+// (earliest first, MaxInt64 for none), NewSRS submits remaining
+// service demand (shortest first). SubmitKeyed attaches the key;
+// SubmitClass delegates with a zero key for the table-driven
+// disciplines. All ties break by submission order, preserving
+// determinism under any policy.
+//
 // The kernel is also the lowest-level producer of the observability
 // stream (internal/obs): Engine carries an optional *obs.Recorder;
 // Server emits a service span per completed job (per-slot sub-tracks

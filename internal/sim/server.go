@@ -106,10 +106,18 @@ func (s *Server) Submit(service Duration, done func()) {
 // SubmitClass enqueues a job under a tenant class (the key priority and
 // weighted-fair disciplines schedule by; FIFO ignores it).
 func (s *Server) SubmitClass(class int, service Duration, done func()) {
+	s.SubmitKeyed(class, 0, service, done)
+}
+
+// SubmitKeyed enqueues a job under a tenant class with a per-job
+// scheduling key (what the Keyed EDF/SRS disciplines order by;
+// class-based disciplines ignore it). SubmitClass is SubmitKeyed with
+// key 0.
+func (s *Server) SubmitKeyed(class int, key int64, service Duration, done func()) {
 	if service < 0 {
 		panic(fmt.Sprintf("sim: negative service time %v", service))
 	}
-	j := Job{Class: class, Service: service, done: done, enqueued: s.eng.Now(), seq: s.seq}
+	j := Job{Class: class, Key: key, Service: service, done: done, enqueued: s.eng.Now(), seq: s.seq}
 	s.seq++
 	if s.busy < s.slots {
 		s.start(j)

@@ -5,6 +5,14 @@
 // achieved throughput and latency quantiles pulled from the obs
 // latency histograms.
 //
+// Spec also carries the SLO surface: Deadline (with per-app
+// AppDeadlines overrides) tags every arrival with an absolute latency
+// budget, which the report counts misses against and the EDF
+// discipline schedules by. Outcomes classify each retirement — clean,
+// degraded, abandoned, or rejected (shed by admission control before
+// execution) — and AppLoad's Batches/BatchedRequests report the
+// coalescing the continuous-batching layer realized.
+//
 // The package sits below dmxsys in the import graph (it depends only on
 // sim and obs) so the system driver can consume Spec and produce
 // LoadReport without a cycle. All arrival streams are deterministic:

@@ -36,6 +36,8 @@ func TestSpecValidate(t *testing.T) {
 		{"poisson negative rate", Spec{Arrival: Poisson, Rate: -1, Requests: 4}, "positive rate"},
 		{"bad arrival", Spec{Arrival: Arrival(9), Requests: 4}, "unknown arrival"},
 		{"negative deadline", Spec{Arrival: ClosedLoop, Requests: 4, Deadline: -sim.Microsecond}, "negative deadline"},
+		{"negative app deadline", Spec{Arrival: ClosedLoop, Requests: 4,
+			AppDeadlines: []sim.Duration{sim.Millisecond, -sim.Microsecond}}, "for app 1"},
 	}
 	for _, c := range cases {
 		err := c.spec.Validate()
@@ -48,6 +50,39 @@ func TestSpecValidate(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
 		}
+	}
+}
+
+func TestDeadlineForPrefersPerAppBudget(t *testing.T) {
+	s := Spec{Arrival: ClosedLoop, Requests: 2, Deadline: 10 * sim.Millisecond,
+		AppDeadlines: []sim.Duration{2 * sim.Millisecond, 0}}
+	if d := s.DeadlineFor(0); d != 2*sim.Millisecond {
+		t.Errorf("DeadlineFor(0) = %v, want 2ms", d)
+	}
+	// A zero entry and an out-of-range app both fall back to Deadline.
+	if d := s.DeadlineFor(1); d != 10*sim.Millisecond {
+		t.Errorf("DeadlineFor(1) = %v, want fallback 10ms", d)
+	}
+	if d := s.DeadlineFor(5); d != 10*sim.Millisecond {
+		t.Errorf("DeadlineFor(5) = %v, want fallback 10ms", d)
+	}
+}
+
+func TestRejectedAndBatchesRenderOnlyWhenPresent(t *testing.T) {
+	rep := LoadReport{PerApp: []AppLoad{{App: "svc", Requests: 8, Completed: 8}}}
+	base := rep.String()
+	if strings.Contains(base, "rejected") || strings.Contains(base, "batches") {
+		t.Fatalf("clean report leaks admission/batching lines:\n%s", base)
+	}
+	rep.PerApp[0].Rejected = 3
+	rep.PerApp[0].Batches = 2
+	rep.PerApp[0].BatchedRequests = 5
+	got := rep.String()
+	if !strings.Contains(got, "rejected 3 (admission)") {
+		t.Errorf("rejection count missing:\n%s", got)
+	}
+	if !strings.Contains(got, "batches 2 carrying 5 requests (mean size 2.50)") {
+		t.Errorf("batch line missing:\n%s", got)
 	}
 }
 
