@@ -150,7 +150,10 @@ func (s *System) dispatchBatch(a *appInstance, members []*request) {
 }
 
 // newBatch takes a recycled batch shell from the pool (or allocates the
-// first time).
+// first time). A pooled shell comes back dead (so stale completions
+// from its previous life drop); revive it here, keeping the epoch —
+// which release bumped past every guard captured before — monotone
+// across lives.
 func (s *System) newBatch(a *appInstance) *batch {
 	var b *batch
 	if n := len(s.batchPool); n > 0 {
@@ -160,14 +163,20 @@ func (s *System) newBatch(a *appInstance) *batch {
 		b = &batch{}
 	}
 	b.s, b.a = s, a
+	b.dead = false
 	return b
 }
 
-// release retires the batch shell back to the pool.
+// release retires the batch shell back to the pool: dead until newBatch
+// revives it, and the epoch advanced past every closure captured in
+// this life, so a stale guarded callback (say an abandoned batch's
+// kernel job still queued in a sim.Server) can never match the shell's
+// next incarnation.
 func (b *batch) release() {
 	s := b.s
 	members := b.members[:0]
-	*b = batch{members: members, dead: true}
+	e := b.epoch + 1
+	*b = batch{members: members, epoch: e, dead: true}
 	s.batchPool = append(s.batchPool, b)
 }
 

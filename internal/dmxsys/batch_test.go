@@ -187,6 +187,35 @@ func TestBatchMemberTransientPeelsAlone(t *testing.T) {
 	}
 }
 
+// TestBatchShellRecyclingStaysLive is the regression test for two
+// recycling bugs in the batch pool. First, a shell returned to the pool
+// is marked dead so stale completions from its old life drop — but
+// newBatch must revive it, or every completion guard of a batch built
+// on a recycled shell is silently discarded and the run deadlocks.
+// Second, the epoch must stay monotone across lives: if release reset
+// it to zero, a guarded closure captured in a previous life (a stale
+// kernel job still queued in a server) could match the fresh shell's
+// epoch and corrupt the new batch (ABA). A retry policy alone makes the
+// system hazardous — guard() is live without any injected fault — and
+// an open-loop burst under a 200us window closes several batches per
+// app, so shells recycle.
+func TestBatchShellRecyclingStaysLive(t *testing.T) {
+	rep := batchedLoad(t, func(c *dmxsys.Config) {
+		c.BatchWindow = 200 * sim.Microsecond
+		c.Retry = faults.RetryPolicy{MaxAttempts: 3, Backoff: 10 * sim.Microsecond}
+	}, traffic.Spec{Arrival: traffic.OpenLoop, Rate: 50000, Requests: 32})
+	for _, al := range rep.PerApp {
+		if al.Batches < 2 {
+			t.Fatalf("%s: only %d batch formed; the repro needs recycled shells",
+				al.App, al.Batches)
+		}
+		if al.Completed != al.Requests {
+			t.Fatalf("%s: %d/%d completed; a recycled batch shell dropped completions",
+				al.App, al.Completed, al.Requests)
+		}
+	}
+}
+
 // TestEDFBeatsFIFOOnMissRate pins the SLO win. Disciplines only
 // reorder work where a station is actually shared and backlogged, so
 // the scenario is built for contention: the integrated placement (one
