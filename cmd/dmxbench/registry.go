@@ -51,5 +51,8 @@ func registry() []experiment {
 		{"faults", "serving: availability vs fault rate under graceful degradation", func() (renderer, error) {
 			return experiments.Faults()
 		}},
+		{"cluster", "serving: fleet scaling — throughput vs host count", func() (renderer, error) {
+			return experiments.Cluster()
+		}},
 	}
 }

@@ -44,6 +44,21 @@
 // CPU-mediated restructuring); -retry caps the attempts and -deadline
 // arms a per-stage watchdog. The same -faults spec and -fault-seed
 // always reproduce the same report.
+//
+// -hosts N (with a load-mode -arrival) replicates the whole
+// configuration N times into a fleet on one shared engine and routes
+// the arrival process through the cluster router. -router picks the
+// policy (score = placement-aware headroom, rr, least), -host-admit
+// caps each host's outstanding requests, -drain N/window drains hosts
+// whose fault incidents spike, and -net-core/-net-nic/-net-lat model
+// the inter-host network:
+//
+//	dmxsim -app sound-detection -hosts 4 -arrival poisson -rate 8000 -requests 256 \
+//	    -router score -host-admit 64 -net-nic 12.5e9 -net-lat 2us
+//
+// The report is the same LoadReport, rolled up across replicas, plus a
+// "router:" line showing where requests landed. A fleet of one host is
+// byte-identical to the single-host load run.
 package main
 
 import (
@@ -55,6 +70,7 @@ import (
 	"sort"
 	"strings"
 
+	"dmx/internal/cluster"
 	"dmx/internal/dmxsys"
 	"dmx/internal/faults"
 	"dmx/internal/obs"
@@ -104,6 +120,15 @@ type options struct {
 	faultSeed uint64
 	retry     int
 	deadline  string
+
+	// Cluster mode (hosts > 1 replicates the config into a fleet).
+	hosts     int
+	router    string
+	hostAdmit int
+	drain     string
+	netCore   float64
+	netNIC    float64
+	netLat    string
 }
 
 func main() {
@@ -130,6 +155,13 @@ func main() {
 	flag.Uint64Var(&o.faultSeed, "fault-seed", 0, "override the fault plan's PRNG seed (0 keeps the spec's seed)")
 	flag.IntVar(&o.retry, "retry", 0, "max attempts per stage under faults (0 = default policy of 3 when -faults is set)")
 	flag.StringVar(&o.deadline, "deadline", "", "per-stage watchdog deadline, e.g. '500us' (empty = no watchdog)")
+	flag.IntVar(&o.hosts, "hosts", 1, "fleet size: replicate the whole configuration onto N hosts behind the cluster router (needs -arrival)")
+	flag.StringVar(&o.router, "router", "score", "cluster routing policy: score (placement-aware headroom) | rr | least")
+	flag.IntVar(&o.hostAdmit, "host-admit", 0, "cluster-level cap on outstanding requests per host (0 = unlimited)")
+	flag.StringVar(&o.drain, "drain", "", "fault-aware draining as 'N/window', e.g. '3/2ms': drain a host with ≥N incidents inside the trailing window ('3' alone = unbounded window)")
+	flag.Float64Var(&o.netCore, "net-core", 0, "shared core network bandwidth in bytes/s per direction (0 = unmodeled)")
+	flag.Float64Var(&o.netNIC, "net-nic", 0, "per-host NIC bandwidth in bytes/s per direction (0 = unmodeled)")
+	flag.StringVar(&o.netLat, "net-lat", "", "one-way network propagation latency, e.g. '2us' (empty = none)")
 	flag.Parse()
 
 	// One buffered writer carries everything — the event trace, the
@@ -207,6 +239,17 @@ func run(o options, out io.Writer) error {
 		for i := range cfg.AppPriority {
 			cfg.AppPriority[i] = i
 		}
+	}
+	if o.hosts > 1 {
+		if o.arrival == "" {
+			return fmt.Errorf("-hosts %d needs a load run: set -arrival (closed | open | poisson)", o.hosts)
+		}
+		if o.trace {
+			return fmt.Errorf("-trace is single-host only; use -trace-out or -stats on a fleet")
+		}
+		fmt.Fprintf(out, "simulating %d app instance(s) of %s under %v on %d hosts (PCIe %v, %d RE lanes)...\n",
+			len(pipes), o.app, p, o.hosts, cfg.Gen, o.lanes)
+		return runCluster(o, cfg, pipes, out)
 	}
 	fmt.Fprintf(out, "simulating %d app instance(s) of %s under %v (PCIe %v, %d RE lanes)...\n",
 		len(pipes), o.app, p, cfg.Gen, o.lanes)
@@ -289,19 +332,90 @@ func printFaultCounts(sys *dmxsys.System, cfg dmxsys.Config, out io.Writer) {
 		c.DRXOutages, c.LinkIncidents, c.Stalls, c.Transients)
 }
 
-// runLoad drives the assembled system in load-generation mode.
-func runLoad(o options, cfg dmxsys.Config, sys *dmxsys.System, out io.Writer) error {
+// loadSpec assembles the traffic spec the load and cluster modes share.
+func loadSpec(o options) (traffic.Spec, error) {
 	arr, err := traffic.ParseArrival(o.arrival)
 	if err != nil {
-		return err
+		return traffic.Spec{}, err
 	}
 	spec := traffic.Spec{Arrival: arr, Rate: o.rate, Requests: o.requests, Seed: o.seed}
 	if o.slo != "" {
 		d, err := faults.ParseDuration(o.slo)
 		if err != nil {
-			return fmt.Errorf("-slo: %w", err)
+			return traffic.Spec{}, fmt.Errorf("-slo: %w", err)
 		}
 		spec.Deadline = d
+	}
+	return spec, nil
+}
+
+// runCluster replicates cfg onto -hosts hosts and drives the fleet
+// through the cluster router.
+func runCluster(o options, cfg dmxsys.Config, pipes []*dmxsys.Pipeline, out io.Writer) error {
+	spec, err := loadSpec(o)
+	if err != nil {
+		return err
+	}
+	pol, err := cluster.ParsePolicy(o.router)
+	if err != nil {
+		return err
+	}
+	rc := cluster.RouterConfig{Policy: pol, HostAdmit: o.hostAdmit}
+	if o.drain != "" {
+		inc, window, ok := strings.Cut(o.drain, "/")
+		if _, err := fmt.Sscanf(inc, "%d", &rc.DrainIncidents); err != nil || rc.DrainIncidents < 1 {
+			return fmt.Errorf("-drain: want 'N/window' or 'N' (got %q)", o.drain)
+		}
+		if ok {
+			d, err := faults.ParseDuration(window)
+			if err != nil {
+				return fmt.Errorf("-drain window: %w", err)
+			}
+			rc.DrainWindow = d
+		}
+	}
+	nc := cluster.NetConfig{NICBytesPerSec: o.netNIC, CoreBytesPerSec: o.netCore}
+	if o.netLat != "" {
+		d, err := faults.ParseDuration(o.netLat)
+		if err != nil {
+			return fmt.Errorf("-net-lat: %w", err)
+		}
+		nc.Latency = d
+	}
+	f, err := cluster.New(cluster.FleetConfig{Hosts: o.hosts, Base: cfg, Net: nc, Router: rc}, pipes)
+	if err != nil {
+		return err
+	}
+	rep, err := f.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, rep)
+	fmt.Fprintf(out, "router: policy=%v", pol)
+	for h, perApp := range f.Routed() {
+		n := 0
+		for _, c := range perApp {
+			n += c
+		}
+		fmt.Fprintf(out, " h%d=%d", h, n)
+	}
+	fmt.Fprintln(out)
+	if cfg.Faults != nil {
+		c := f.FaultCounts()
+		fmt.Fprintf(out, "faults observed: %d DRX outages, %d link incidents, %d stalls, %d transients\n",
+			c.DRXOutages, c.LinkIncidents, c.Stalls, c.Transients)
+	}
+	if o.stats && cfg.Obs != nil {
+		fmt.Fprintln(out, obs.Aggregate(cfg.Obs.Events(), obs.Duration(rep.Makespan)))
+	}
+	return writeTraceFile(o, cfg, out)
+}
+
+// runLoad drives the assembled system in load-generation mode.
+func runLoad(o options, cfg dmxsys.Config, sys *dmxsys.System, out io.Writer) error {
+	spec, err := loadSpec(o)
+	if err != nil {
+		return err
 	}
 	rep, err := sys.RunLoad(spec)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"dmx/internal/accel"
+	"dmx/internal/cluster"
 	"dmx/internal/dmxsys"
 	"dmx/internal/drx"
 	"dmx/internal/faults"
@@ -272,6 +273,52 @@ func SimulateLoad(cfg Config, spec TrafficSpec, pipelines ...*Pipeline) (LoadRep
 		return LoadReport{}, err
 	}
 	return *rep.Load, nil
+}
+
+// Cluster-scale serving surface: N replicas of one Config composed
+// into a fleet on a single deterministic engine, joined by a modeled
+// network fabric and fronted by a placement- and fault-aware router.
+type (
+	// FleetConfig composes Hosts replicas of a Base Config (optionally
+	// overridden per host) with a network fabric and a cluster router.
+	FleetConfig = cluster.FleetConfig
+	// NetConfig models the inter-host network: per-host NIC bandwidth,
+	// shared core bandwidth, and propagation latency. The zero value
+	// disables the fabric.
+	NetConfig = cluster.NetConfig
+	// RouterConfig parameterizes the fleet's front door: routing policy,
+	// per-host admission cap, and fault-aware draining.
+	RouterConfig = cluster.RouterConfig
+	// RouterPolicy selects how the router assigns arrivals to replicas.
+	RouterPolicy = cluster.Policy
+)
+
+// Router policies. RouteScore is placement-aware headroom routing
+// (capacity bound ÷ outstanding); RouteRR round-robins; RouteLeast
+// picks the least-loaded host.
+const (
+	RouteScore = cluster.PolicyScore
+	RouteRR    = cluster.PolicyRR
+	RouteLeast = cluster.PolicyLeast
+)
+
+// ParseRouterPolicy maps a CLI token ("score", "rr", "least") to a
+// router policy (the dmxsim -router syntax).
+func ParseRouterPolicy(s string) (RouterPolicy, error) { return cluster.ParsePolicy(s) }
+
+// SimulateCluster builds a fleet from cfg and the pipelines, drives it
+// with the spec's arrival process through the cluster router, and rolls
+// the per-replica accounting up into one LoadReport that preserves
+// per-app tail-latency accounting. A one-host fleet with zero-valued
+// network and router configs reproduces SimulateLoad byte for byte; the
+// same cfg, spec, and pipelines always produce an identical report at
+// any sweep worker count.
+func SimulateCluster(cfg FleetConfig, spec TrafficSpec, pipelines ...*Pipeline) (LoadReport, error) {
+	f, err := cluster.New(cfg, pipelines)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	return f.Run(spec)
 }
 
 // NewRecorder returns an empty trace recorder for Config.Obs.

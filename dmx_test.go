@@ -94,3 +94,36 @@ func TestPlacementsExported(t *testing.T) {
 		seen[s] = true
 	}
 }
+
+func TestSimulateClusterThroughPublicAPI(t *testing.T) {
+	suite, err := dmx.TestSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := suite[0].Pipeline
+	cfg := dmx.DefaultConfig(dmx.BumpInTheWire)
+	spec := dmx.TrafficSpec{Arrival: dmx.Poisson, Rate: 3000, Requests: 24, Seed: 2}
+	solo, err := dmx.SimulateLoad(cfg, spec, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := dmx.SimulateCluster(dmx.FleetConfig{Hosts: 1, Base: cfg}, spec, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != solo.String() {
+		t.Errorf("one-host SimulateCluster diverged from SimulateLoad:\n%s\nvs:\n%s", one, solo)
+	}
+	fleet, err := dmx.SimulateCluster(dmx.FleetConfig{
+		Hosts:  4,
+		Base:   cfg,
+		Net:    dmx.NetConfig{Latency: 2 * dmx.Microsecond},
+		Router: dmx.RouterConfig{Policy: dmx.RouteScore},
+	}, spec, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al := fleet.PerApp[0]; al.Completed+al.Abandoned+al.Rejected != spec.Requests {
+		t.Errorf("fleet outcomes do not cover all %d requests: %+v", spec.Requests, al)
+	}
+}

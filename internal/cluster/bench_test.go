@@ -1,0 +1,71 @@
+package cluster
+
+// Steady-state cost of the cluster layer's hot paths. benchsnap gates
+// the allocs/op of these in CI (BENCH_cluster_baseline.json): the
+// router decision and the fabric transfer sit on every request of every
+// fleet experiment, so an accidental per-decision allocation multiplies
+// across millions of simulated arrivals.
+
+import (
+	"testing"
+
+	"dmx/internal/sim"
+)
+
+func benchCaps(hosts, apps int) [][]float64 {
+	caps := make([][]float64, hosts)
+	for h := range caps {
+		caps[h] = make([]float64, apps)
+		for a := range caps[h] {
+			caps[h][a] = float64(100 * (h + a + 1))
+		}
+	}
+	return caps
+}
+
+func BenchmarkRouterPickScore(b *testing.B) {
+	rt := newRouter(RouterConfig{HostAdmit: 64}, benchCaps(8, 4), 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := rt.pick(i & 3)
+		rt.outstanding[h]++
+		rt.outstanding[h]--
+	}
+}
+
+func BenchmarkRouterPickRR(b *testing.B) {
+	rt := newRouter(RouterConfig{Policy: PolicyRR}, benchCaps(8, 4), 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.pick(i & 3)
+	}
+}
+
+func BenchmarkRouterObserve(b *testing.B) {
+	rt := newRouter(RouterConfig{DrainIncidents: 4, DrainWindow: sim.Millisecond},
+		benchCaps(4, 1), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// One new incident per call with an advancing clock: the window
+		// prunes as fast as it fills, so the slice reaches steady state.
+		rt.observe(i&3, i+1, sim.Time(i)*sim.Time(10*sim.Microsecond))
+	}
+}
+
+func BenchmarkNetFabricTransfer(b *testing.B) {
+	eng := sim.NewEngine()
+	f := newNetFabric(eng, NetConfig{
+		NICBytesPerSec:  12.5e9,
+		CoreBytesPerSec: 50e9,
+		Latency:         2 * sim.Microsecond,
+	}, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		done := false
+		f.down(i&3, 4096, func() { done = true })
+		eng.Run()
+		if !done {
+			b.Fatal("transfer never completed")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dmx/internal/sim"
+)
+
+// NetConfig models the fleet's inter-host network as a two-level tree:
+// every message crosses the shared core once and its host's NIC once,
+// each direction a separate fair-share channel — exactly how pcie
+// models a switch uplink over a device link, reused at datacenter
+// scale. The zero value disables the fabric entirely: requests reach
+// hosts instantaneously, which is what preserves the single-host
+// byte-identity of a one-host fleet.
+type NetConfig struct {
+	// NICBytesPerSec is each host's NIC bandwidth per direction
+	// (0 = unmodeled: no NIC contention).
+	NICBytesPerSec float64
+	// CoreBytesPerSec is the shared core/aggregation bandwidth per
+	// direction that all hosts contend on (0 = unmodeled).
+	CoreBytesPerSec float64
+	// Latency is the one-way propagation delay added to every message
+	// after its bandwidth share drains.
+	Latency sim.Duration
+}
+
+// enabled reports whether any part of the fabric is modeled.
+func (c NetConfig) enabled() bool {
+	return c.NICBytesPerSec > 0 || c.CoreBytesPerSec > 0 || c.Latency > 0
+}
+
+// Validate sanity-checks the configuration.
+func (c NetConfig) Validate() error {
+	if c.NICBytesPerSec < 0 {
+		return fmt.Errorf("cluster: negative NIC bandwidth %g", c.NICBytesPerSec)
+	}
+	if c.CoreBytesPerSec < 0 {
+		return fmt.Errorf("cluster: negative core bandwidth %g", c.CoreBytesPerSec)
+	}
+	if c.Latency < 0 {
+		return fmt.Errorf("cluster: negative network latency %v", c.Latency)
+	}
+	return nil
+}
+
+// netFabric is the instantiated network: shared core channels plus one
+// NIC channel pair per host, all on the fleet's engine. A nil
+// *netFabric means the config was disabled and callers deliver
+// synchronously.
+type netFabric struct {
+	eng              *sim.Engine
+	lat              sim.Duration
+	coreDown, coreUp *sim.Channel
+	nicDown, nicUp   []*sim.Channel
+}
+
+func newNetFabric(eng *sim.Engine, cfg NetConfig, hosts int) *netFabric {
+	if !cfg.enabled() {
+		return nil
+	}
+	f := &netFabric{eng: eng, lat: cfg.Latency}
+	if cfg.CoreBytesPerSec > 0 {
+		f.coreDown = sim.NewChannel(eng, "net.core.down", cfg.CoreBytesPerSec)
+		f.coreUp = sim.NewChannel(eng, "net.core.up", cfg.CoreBytesPerSec)
+	}
+	if cfg.NICBytesPerSec > 0 {
+		f.nicDown = make([]*sim.Channel, hosts)
+		f.nicUp = make([]*sim.Channel, hosts)
+		for h := 0; h < hosts; h++ {
+			f.nicDown[h] = sim.NewChannel(eng, fmt.Sprintf("net.h%d.down", h), cfg.NICBytesPerSec)
+			f.nicUp[h] = sim.NewChannel(eng, fmt.Sprintf("net.h%d.up", h), cfg.NICBytesPerSec)
+		}
+	}
+	return f
+}
+
+// down ships n bytes router → host h, then calls done.
+func (f *netFabric) down(h int, n int64, done func()) {
+	var links []*sim.Channel
+	if f.coreDown != nil {
+		links = append(links, f.coreDown)
+	}
+	if f.nicDown != nil {
+		links = append(links, f.nicDown[h])
+	}
+	f.xfer(links, n, done)
+}
+
+// up ships n bytes host h → router, then calls done.
+func (f *netFabric) up(h int, n int64, done func()) {
+	var links []*sim.Channel
+	if f.nicUp != nil {
+		links = append(links, f.nicUp[h])
+	}
+	if f.coreUp != nil {
+		links = append(links, f.coreUp)
+	}
+	f.xfer(links, n, done)
+}
+
+// xfer drains n bytes through every hop's fair-share channel
+// concurrently (the pcie.Transfer countdown pattern: the message lands
+// when its slowest hop finishes), then pays the propagation delay.
+func (f *netFabric) xfer(links []*sim.Channel, n int64, done func()) {
+	finish := done
+	if f.lat > 0 {
+		finish = func() { f.eng.Schedule(f.lat, done) }
+	}
+	if len(links) == 0 {
+		finish()
+		return
+	}
+	remaining := len(links)
+	hop := func() {
+		remaining--
+		if remaining == 0 {
+			finish()
+		}
+	}
+	for _, l := range links {
+		l.Start(n, hop)
+	}
+}

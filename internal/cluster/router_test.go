@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"testing"
+
+	"dmx/internal/sim"
+)
+
+func TestPolicyParseRoundTrip(t *testing.T) {
+	for _, p := range []Policy{PolicyScore, PolicyRR, PolicyLeast} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("hash"); err == nil {
+		t.Error("unknown policy token accepted")
+	}
+}
+
+func TestPickScorePrefersHeadroom(t *testing.T) {
+	rt := newRouter(RouterConfig{}, [][]float64{{200}, {100}}, 1)
+	if h := rt.pick(0); h != 0 {
+		t.Fatalf("idle fleet: picked host %d, want the higher-capacity host 0", h)
+	}
+	// Loading host 0 down to half the idle score of host 1 flips the
+	// decision: 200/(3+1) = 50 < 100/(0+1).
+	rt.outstanding[0] = 3
+	if h := rt.pick(0); h != 1 {
+		t.Fatalf("loaded fleet: picked host %d, want host 1", h)
+	}
+}
+
+func TestPickRoundRobinSkipsIneligible(t *testing.T) {
+	rt := newRouter(RouterConfig{Policy: PolicyRR, HostAdmit: 1}, [][]float64{{1}, {1}, {1}}, 1)
+	rt.outstanding[1] = 1 // at the cap
+	// The cursor advances per arrival: starts 0, 1, 2, 0 — with host 1
+	// at its cap, its turn skips forward to host 2.
+	got := []int{rt.pick(0), rt.pick(0), rt.pick(0), rt.pick(0)}
+	want := []int{0, 2, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rr picks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPickLeastOutstanding(t *testing.T) {
+	rt := newRouter(RouterConfig{Policy: PolicyLeast}, [][]float64{{1}, {1}, {1}}, 1)
+	rt.outstanding = []int{2, 1, 5}
+	if h := rt.pick(0); h != 1 {
+		t.Fatalf("picked host %d, want least-loaded host 1", h)
+	}
+}
+
+func TestDrainWindowAgesOut(t *testing.T) {
+	rt := newRouter(RouterConfig{DrainIncidents: 2, DrainWindow: sim.Millisecond},
+		[][]float64{{1}}, 1)
+	rt.observe(0, 2, sim.Time(0))
+	if !rt.drained(0) {
+		t.Fatal("2 incidents at t=0 did not drain the host")
+	}
+	if h := rt.pick(0); h != -1 {
+		t.Fatalf("drained single-host fleet still picked host %d", h)
+	}
+	// Past the trailing window the incidents age out and the host
+	// rejoins the rotation.
+	rt.observe(0, 2, sim.Time(2*sim.Millisecond))
+	if rt.drained(0) {
+		t.Fatal("incidents did not age out of the drain window")
+	}
+	if h := rt.pick(0); h != 0 {
+		t.Fatalf("recovered host not picked (got %d)", h)
+	}
+}
+
+func TestUnboundedDrainWindow(t *testing.T) {
+	rt := newRouter(RouterConfig{DrainIncidents: 1}, [][]float64{{1}}, 1)
+	rt.observe(0, 1, sim.Time(0))
+	rt.observe(0, 1, sim.Time(sim.Second))
+	if !rt.drained(0) {
+		t.Fatal("zero DrainWindow must never age incidents out")
+	}
+}

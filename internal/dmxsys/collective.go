@@ -54,7 +54,9 @@ func NewCollective(cfg CollectiveConfig) (*CollectiveSystem, error) {
 		Fabric:  pcie.New(eng),
 		cfg:     cfg.Sys,
 		servers: make(map[string]*sim.Server),
-		drxTime: make(map[string]sim.Duration),
+		// A minimal plan shell: collective timing resolves kernels
+		// through the process-wide cache.
+		plan: &Plan{cfg: cfg.Sys, drxTimes: make(map[string]sim.Duration)},
 	}
 	m := cfg.Sys.CPU
 	opsPerSec := float64(m.Cores) * m.FreqHz * float64(m.SIMDLanes) * m.IssueEff

@@ -92,3 +92,40 @@ func (s *System) RunLoad(spec traffic.Spec) (traffic.LoadReport, error) {
 	rep.Finalize()
 	return rep, nil
 }
+
+// Retired summarizes one request's retirement for an external driver —
+// exactly the fields RunLoad reads off a retiring *request. The caller
+// owns the clock (the shared engine) and computes latency itself.
+type Retired struct {
+	Outcome  traffic.Outcome
+	Retries  int
+	Timeouts int
+}
+
+// Admit injects one request of app into the serving machine at the
+// current engine time and calls done when it retires. Admission
+// control, batching, scheduling, and fault recovery behave exactly as
+// under RunLoad; this is the cluster front door, and with an empty host
+// prefix a fleet of one driving Admit per arrival reproduces RunLoad's
+// engine timeline event for event.
+func (s *System) Admit(app int, deadline sim.Duration, done func(Retired)) {
+	s.admitting = true
+	s.admit(s.apps[app], deadline, func(r *request) {
+		done(Retired{Outcome: r.outcome, Retries: r.retries, Timeouts: r.timeouts})
+	})
+}
+
+// BatchStats reports how many coalesced dispatch groups the app's
+// requests rode and how many requests they carried.
+func (s *System) BatchStats(app int) (batches, requests int) {
+	a := s.apps[app]
+	return a.nbatches, a.batchedReqs
+}
+
+// Apps reports how many applications the system hosts.
+func (s *System) Apps() int { return len(s.apps) }
+
+// Err surfaces the first flow error after the engine drains (nil on a
+// clean run). External drivers sharing the engine check it where
+// RunLoad would have.
+func (s *System) Err() error { return s.err }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"dmx/internal/cpu"
 	"dmx/internal/drx"
 	"dmx/internal/drxc"
 	"dmx/internal/energy"
@@ -46,9 +47,15 @@ type System struct {
 	// the interrupt/polling decision.
 	irqTimes []sim.Time
 
-	// drxTime caches the simulated DRX execution time per restructuring
-	// kernel (timing is data-independent, so one machine run suffices).
-	drxTime map[string]sim.Duration
+	// plan is the immutable topology/timing plan this replica was
+	// materialized from (shared across fleet replicas).
+	plan *Plan
+	// prefix namespaces every station, link, and trace track of this
+	// replica ("" single-host, "h3/" in a fleet).
+	prefix string
+	// drxServers lists the DRX service stations for energy metering
+	// (identifying them by name breaks under host prefixes).
+	drxServers []*sim.Server
 
 	// rec is the structured event sink (nil = tracing disabled). It is
 	// cfg.Obs, or an internal recorder when only the text Trace hook is
@@ -161,8 +168,8 @@ func (s *System) occupyPath(a *appInstance, from, to string, n int64) {
 // occupyCPU charges a host job's drain time on the two shared CPU
 // channels.
 func (s *System) occupyCPU(a *appInstance, ops, bytes int64) {
-	a.occupy("cpu.compute", sim.BytesAt(ops, s.cpuCompute.Capacity()))
-	a.occupy("cpu.mem", sim.BytesAt(bytes, s.cpuMem.Capacity()))
+	a.occupy(s.cpuCompute.Name(), sim.BytesAt(ops, s.cpuCompute.Capacity()))
+	a.occupy(s.cpuMem.Name(), sim.BytesAt(bytes, s.cpuMem.Capacity()))
 }
 
 // occupyServer charges a service-station job, spread across the
@@ -189,28 +196,229 @@ func (a *appInstance) bottleneck() (sim.Duration, string) {
 	return max, name
 }
 
-// New assembles a system running the given pipelines concurrently (one
-// app instance per entry).
-func New(cfg Config, pipelines []*Pipeline) (*System, error) {
+// Plan is the shareable immutable half of a System: validated layout
+// (switch/device/card packing), warmed DRX timings, scheduling tables,
+// and analytic capacity bounds — everything that depends only on
+// (Config, pipelines). One Plan materializes any number of cheap
+// replicas via Instantiate; New is the single-host shorthand.
+type Plan struct {
+	cfg   Config
+	pipes []*Pipeline
+
+	apps      []planApp
+	nSwitches int
+	nDRX      int
+	nCards    int
+
+	// drxTimes maps kernel signature → simulated DRX duration under
+	// cfg.DRX, fully warmed at plan time. Read-only after NewPlan, so
+	// replicas (and parallel sweep workers) share it without locking.
+	drxTimes map[string]sim.Duration
+}
+
+// planApp is one pipeline's placement decisions and precomputed tables.
+type planApp struct {
+	// sw is the plain (unprefixed) switch the app's devices live on
+	// ("" for AllCPU); newSwitch is true when this app opens it.
+	sw        string
+	newSwitch bool
+	// cardDev is the plain standalone DRX card device ("" unless the
+	// Standalone placement); newCard is true when this app brings it up.
+	cardDev string
+	newCard bool
+
+	remAtKernel []sim.Duration
+	remAtHop    []sim.Duration
+	maxBatch    int
+
+	cap Capacity
+}
+
+// Config returns the plan's configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Apps reports how many pipelines the plan places.
+func (p *Plan) Apps() int { return len(p.pipes) }
+
+// Pipeline returns app i's pipeline.
+func (p *Plan) Pipeline(i int) *Pipeline { return p.pipes[i] }
+
+// NewPlan validates the configuration and pipelines and computes the
+// shareable half of a System: layout, warmed DRX timings, scheduling
+// tables, and capacity bounds.
+func NewPlan(cfg Config, pipelines []*Pipeline) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(pipelines) == 0 {
 		return nil, fmt.Errorf("dmxsys: no pipelines")
 	}
-	eng := sim.NewEngine()
+	p := &Plan{cfg: cfg, pipes: pipelines, drxTimes: make(map[string]sim.Duration)}
+	if cfg.Placement == Integrated {
+		p.nDRX = 1
+	}
+	curSwitch := ""
+	slotsLeft := 0
+	// Standalone cards are shared by up to AppsPerStandaloneCard apps on
+	// the same switch.
+	cardDev := ""
+	cardAppsLeft := 0
+	for i, pipe := range pipelines {
+		if err := pipe.Validate(); err != nil {
+			return nil, err
+		}
+		pa := planApp{}
+		// Slot accounting covers accelerator ports; standalone DRX cards
+		// ride dedicated card slots on the same switch so every placement
+		// packs applications identically (the comparison isolates data
+		// motion, not topology density).
+		needCard := cfg.Placement == Standalone && cardAppsLeft == 0
+		need := len(pipe.Stages)
+		if need > cfg.SlotsPerSwitch {
+			return nil, fmt.Errorf("dmxsys: %s needs %d slots, switch has %d", pipe.Name, need, cfg.SlotsPerSwitch)
+		}
+		if cfg.Placement != AllCPU && need > slotsLeft {
+			// A fresh switch also forces a fresh card: point-to-point DMA
+			// to the card must stay under one switch.
+			if cfg.Placement == Standalone {
+				needCard = true
+			}
+			curSwitch = fmt.Sprintf("sw%d", p.nSwitches)
+			pa.newSwitch = true
+			p.nSwitches++
+			slotsLeft = cfg.SlotsPerSwitch
+			if cfg.Placement == PCIeIntegrated {
+				p.nDRX++
+			}
+		}
+		pa.sw = curSwitch
+		if cfg.Placement != AllCPU {
+			slotsLeft -= need
+		}
+
+		switch cfg.Placement {
+		case Standalone:
+			if needCard {
+				cardDev = fmt.Sprintf("sdrx%d", p.nCards)
+				pa.newCard = true
+				p.nCards++
+				p.nDRX++
+				cardAppsLeft = cfg.AppsPerStandaloneCard
+			}
+			cardAppsLeft--
+			pa.cardDev = cardDev
+		case BumpInTheWire:
+			// One DRX inline with every accelerator; the terminal
+			// accelerator's DRX exists too (pass-through in Fig. 10
+			// step 10) and counts for energy.
+			for k := range pipe.Hops {
+				p.nDRX++
+				if pipe.Hops[k].InBytes > QueuePairBytes || pipe.Hops[k].OutBytes > QueuePairBytes {
+					return nil, fmt.Errorf("dmxsys: %s hop %d payload exceeds the %d MB data queue",
+						pipe.Name, k, QueuePairBytes>>20)
+				}
+			}
+			p.nDRX++
+		}
+
+		// Warm the DRX service-time cache.
+		if cfg.Placement.UsesDRX() {
+			for _, h := range pipe.Hops {
+				if _, err := p.drxTime(h.Kernel); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Remaining-service tables (the SchedSRS keys): walk the pipeline
+		// backwards accumulating each station's precomputed service
+		// demand. MultiAxl hops restructure on the uncontended CPU
+		// channels, so they contribute nothing to station demand.
+		if cfg.Placement != AllCPU {
+			n := len(pipe.Stages)
+			pa.remAtKernel = make([]sim.Duration, n)
+			pa.remAtHop = make([]sim.Duration, len(pipe.Hops))
+			for k := n - 1; k >= 0; k-- {
+				svc := pipe.Stages[k].Accel.Latency(pipe.Stages[k].InBytes)
+				if k < len(pipe.Hops) {
+					hop := sim.Duration(0)
+					if cfg.Placement.UsesDRX() {
+						hop = p.drxTimes[pipe.Hops[k].Kernel.Signature()]
+					}
+					pa.remAtHop[k] = hop + pa.remAtKernel[k+1]
+					pa.remAtKernel[k] = svc + pa.remAtHop[k]
+				} else {
+					pa.remAtKernel[k] = svc
+				}
+			}
+		}
+
+		// Batch-size ceiling: a bump-in-the-wire batch moves n× a hop's
+		// payload through the inline DRX data queues, so cap n where the
+		// scaled payload would exceed a queue (otherwise the batch could
+		// never be admitted and the flow would deadlock).
+		if cfg.Placement == BumpInTheWire && cfg.BatchWindow > 0 {
+			for _, h := range pipe.Hops {
+				per := h.InBytes
+				if h.OutBytes > per {
+					per = h.OutBytes
+				}
+				if per <= 0 {
+					continue
+				}
+				cap := int(QueuePairBytes / per)
+				if cap < 1 {
+					cap = 1
+				}
+				if pa.maxBatch == 0 || cap < pa.maxBatch {
+					pa.maxBatch = cap
+				}
+			}
+		}
+
+		pa.cap = p.appCapacity(i, &pa)
+		p.apps = append(p.apps, pa)
+	}
+	return p, nil
+}
+
+// HostOpts parameterizes one replica materialized from a Plan.
+type HostOpts struct {
+	// Prefix namespaces every station, link, and trace track of the
+	// replica ("h3/" in a fleet). Empty reproduces the single-host
+	// names bit-for-bit.
+	Prefix string
+	// Obs, when set, overrides cfg.Obs as the replica's event sink
+	// (fleet replicas share one recorder on one engine).
+	Obs *obs.Recorder
+}
+
+// Instantiate materializes one replica of the plan on the engine:
+// fabric, channels, service stations, queues, and per-app runtime
+// state. The expensive plan-time work (validation, DRX timing,
+// scheduling tables) is shared; replicas are cheap. Several replicas
+// may share one engine when their prefixes differ.
+func (p *Plan) Instantiate(eng *sim.Engine, opts HostOpts) (*System, error) {
+	cfg := p.cfg
+	pfx := opts.Prefix
 	s := &System{
 		Eng:       eng,
 		Fabric:    pcie.New(eng),
 		cfg:       cfg,
+		plan:      p,
+		prefix:    pfx,
 		servers:   make(map[string]*sim.Server),
 		queueSets: make(map[string]*QueueSet),
-		drxTime:   make(map[string]sim.Duration),
+		nSwitches: p.nSwitches,
+		nDRX:      p.nDRX,
 	}
 	// Wire the structured trace sink. A text-only Trace hook gets an
 	// internal recorder; the classic line log is a streamed rendering of
 	// the structured events (obs.RenderText), so both sinks always agree.
-	s.rec = cfg.Obs
+	s.rec = opts.Obs
+	if s.rec == nil {
+		s.rec = cfg.Obs
+	}
 	if s.rec == nil && cfg.Trace != nil {
 		s.rec = obs.New()
 	}
@@ -231,7 +439,9 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 
 	// Fault injection: a disabled plan yields a nil injector, and every
 	// downstream query is nil-safe, so the fault-free build is
-	// unchanged.
+	// unchanged. Station names are host-prefixed, and the injector's
+	// timelines key off the station name, so fleet replicas draw
+	// independent incident streams from the same seed.
 	s.inj = faults.New(cfg.Faults, s.rec)
 	s.hazardous = s.inj.Enabled() || cfg.Retry.Enabled()
 	if s.inj.Enabled() {
@@ -240,100 +450,73 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 
 	m := cfg.CPU
 	opsPerSec := float64(m.Cores) * m.FreqHz * float64(m.SIMDLanes) * m.IssueEff
-	s.cpuCompute = sim.NewChannel(eng, "cpu.compute", opsPerSec)
-	s.cpuMem = sim.NewChannel(eng, "cpu.mem", m.MemBWBytes)
+	s.cpuCompute = sim.NewChannel(eng, pfx+"cpu.compute", opsPerSec)
+	s.cpuMem = sim.NewChannel(eng, pfx+"cpu.mem", m.MemBWBytes)
 
 	accelLink := pcie.LinkConfig{Gen: cfg.Gen, Lanes: cfg.AccelLanes}
 	uplink := pcie.LinkConfig{Gen: cfg.Gen, Lanes: cfg.UplinkLanes}
 
-	curSwitch := ""
-	slotsLeft := 0
-	// Standalone cards are shared by up to AppsPerStandaloneCard apps on
-	// the same switch.
-	var card *sim.Server
-	cardDev := ""
-	cardAppsLeft := 0
-	nCards := 0
 	integratedDRX := (*sim.Server)(nil)
 	if cfg.Placement == Integrated {
-		integratedDRX = sim.NewServerDisc(eng, "drx.integrated", 1, cfg.discipline())
-		s.servers["drx.integrated"] = integratedDRX
-		s.nDRX = 1
+		integratedDRX = sim.NewServerDisc(eng, pfx+"drx.integrated", 1, cfg.discipline())
+		s.servers[pfx+"drx.integrated"] = integratedDRX
+		s.drxServers = append(s.drxServers, integratedDRX)
 	}
+	var card *sim.Server
 
-	for i, p := range pipelines {
-		if err := p.Validate(); err != nil {
-			return nil, err
+	for i, pipe := range p.pipes {
+		pa := &p.apps[i]
+		a := &appInstance{id: i, pipe: pipe, occ: make(map[string]sim.Duration)}
+		a.rep.App = pipe.Name
+		a.track = fmt.Sprintf("%s%s#%d", pfx, pipe.Name, i)
+		if pa.sw != "" {
+			a.sw = pfx + pa.sw
 		}
-		a := &appInstance{id: i, pipe: p, occ: make(map[string]sim.Duration)}
-		a.rep.App = p.Name
-		a.track = fmt.Sprintf("%s#%d", p.Name, i)
-		// Slot accounting covers accelerator ports; standalone DRX cards
-		// ride dedicated card slots on the same switch so every placement
-		// packs applications identically (the comparison isolates data
-		// motion, not topology density).
-		needCard := cfg.Placement == Standalone && cardAppsLeft == 0
-		need := len(p.Stages)
-		if need > cfg.SlotsPerSwitch {
-			return nil, fmt.Errorf("dmxsys: %s needs %d slots, switch has %d", p.Name, need, cfg.SlotsPerSwitch)
-		}
-		if cfg.Placement != AllCPU && need > slotsLeft {
-			// A fresh switch also forces a fresh card: point-to-point DMA
-			// to the card must stay under one switch.
-			if cfg.Placement == Standalone {
-				needCard = true
-			}
-			curSwitch = fmt.Sprintf("sw%d", s.nSwitches)
-			if err := s.Fabric.AddSwitch(curSwitch, uplink); err != nil {
+		if pa.newSwitch {
+			if err := s.Fabric.AddSwitch(a.sw, uplink); err != nil {
 				return nil, err
 			}
-			s.nSwitches++
-			slotsLeft = cfg.SlotsPerSwitch
 			if cfg.Placement == PCIeIntegrated {
-				s.servers["drx."+curSwitch] = sim.NewServerDisc(eng, "drx."+curSwitch, cfg.PCIeIntegratedSlots, cfg.discipline())
-				s.nDRX++
+				unit := sim.NewServerDisc(eng, "drx."+a.sw, cfg.PCIeIntegratedSlots, cfg.discipline())
+				s.servers["drx."+a.sw] = unit
+				s.drxServers = append(s.drxServers, unit)
 			}
 		}
-		a.sw = curSwitch
 
 		if cfg.Placement != AllCPU {
-			for k, st := range p.Stages {
-				dev := fmt.Sprintf("a%d.%d", i, k)
-				if err := s.Fabric.AddDevice(dev, curSwitch, accelLink); err != nil {
+			for k, st := range pipe.Stages {
+				dev := fmt.Sprintf("%sa%d.%d", pfx, i, k)
+				if err := s.Fabric.AddDevice(dev, a.sw, accelLink); err != nil {
 					return nil, err
 				}
-				slotsLeft--
 				a.accelDev = append(a.accelDev, dev)
 				s.servers[dev] = sim.NewServerDisc(eng, dev+":"+st.Accel.Name, 1, cfg.discipline())
 			}
 		}
 
-		a.drxServer = make([]*sim.Server, len(p.Hops))
+		a.drxServer = make([]*sim.Server, len(pipe.Hops))
 		switch cfg.Placement {
 		case Integrated:
-			for k := range p.Hops {
+			for k := range pipe.Hops {
 				a.drxServer[k] = integratedDRX
 			}
 		case Standalone:
-			if needCard {
-				cardDev = fmt.Sprintf("sdrx%d", nCards)
-				nCards++
-				if err := s.Fabric.AddDevice(cardDev, curSwitch, accelLink); err != nil {
+			if pa.newCard {
+				dev := pfx + pa.cardDev
+				if err := s.Fabric.AddDevice(dev, a.sw, accelLink); err != nil {
 					return nil, err
 				}
-				card = sim.NewServerDisc(eng, cardDev, 1, cfg.discipline())
-				s.servers[cardDev] = card
-				s.nDRX++
-				cardAppsLeft = cfg.AppsPerStandaloneCard
+				card = sim.NewServerDisc(eng, dev, 1, cfg.discipline())
+				s.servers[dev] = card
+				s.drxServers = append(s.drxServers, card)
 			}
-			cardAppsLeft--
-			a.sdrxDev = cardDev
-			for k := range p.Hops {
+			a.sdrxDev = pfx + pa.cardDev
+			for k := range pipe.Hops {
 				a.drxServer[k] = card
 			}
 		case PCIeIntegrated:
-			unit := s.servers["drx."+curSwitch]
-			for k := range p.Hops {
+			unit := s.servers["drx."+a.sw]
+			for k := range pipe.Hops {
 				a.drxServer[k] = unit
 			}
 		case BumpInTheWire:
@@ -341,85 +524,25 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 			// upstream accelerator's DRX (Fig. 10: DRX_1 restructures).
 			// Each DRX statically partitions its queue memory across the
 			// chain's peers (Sec. V).
-			for k := range p.Hops {
+			for k := range pipe.Hops {
 				name := "drx." + a.accelDev[k]
 				unit := sim.NewServerDisc(eng, name, 1, cfg.discipline())
 				s.servers[name] = unit
 				a.drxServer[k] = unit
-				s.nDRX++
+				s.drxServers = append(s.drxServers, unit)
 				qs, err := NewQueueSet(name, a.accelDev)
 				if err != nil {
 					return nil, err
 				}
 				s.queueSets[name] = qs
-				if p.Hops[k].InBytes > QueuePairBytes || p.Hops[k].OutBytes > QueuePairBytes {
-					return nil, fmt.Errorf("dmxsys: %s hop %d payload exceeds the %d MB data queue",
-						p.Name, k, QueuePairBytes>>20)
-				}
-			}
-			// The terminal accelerator's DRX exists too (pass-through in
-			// Fig. 10 step 10) and counts for energy.
-			s.nDRX++
-		}
-
-		// Warm the DRX service-time cache.
-		if cfg.Placement.UsesDRX() {
-			for _, h := range p.Hops {
-				if _, err := s.drxServiceTime(h.Kernel); err != nil {
-					return nil, err
-				}
 			}
 		}
 
-		// Remaining-service tables (the SchedSRS keys): walk the pipeline
-		// backwards accumulating each station's precomputed service
-		// demand. MultiAxl hops restructure on the uncontended CPU
-		// channels, so they contribute nothing to station demand.
-		if cfg.Placement != AllCPU {
-			n := len(p.Stages)
-			a.remAtKernel = make([]sim.Duration, n)
-			a.remAtHop = make([]sim.Duration, len(p.Hops))
-			for k := n - 1; k >= 0; k-- {
-				svc := p.Stages[k].Accel.Latency(p.Stages[k].InBytes)
-				if k < len(p.Hops) {
-					hop := sim.Duration(0)
-					if cfg.Placement.UsesDRX() {
-						d, err := s.drxServiceTime(p.Hops[k].Kernel)
-						if err != nil {
-							return nil, err
-						}
-						hop = d
-					}
-					a.remAtHop[k] = hop + a.remAtKernel[k+1]
-					a.remAtKernel[k] = svc + a.remAtHop[k]
-				} else {
-					a.remAtKernel[k] = svc
-				}
-			}
-		}
-
-		// Batch-size ceiling: a bump-in-the-wire batch moves n× a hop's
-		// payload through the inline DRX data queues, so cap n where the
-		// scaled payload would exceed a queue (otherwise the batch could
-		// never be admitted and the flow would deadlock).
-		if cfg.Placement == BumpInTheWire && cfg.BatchWindow > 0 {
-			for _, h := range p.Hops {
-				per := h.InBytes
-				if h.OutBytes > per {
-					per = h.OutBytes
-				}
-				if per <= 0 {
-					continue
-				}
-				cap := int(QueuePairBytes / per)
-				if cap < 1 {
-					cap = 1
-				}
-				if a.maxBatch == 0 || cap < a.maxBatch {
-					a.maxBatch = cap
-				}
-			}
-		}
+		// The scheduling tables and batch ceiling are plan state: shared
+		// read-only across replicas.
+		a.remAtKernel = pa.remAtKernel
+		a.remAtHop = pa.remAtHop
+		a.maxBatch = pa.maxBatch
 
 		// Preallocated window-expiry closure: arming the batch window in
 		// steady state reuses it instead of allocating per window.
@@ -433,18 +556,54 @@ func New(cfg Config, pipelines []*Pipeline) (*System, error) {
 	return s, nil
 }
 
+// New assembles a system running the given pipelines concurrently (one
+// app instance per entry). It is NewPlan + Instantiate on a fresh
+// engine — bit-for-bit the historical single-host build.
+func New(cfg Config, pipelines []*Pipeline) (*System, error) {
+	p, err := NewPlan(cfg, pipelines)
+	if err != nil {
+		return nil, err
+	}
+	return p.Instantiate(sim.NewEngine(), HostOpts{})
+}
+
 // drxTimeCache memoizes simulated DRX durations across System builds:
 // experiments sweep placements and concurrency over the same kernels,
 // and the machine-level simulation is deterministic per (kernel
 // signature, hardware config). The sync.Map makes the cache safe under
 // the harness's parallel sweeps; a duplicated concurrent compute stores
 // the same deterministic value, so last-write-wins is harmless.
-var drxTimeCache sync.Map // string → sim.Duration
+var drxTimeCache sync.Map // drxTimeKey → sim.Duration
 
-// drxCacheKey identifies a (kernel signature, DRX hardware) timing.
-func drxCacheKey(dcfg drx.Config, k *restructure.Kernel) string {
-	return fmt.Sprintf("%s@lanes=%d,scratch=%d,clk=%g,bw=%g",
-		k.Signature(), dcfg.Lanes, dcfg.ScratchBytes, dcfg.ClockHz, dcfg.DRAMBytesPerSec)
+// drxTimeKey identifies a (kernel, DRX hardware) timing in the
+// process-wide cache. The full drx.Config is embedded in the key: a
+// fleet may mix per-host DRX geometries, and hosts differing in any
+// field — clock, lanes, scratchpad, instruction cache, DRAM size or
+// bandwidth — must never cross-serve each other's cached times, while
+// N identical replicas all hit the same entry.
+type drxTimeKey struct {
+	sig string
+	cfg drx.Config
+}
+
+// drxTime resolves one kernel's DRX duration at plan time: the plan's
+// own map first, then the process-wide cache, then compile + simulate.
+func (p *Plan) drxTime(k *restructure.Kernel) (sim.Duration, error) {
+	if d, ok := p.drxTimes[k.Signature()]; ok {
+		return d, nil
+	}
+	key := drxTimeKey{sig: k.Signature(), cfg: p.cfg.DRX}
+	if d, ok := drxTimeCache.Load(key); ok {
+		p.drxTimes[k.Signature()] = d.(sim.Duration)
+		return d.(sim.Duration), nil
+	}
+	d, err := drxTimeFor(p.cfg.DRX, k)
+	if err != nil {
+		return 0, err
+	}
+	p.drxTimes[k.Signature()] = d
+	drxTimeCache.Store(key, d)
+	return d, nil
 }
 
 // drxTimeFor compiles and simulates a restructuring kernel on a DRX
@@ -480,10 +639,10 @@ func drxTimeFor(dcfg drx.Config, k *restructure.Kernel) (sim.Duration, error) {
 // serializing on (or duplicating) the compile/simulate step.
 func WarmDRXTimes(dcfg drx.Config, pipelines []*Pipeline) error {
 	var kernels []*restructure.Kernel
-	seen := make(map[string]struct{})
+	seen := make(map[drxTimeKey]struct{})
 	for _, p := range pipelines {
 		for _, h := range p.Hops {
-			key := drxCacheKey(dcfg, h.Kernel)
+			key := drxTimeKey{sig: h.Kernel.Signature(), cfg: dcfg}
 			if _, ok := seen[key]; ok {
 				continue
 			}
@@ -500,25 +659,27 @@ func WarmDRXTimes(dcfg drx.Config, pipelines []*Pipeline) error {
 		if err != nil {
 			return err
 		}
-		drxTimeCache.Store(drxCacheKey(dcfg, k), d)
+		drxTimeCache.Store(drxTimeKey{sig: k.Signature(), cfg: dcfg}, d)
 		return nil
 	})
 }
 
+// drxServiceTime resolves a kernel's DRX duration at run time. The
+// plan's warmed map covers every pipeline kernel; the global-cache and
+// compute paths remain for ad-hoc kernels (reports, tests). The plan
+// map is never written here, so replicas share it race-free.
 func (s *System) drxServiceTime(k *restructure.Kernel) (sim.Duration, error) {
-	key := drxCacheKey(s.cfg.DRX, k)
-	if d, ok := s.drxTime[key]; ok {
+	if d, ok := s.plan.drxTimes[k.Signature()]; ok {
 		return d, nil
 	}
+	key := drxTimeKey{sig: k.Signature(), cfg: s.cfg.DRX}
 	if d, ok := drxTimeCache.Load(key); ok {
-		s.drxTime[key] = d.(sim.Duration)
 		return d.(sim.Duration), nil
 	}
 	d, err := drxTimeFor(s.cfg.DRX, k)
 	if err != nil {
 		return 0, err
 	}
-	s.drxTime[key] = d
 	drxTimeCache.Store(key, d)
 	return d, nil
 }
@@ -565,12 +726,18 @@ func (s *System) cpuJob(ops int64, bytes int64, done func()) {
 
 // restructureWork computes the CPU channel work for one kernel.
 func (s *System) restructureWork(k *restructure.Kernel) (ops, bytes int64) {
+	return restructureWorkFor(s.cfg.CPU, k)
+}
+
+// restructureWorkFor is the model-level form shared with the plan-time
+// capacity bound.
+func restructureWorkFor(m *cpu.Model, k *restructure.Kernel) (ops, bytes int64) {
 	for _, st := range k.Stages {
 		stats := st.Stats(k)
 		ops += stats.Ops
-		traffic := float64(stats.BytesIn+stats.BytesOut) * s.cfg.CPU.ThrashFactor
+		traffic := float64(stats.BytesIn+stats.BytesOut) * m.ThrashFactor
 		if !stats.VectorFriendly {
-			traffic *= s.cfg.CPU.NonStreamPenalty
+			traffic *= m.NonStreamPenalty
 		}
 		bytes += int64(traffic)
 	}
@@ -616,17 +783,15 @@ func (s *System) energyReport(makespan sim.Duration) (float64, map[string]float6
 		}
 	}
 	if s.nDRX > 0 {
+		// drxServers is collected at build time: name-prefix matching
+		// breaks once host prefixes namespace the stations.
 		var drxBusy sim.Duration
-		var units int
-		for name, srv := range s.servers {
-			if len(name) > 3 && name[:3] == "drx" || len(name) > 4 && name[:4] == "sdrx" {
-				drxBusy += srv.BusyTime
-				units++
-			}
+		for _, srv := range s.drxServers {
+			drxBusy += srv.BusyTime
 		}
 		avg := sim.Duration(0)
-		if units > 0 {
-			avg = drxBusy / sim.Duration(units)
+		if n := len(s.drxServers); n > 0 {
+			avg = drxBusy / sim.Duration(n)
 		}
 		meter.AddDRX(s.nDRX, avg, makespan)
 	}

@@ -110,6 +110,11 @@ const (
 	// TypeBatch marks a batching window closing: Bytes carries the
 	// number of requests the batch coalesced.
 	TypeBatch
+	// TypeRoute marks a cluster-router decision: Peer carries the chosen
+	// host, Name the routing policy, Bytes the host's outstanding count
+	// after the assignment (-1 when every host was drained or full and
+	// the request was rejected at the router).
+	TypeRoute
 )
 
 var typeNames = [...]string{
@@ -138,6 +143,7 @@ var typeNames = [...]string{
 	TypeAbandon:         "abandon",
 	TypeReject:          "reject",
 	TypeBatch:           "batch",
+	TypeRoute:           "route",
 }
 
 func (t Type) String() string {

@@ -43,6 +43,27 @@ func (h *Histogram) Add(d Duration) {
 	h.Buckets[i]++
 }
 
+// Merge folds another histogram into h. Buckets are position-aligned
+// (both sides use the fixed HistBuckets layout), so merging partial
+// histograms from fleet replicas yields exactly the histogram a single
+// recorder would have built from the union of samples.
+func (h *Histogram) Merge(o Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
 // Mean reports the arithmetic mean duration.
 func (h *Histogram) Mean() Duration {
 	if h.Count == 0 {

@@ -51,6 +51,11 @@ func RenderText(ev *Event) (string, bool) {
 		return "request rejected at admission: app at outstanding limit", true
 	case TypeBatch:
 		return fmt.Sprintf("batch window closed: dispatching %d coalesced requests", ev.Bytes), true
+	case TypeRoute:
+		if ev.Peer == "" {
+			return fmt.Sprintf("router rejected request (%s: no eligible host)", ev.Name), true
+		}
+		return fmt.Sprintf("router → %s (%s, %d outstanding)", ev.Peer, ev.Name, ev.Bytes), true
 	}
 	return "", false
 }
