@@ -6,6 +6,7 @@
 //	dmxbench -exp fig11      # run one (table1, fig3, fig5, fig11..fig19)
 //	dmxbench -list           # list experiment ids
 //	dmxbench -j 4            # cap the sweep worker pool at 4
+//	dmxbench -exp cluster -shards 8   # shard each fleet across event lanes
 //
 // Output is the text rendering of each experiment — the same rows and
 // series the paper reports, regenerated from the simulation. Experiments
@@ -45,11 +46,13 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	quiet := flag.Bool("q", false, "suppress progress timing on stderr")
 	jobs := flag.Int("j", 0, "parallel sweep workers (default: all cores)")
+	shards := flag.Int("shards", 1, "event lanes per cluster-experiment fleet (output is byte-identical at any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	sweep.SetWorkers(*jobs)
+	experiments.SetClusterShards(*shards)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

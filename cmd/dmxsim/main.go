@@ -59,6 +59,14 @@
 // The report is the same LoadReport, rolled up across replicas, plus a
 // "router:" line showing where requests landed. A fleet of one host is
 // byte-identical to the single-host load run.
+//
+// -shards N runs the fleet conservatively in parallel: hosts spread
+// across up to N event lanes that execute concurrently inside lookahead
+// windows derived from -net-lat. Output is byte-identical at any shard
+// count — the flag only buys wall-clock on multi-core machines, and a
+// fleet without a network latency falls back to sequential execution.
+// The cluster-only flags (-shards, -net-*, -host-admit, -drain) are
+// rejected with -hosts 1 rather than silently ignored.
 package main
 
 import (
@@ -129,6 +137,7 @@ type options struct {
 	netCore   float64
 	netNIC    float64
 	netLat    string
+	shards    int
 }
 
 func main() {
@@ -162,6 +171,7 @@ func main() {
 	flag.Float64Var(&o.netCore, "net-core", 0, "shared core network bandwidth in bytes/s per direction (0 = unmodeled)")
 	flag.Float64Var(&o.netNIC, "net-nic", 0, "per-host NIC bandwidth in bytes/s per direction (0 = unmodeled)")
 	flag.StringVar(&o.netLat, "net-lat", "", "one-way network propagation latency, e.g. '2us' (empty = none)")
+	flag.IntVar(&o.shards, "shards", 1, "event lanes for conservative-parallel fleet execution (needs -net-lat; output is byte-identical at any value)")
 	flag.Parse()
 
 	// One buffered writer carries everything — the event trace, the
@@ -182,6 +192,9 @@ func run(o options, out io.Writer) error {
 	p, ok := placements[strings.ToLower(o.placement)]
 	if !ok {
 		return fmt.Errorf("unknown placement %q (want one of allcpu, multiaxl, integrated, standalone, pcie, bump)", o.placement)
+	}
+	if err := checkClusterFlags(o); err != nil {
+		return err
 	}
 	cfg := dmxsys.DefaultConfig(p)
 	switch o.gen {
@@ -289,6 +302,40 @@ func run(o options, out io.Writer) error {
 	return writeTraceFile(o, cfg, out)
 }
 
+// checkClusterFlags rejects cluster-only flags on a single-host run.
+// Silently ignoring -net-* (or -shards, -host-admit, -drain) would
+// print a report for physics the user didn't ask about — a one-host
+// "fleet" has no inter-host network to model.
+func checkClusterFlags(o options) error {
+	if o.hosts > 1 {
+		return nil
+	}
+	var bad []string
+	if o.netCore != 0 {
+		bad = append(bad, "-net-core")
+	}
+	if o.netNIC != 0 {
+		bad = append(bad, "-net-nic")
+	}
+	if o.netLat != "" {
+		bad = append(bad, "-net-lat")
+	}
+	if o.shards > 1 || o.shards < 0 {
+		bad = append(bad, "-shards")
+	}
+	if o.hostAdmit != 0 {
+		bad = append(bad, "-host-admit")
+	}
+	if o.drain != "" {
+		bad = append(bad, "-drain")
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%s: cluster-only flag(s) need -hosts > 1 (got -hosts %d)",
+		strings.Join(bad, ", "), o.hosts)
+}
+
 // applyFaults wires the -faults/-fault-seed/-retry/-deadline flags into
 // the config. Injection implies the default retry policy — faulted runs
 // recover (retry, then degrade to CPU restructuring) rather than fail —
@@ -382,7 +429,8 @@ func runCluster(o options, cfg dmxsys.Config, pipes []*dmxsys.Pipeline, out io.W
 		}
 		nc.Latency = d
 	}
-	f, err := cluster.New(cluster.FleetConfig{Hosts: o.hosts, Base: cfg, Net: nc, Router: rc}, pipes)
+	f, err := cluster.New(cluster.FleetConfig{Hosts: o.hosts, Base: cfg, Net: nc, Router: rc,
+		Shards: o.shards}, pipes)
 	if err != nil {
 		return err
 	}

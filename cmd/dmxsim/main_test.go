@@ -64,6 +64,80 @@ func TestRunOutputIsDeterministic(t *testing.T) {
 	}
 }
 
+// Cluster-only flags on a single-host run must error out rather than
+// silently shape (or not shape) the report.
+func TestClusterOnlyFlagsRejected(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr bool
+	}{
+		{"net-lat-single-host", func(o *options) { o.netLat = "2us" }, true},
+		{"net-core-single-host", func(o *options) { o.netCore = 50e9 }, true},
+		{"net-nic-single-host", func(o *options) { o.netNIC = 12.5e9 }, true},
+		{"shards-single-host", func(o *options) { o.shards = 4 }, true},
+		{"negative-shards-single-host", func(o *options) { o.shards = -1 }, true},
+		{"host-admit-single-host", func(o *options) { o.hostAdmit = 8 }, true},
+		{"drain-single-host", func(o *options) { o.drain = "3/2ms" }, true},
+		{"shards-default-ok", func(o *options) { o.shards = 1 }, false},
+		{"net-multi-host-ok", func(o *options) {
+			o.hosts = 2
+			o.arrival = "poisson"
+			o.router = "score"
+			o.rate = 2000
+			o.requests = 4
+			o.netLat = "2us"
+			o.shards = 3
+			o.trace = false
+			o.verbose = false
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := opts()
+			tc.mutate(&o)
+			var buf bytes.Buffer
+			err := run(o, &buf)
+			if tc.wantErr && err == nil {
+				t.Error("cluster-only flag accepted on a single-host run")
+			}
+			if !tc.wantErr && err != nil {
+				t.Errorf("valid flag combination rejected: %v", err)
+			}
+		})
+	}
+}
+
+// The CLI's fleet output must be byte-identical at any -shards value:
+// the flag buys wall-clock, never different physics.
+func TestClusterShardsOutputIdentical(t *testing.T) {
+	fleet := func(shards int) string {
+		o := opts()
+		o.trace = false
+		o.verbose = false
+		o.hosts = 4
+		o.arrival = "poisson"
+		o.router = "score"
+		o.rate = 8000
+		o.requests = 32
+		o.seed = 9
+		o.netNIC = 12.5e9
+		o.netLat = "2us"
+		o.shards = shards
+		var buf bytes.Buffer
+		if err := run(o, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq := fleet(1)
+	for _, n := range []int{2, 4, 8} {
+		if got := fleet(n); got != seq {
+			t.Errorf("-shards %d output differs from sequential:\n%s\nvs:\n%s", n, got, seq)
+		}
+	}
+}
+
 // -trace-out must emit a file that the validator accepts and that is
 // byte-identical across runs.
 func TestTraceOutValidatesAndIsStable(t *testing.T) {

@@ -7,9 +7,14 @@ package cluster
 // across millions of simulated arrivals.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"dmx/internal/dmxsys"
 	"dmx/internal/sim"
+	"dmx/internal/traffic"
+	"dmx/internal/workload"
 )
 
 func benchCaps(hosts, apps int) [][]float64 {
@@ -54,11 +59,12 @@ func BenchmarkRouterObserve(b *testing.B) {
 
 func BenchmarkNetFabricTransfer(b *testing.B) {
 	eng := sim.NewEngine()
-	f := newNetFabric(eng, NetConfig{
+	hostEng := []*sim.Engine{eng, eng, eng, eng}
+	f := newNetFabric(NetConfig{
 		NICBytesPerSec:  12.5e9,
 		CoreBytesPerSec: 50e9,
 		Latency:         2 * sim.Microsecond,
-	}, 4)
+	}, eng, hostEng)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		done := false
@@ -67,5 +73,53 @@ func BenchmarkNetFabricTransfer(b *testing.B) {
 		if !done {
 			b.Fatal("transfer never completed")
 		}
+	}
+}
+
+// BenchmarkFleetShardedRun prices a complete 4-host fleet run through
+// the conservative-parallel machinery: shards=1 is the plain sequential
+// engine, shards=4 the windowed group, so the pair is the sharding
+// overhead at fleet scale. GOMAXPROCS is pinned to 1 so the measured
+// path (inline windows) is identical on every host; the multi-core
+// wall-clock win is measured at the experiment level instead.
+//
+// Unlike the router/fabric micro-benches this one does not
+// ReportAllocs: a full fleet run allocates thousands of objects
+// including map overflow buckets, whose count depends on each map's
+// randomized hash seed and so drifts ±1 between processes — an exact
+// alloc gate on it would flake. benchsnap still gates the benchmark's
+// presence and records its timing shape.
+func BenchmarkFleetShardedRun(b *testing.B) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	benches, err := workload.Suite(workload.TestScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pipe *dmxsys.Pipeline
+	for _, w := range benches {
+		if len(w.Pipeline.Hops) > 0 {
+			pipe = w.Pipeline
+			break
+		}
+	}
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f, err := New(FleetConfig{
+					Hosts:  4,
+					Base:   dmxsys.DefaultConfig(dmxsys.BumpInTheWire),
+					Net:    NetConfig{NICBytesPerSec: 12.5e9, Latency: 2 * sim.Microsecond},
+					Shards: shards,
+				}, []*dmxsys.Pipeline{pipe})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := f.Run(traffic.Spec{Arrival: traffic.Poisson,
+					Rate: 8000, Requests: 64, Seed: 5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

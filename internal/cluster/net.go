@@ -44,81 +44,88 @@ func (c NetConfig) Validate() error {
 	return nil
 }
 
-// netFabric is the instantiated network: shared core channels plus one
-// NIC channel pair per host, all on the fleet's engine. A nil
-// *netFabric means the config was disabled and callers deliver
-// synchronously.
+// netFabric is the instantiated network: shared core channels on the
+// fleet's global lane plus one NIC channel pair per host on the host's
+// lane, joined store-and-forward by the propagation delay. The delay is
+// exactly the sharded engine's lookahead, so every fabric crossing is a
+// legal cross-lane send at any shard count (and a plain Schedule when
+// the fleet runs sequentially). A nil *netFabric means the config was
+// disabled and callers deliver synchronously.
 type netFabric struct {
-	eng              *sim.Engine
 	lat              sim.Duration
+	eng0             *sim.Engine   // global lane: router + core channels
+	hostEng          []*sim.Engine // per-host lane engines: NIC channels
 	coreDown, coreUp *sim.Channel
 	nicDown, nicUp   []*sim.Channel
 }
 
-func newNetFabric(eng *sim.Engine, cfg NetConfig, hosts int) *netFabric {
+func newNetFabric(cfg NetConfig, eng0 *sim.Engine, hostEng []*sim.Engine) *netFabric {
 	if !cfg.enabled() {
 		return nil
 	}
-	f := &netFabric{eng: eng, lat: cfg.Latency}
+	f := &netFabric{lat: cfg.Latency, eng0: eng0, hostEng: hostEng}
 	if cfg.CoreBytesPerSec > 0 {
-		f.coreDown = sim.NewChannel(eng, "net.core.down", cfg.CoreBytesPerSec)
-		f.coreUp = sim.NewChannel(eng, "net.core.up", cfg.CoreBytesPerSec)
+		f.coreDown = sim.NewChannel(eng0, "net.core.down", cfg.CoreBytesPerSec)
+		f.coreUp = sim.NewChannel(eng0, "net.core.up", cfg.CoreBytesPerSec)
 	}
 	if cfg.NICBytesPerSec > 0 {
-		f.nicDown = make([]*sim.Channel, hosts)
-		f.nicUp = make([]*sim.Channel, hosts)
-		for h := 0; h < hosts; h++ {
-			f.nicDown[h] = sim.NewChannel(eng, fmt.Sprintf("net.h%d.down", h), cfg.NICBytesPerSec)
-			f.nicUp[h] = sim.NewChannel(eng, fmt.Sprintf("net.h%d.up", h), cfg.NICBytesPerSec)
+		f.nicDown = make([]*sim.Channel, len(hostEng))
+		f.nicUp = make([]*sim.Channel, len(hostEng))
+		for h, he := range hostEng {
+			f.nicDown[h] = sim.NewChannel(he, fmt.Sprintf("net.h%d.down", h), cfg.NICBytesPerSec)
+			f.nicUp[h] = sim.NewChannel(he, fmt.Sprintf("net.h%d.up", h), cfg.NICBytesPerSec)
 		}
 	}
 	return f
 }
 
-// down ships n bytes router → host h, then calls done.
+// down ships n bytes router → host h store-and-forward: the shared core
+// drains the message on the global lane, the propagation delay carries
+// it across lanes, host h's NIC drains it on the host's lane, and done
+// runs there. (A zero latency implies a sequential fleet — the lookahead
+// is gone — so the hop continues synchronously on the shared engine.)
 func (f *netFabric) down(h int, n int64, done func()) {
-	var links []*sim.Channel
+	nic := func() {
+		if f.nicDown != nil {
+			f.nicDown[h].Start(n, done)
+			return
+		}
+		done()
+	}
+	cross := func() {
+		if f.lat > 0 {
+			f.eng0.Send(f.hostEng[h], f.lat, nic)
+			return
+		}
+		nic()
+	}
 	if f.coreDown != nil {
-		links = append(links, f.coreDown)
-	}
-	if f.nicDown != nil {
-		links = append(links, f.nicDown[h])
-	}
-	f.xfer(links, n, done)
-}
-
-// up ships n bytes host h → router, then calls done.
-func (f *netFabric) up(h int, n int64, done func()) {
-	var links []*sim.Channel
-	if f.nicUp != nil {
-		links = append(links, f.nicUp[h])
-	}
-	if f.coreUp != nil {
-		links = append(links, f.coreUp)
-	}
-	f.xfer(links, n, done)
-}
-
-// xfer drains n bytes through every hop's fair-share channel
-// concurrently (the pcie.Transfer countdown pattern: the message lands
-// when its slowest hop finishes), then pays the propagation delay.
-func (f *netFabric) xfer(links []*sim.Channel, n int64, done func()) {
-	finish := done
-	if f.lat > 0 {
-		finish = func() { f.eng.Schedule(f.lat, done) }
-	}
-	if len(links) == 0 {
-		finish()
+		f.coreDown.Start(n, cross)
 		return
 	}
-	remaining := len(links)
-	hop := func() {
-		remaining--
-		if remaining == 0 {
-			finish()
+	cross()
+}
+
+// up ships n bytes host h → router: NIC on the host's lane, propagation
+// across lanes, core on the global lane, done at the router.
+func (f *netFabric) up(h int, n int64, done func()) {
+	core := func() {
+		if f.coreUp != nil {
+			f.coreUp.Start(n, done)
+			return
 		}
+		done()
 	}
-	for _, l := range links {
-		l.Start(n, hop)
+	cross := func() {
+		if f.lat > 0 {
+			f.hostEng[h].Send(f.eng0, f.lat, core)
+			return
+		}
+		core()
 	}
+	if f.nicUp != nil {
+		f.nicUp[h].Start(n, cross)
+		return
+	}
+	cross()
 }

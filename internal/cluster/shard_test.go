@@ -1,0 +1,146 @@
+package cluster_test
+
+// Sharded-execution acceptance gates. The contract under test is the
+// headline one from internal/sim: a fleet run under conservative-
+// parallel sharding produces byte-identical reports, traces, fault
+// counts, and routing decisions at ANY shard count — shards=1 being
+// literally the classic sequential engine. The workload here leans on
+// every cross-lane mechanism at once: the store-and-forward fabric
+// (both directions), push-based fault observation into the router's
+// drain window, batching, EDF scheduling, retries, and deadlines, all
+// under a structured trace so flow ids and sequence numbers are part
+// of the comparison.
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"dmx/internal/cluster"
+	"dmx/internal/dmxsys"
+	"dmx/internal/faults"
+	"dmx/internal/obs"
+	"dmx/internal/sim"
+	"dmx/internal/traffic"
+)
+
+// shardedOutcome is everything a fleet run externalizes.
+type shardedOutcome struct {
+	report string
+	trace  []byte
+	counts faults.Counts
+	routed [][]int
+	lanes  int
+}
+
+// runShardedFleet executes the canonical sharded-acceptance workload
+// with the given shard request and returns its full outcome.
+func runShardedFleet(t *testing.T, shards int) shardedOutcome {
+	t.Helper()
+	b := chainedBench(t)
+	base := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
+	base.Obs = obs.New()
+	base.BatchWindow = 150 * sim.Microsecond
+	base.BatchMax = 4
+	base.Sched = dmxsys.SchedEDF
+	base.Faults = &faults.Plan{Seed: 29, DRXMTBF: 1500 * sim.Microsecond,
+		DRXRepair: 400 * sim.Microsecond, TransientProb: 0.08}
+	base.Retry = faults.DefaultRetry()
+	rate := 1.5 * capOf(t, base, b.Pipeline)
+	cfg := cluster.FleetConfig{
+		Hosts: 5,
+		Base:  base,
+		Net: cluster.NetConfig{NICBytesPerSec: 12.5e9, CoreBytesPerSec: 40e9,
+			Latency: 3 * sim.Microsecond},
+		Router: cluster.RouterConfig{DrainIncidents: 2,
+			DrainWindow: 2 * sim.Millisecond},
+		Shards: shards,
+	}
+	spec := traffic.Spec{Arrival: traffic.Poisson, Rate: rate, Requests: 96,
+		Seed: 31, Deadline: 8 * sim.Millisecond}
+	f, rep := fleetRun(t, cfg, spec, b.Pipeline)
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf, base.Obs.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return shardedOutcome{report: rep.String(), trace: buf.Bytes(),
+		counts: f.FaultCounts(), routed: f.Routed(), lanes: f.Shards()}
+}
+
+func diffShardedFleet(t *testing.T, want, got shardedOutcome, label string) {
+	t.Helper()
+	if got.report != want.report {
+		t.Errorf("%s: report diverged from sequential:\n--- sharded\n%s\n--- sequential\n%s",
+			label, got.report, want.report)
+	}
+	if !bytes.Equal(got.trace, want.trace) {
+		t.Errorf("%s: trace bytes diverged from sequential (%d vs %d bytes)",
+			label, len(got.trace), len(want.trace))
+	}
+	if got.counts != want.counts {
+		t.Errorf("%s: fault counts %+v, sequential saw %+v", label, got.counts, want.counts)
+	}
+	for h := range want.routed {
+		for a := range want.routed[h] {
+			if got.routed[h][a] != want.routed[h][a] {
+				t.Errorf("%s: host %d app %d routed %d requests, sequential routed %d",
+					label, h, a, got.routed[h][a], want.routed[h][a])
+			}
+		}
+	}
+}
+
+func TestFleetShardedByteIdentity(t *testing.T) {
+	want := runShardedFleet(t, 1)
+	if want.lanes != 1 {
+		t.Fatalf("shards=1 ran with %d lanes", want.lanes)
+	}
+	if want.counts == (faults.Counts{}) {
+		t.Fatal("workload injected no faults; the push-observation path is untested (pick another seed)")
+	}
+	for _, tc := range []struct {
+		shards, lanes int
+	}{
+		{2, 2},
+		{4, 4},
+		{8, 6}, // clamped to hosts+1
+	} {
+		got := runShardedFleet(t, tc.shards)
+		if got.lanes != tc.lanes {
+			t.Fatalf("shards=%d ran with %d lanes, want %d", tc.shards, got.lanes, tc.lanes)
+		}
+		diffShardedFleet(t, want, got, "shards="+string(rune('0'+tc.shards)))
+	}
+}
+
+// TestFleetShardedByteIdentityParallel repeats the comparison with
+// GOMAXPROCS raised so the shard group dispatches lanes to worker
+// goroutines even on a single-CPU host — the inline and worker window
+// paths must externalize identical bytes.
+func TestFleetShardedByteIdentityParallel(t *testing.T) {
+	want := runShardedFleet(t, 1)
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	got := runShardedFleet(t, 6)
+	diffShardedFleet(t, want, got, "shards=6 (worker goroutines)")
+}
+
+// TestFleetZeroNetSequentialFallback pins the degraded mode: a fleet
+// whose network config is the zero value has no lookahead, so a shard
+// request silently falls back to one lane and the run is byte-identical
+// to never having asked.
+func TestFleetZeroNetSequentialFallback(t *testing.T) {
+	b := chainedBench(t)
+	base := dmxsys.DefaultConfig(dmxsys.BumpInTheWire)
+	spec := traffic.Spec{Arrival: traffic.Poisson, Rate: 5000, Requests: 48, Seed: 11}
+	f, sharded := fleetRun(t, cluster.FleetConfig{Hosts: 3, Base: base,
+		Net: cluster.NetConfig{}, Shards: 8}, spec, b.Pipeline)
+	if f.Shards() != 1 {
+		t.Fatalf("zero-latency fabric ran with %d lanes, want sequential fallback", f.Shards())
+	}
+	_, plain := fleetRun(t, cluster.FleetConfig{Hosts: 3, Base: base}, spec, b.Pipeline)
+	if sharded.String() != plain.String() {
+		t.Errorf("Shards=8 over a zero fabric diverged from the plain fleet:\n%s\nvs:\n%s",
+			sharded, plain)
+	}
+}

@@ -271,7 +271,7 @@ func (b *batch) lap(p phase) {
 	d := now.Sub(b.mark)
 	if d > 0 {
 		op := p.obsPhase()
-		b.s.rec.Span(obs.Time(b.mark), obs.Duration(d), obs.TypePhase, op, 0,
+		b.s.sink().Span(obs.Time(b.mark), obs.Duration(d), obs.TypePhase, op, 0,
 			b.track, b.a.pipe.Name, op.String(), 0)
 	}
 	b.mark = now
@@ -292,10 +292,10 @@ func (b *batch) obsDMA(typ obs.Type, step uint8, from, to string, n int64, begin
 		return
 	}
 	now := s.Eng.Now()
-	s.rec.Span(obs.Time(begin), obs.Duration(now.Sub(begin)), typ, obs.PhaseNone,
+	s.sink().Span(obs.Time(begin), obs.Duration(now.Sub(begin)), typ, obs.PhaseNone,
 		step, b.track, b.a.pipe.Name, "", n)
 	if from != to {
-		s.rec.FlowPair(obs.Time(begin), obs.Time(now), typ, from, to, b.a.pipe.Name, "", n)
+		s.sink().FlowPair(obs.Time(begin), obs.Time(now), typ, from, to, b.a.pipe.Name, "", n)
 	}
 }
 

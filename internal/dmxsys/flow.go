@@ -56,9 +56,16 @@ func (p phase) obsPhase() obs.Phase {
 	return obs.PhaseMovement
 }
 
+// sink is the live trace emission target: the engine's current
+// recorder. Sharded fleets swap each lane's recorder for a private
+// capture buffer during lookahead windows, so emission sites must read
+// it at emission time — s.rec stays the report-time aggregate source
+// (and the "is tracing on" gate); sequentially they are one recorder.
+func (s *System) sink() *obs.Recorder { return s.Eng.Obs }
+
 // obsInstant emits one protocol instant (a Fig. 10 moment) for app a.
 func (s *System) obsInstant(a *appInstance, typ obs.Type, step uint8, track, peer, name string, bytes int64) {
-	s.rec.Instant(obs.Time(s.Eng.Now()), typ, step, track, peer, a.pipe.Name, name, bytes)
+	s.sink().Instant(obs.Time(s.Eng.Now()), typ, step, track, peer, a.pipe.Name, name, bytes)
 }
 
 // request is one in-flight request walking its application's pipeline.
@@ -286,7 +293,7 @@ func (r *request) lap(p phase) {
 	d := now.Sub(r.mark)
 	if d > 0 {
 		op := p.obsPhase()
-		r.s.rec.Span(obs.Time(r.mark), obs.Duration(d), obs.TypePhase, op, 0,
+		r.s.sink().Span(obs.Time(r.mark), obs.Duration(d), obs.TypePhase, op, 0,
 			r.track, r.a.pipe.Name, op.String(), 0)
 	}
 	r.mark = now
@@ -310,10 +317,10 @@ func (r *request) obsDMA(typ obs.Type, step uint8, from, to string, n int64, beg
 		return
 	}
 	now := s.Eng.Now()
-	s.rec.Span(obs.Time(begin), obs.Duration(now.Sub(begin)), typ, obs.PhaseNone,
+	s.sink().Span(obs.Time(begin), obs.Duration(now.Sub(begin)), typ, obs.PhaseNone,
 		step, r.track, r.a.pipe.Name, "", n)
 	if from != to {
-		s.rec.FlowPair(obs.Time(begin), obs.Time(now), typ, from, to, r.a.pipe.Name, "", n)
+		s.sink().FlowPair(obs.Time(begin), obs.Time(now), typ, from, to, r.a.pipe.Name, "", n)
 	}
 }
 

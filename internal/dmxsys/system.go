@@ -443,6 +443,7 @@ func (p *Plan) Instantiate(eng *sim.Engine, opts HostOpts) (*System, error) {
 	// timelines key off the station name, so fleet replicas draw
 	// independent incident streams from the same seed.
 	s.inj = faults.New(cfg.Faults, s.rec)
+	s.inj.Bind(eng)
 	s.hazardous = s.inj.Enabled() || cfg.Retry.Enabled()
 	if s.inj.Enabled() {
 		s.Fabric.SetFaults(s.inj)
@@ -760,6 +761,16 @@ func (s *System) FaultCounts() faults.Counts {
 		return faults.Counts{}
 	}
 	return s.inj.Counts
+}
+
+// OnFaultIncident registers fn to observe every fresh fault incident
+// (outage, link window, stall, transient) this host records, called
+// synchronously on the host's engine right after the count increments.
+// A system without fault injection ignores the hook.
+func (s *System) OnFaultIncident(fn func()) {
+	if s.inj != nil {
+		s.inj.OnIncident = fn
+	}
 }
 
 // DRXCount reports how many DRX instances the placement deployed.

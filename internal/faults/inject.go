@@ -99,6 +99,7 @@ type Counts struct {
 type Injector struct {
 	plan Plan
 	rec  *obs.Recorder
+	eng  *sim.Engine
 
 	drx   map[string]*timeline
 	link  map[string]*timeline
@@ -108,6 +109,12 @@ type Injector struct {
 
 	// Counts accumulates observed incidents.
 	Counts Counts
+
+	// OnIncident, when set, observes every fresh incident (outage, link
+	// window, stall, transient) synchronously, right after its count
+	// increments — on the engine the incident fired on. Cluster fleets
+	// use it to stream fault totals to the router instead of polling.
+	OnIncident func()
 }
 
 // New builds an injector for the plan; rec (optional) receives fault
@@ -130,6 +137,32 @@ func New(plan *Plan, rec *obs.Recorder) *Injector {
 // Enabled reports whether the injector is live.
 func (in *Injector) Enabled() bool { return in != nil }
 
+// Bind attaches the injector to the engine it serves, so fault/repair
+// instants emit through the engine's *current* recorder — sharded
+// execution swaps a capture buffer in per lookahead window, and a
+// cached recorder would bypass it. Unbound injectors keep emitting to
+// the recorder passed at construction. Bind on nil is a no-op.
+func (in *Injector) Bind(eng *sim.Engine) {
+	if in != nil {
+		in.eng = eng
+	}
+}
+
+// sink is the live emission target (see Bind).
+func (in *Injector) sink() *obs.Recorder {
+	if in.eng != nil {
+		return in.eng.Obs
+	}
+	return in.rec
+}
+
+// incident fires the OnIncident hook for one fresh incident.
+func (in *Injector) incident() {
+	if in.OnIncident != nil {
+		in.OnIncident()
+	}
+}
+
 // Plan returns the injector's plan (zero value when disabled).
 func (in *Injector) Plan() Plan {
 	if in == nil {
@@ -151,8 +184,9 @@ func (in *Injector) lane(m map[string]*timeline, kind, name string, mtbf, repair
 // emitWindow records a fault/repair instant pair for a freshly observed
 // incident window, timestamped at the window's true boundaries.
 func (in *Injector) emitWindow(name string, start, until sim.Time) {
-	in.rec.Instant(obs.Time(start), obs.TypeFault, 0, name, "", "", name, 0)
-	in.rec.Instant(obs.Time(until), obs.TypeRepair, 0, name, "", "", name, 0)
+	rec := in.sink()
+	rec.Instant(obs.Time(start), obs.TypeFault, 0, name, "", "", name, 0)
+	rec.Instant(obs.Time(until), obs.TypeRepair, 0, name, "", "", name, 0)
 }
 
 // DRXDown reports whether the named DRX unit is in an outage at now
@@ -166,6 +200,7 @@ func (in *Injector) DRXDown(name string, now sim.Time) (bool, sim.Time) {
 	if fresh {
 		in.Counts.DRXOutages++
 		in.emitWindow(name, until.Add(-in.plan.DRXRepair), until)
+		in.incident()
 	}
 	return down, until
 }
@@ -182,6 +217,7 @@ func (in *Injector) LinkState(name string, now sim.Time) (down bool, factor floa
 	if fresh {
 		in.Counts.LinkIncidents++
 		in.emitWindow(name, until.Add(-in.plan.LinkRepair), until)
+		in.incident()
 	}
 	if !hit {
 		return false, 1
@@ -203,6 +239,7 @@ func (in *Injector) StallUntil(name string, now sim.Time) sim.Duration {
 	if fresh {
 		in.Counts.Stalls++
 		in.emitWindow(name, until.Add(-in.plan.StallRepair), until)
+		in.incident()
 	}
 	if !down {
 		return 0
@@ -225,6 +262,7 @@ func (in *Injector) TransientFault(name string) bool {
 	hit := str.Float64() < in.plan.TransientProb
 	if hit {
 		in.Counts.Transients++
+		in.incident()
 	}
 	return hit
 }

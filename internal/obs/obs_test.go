@@ -180,6 +180,98 @@ func TestAggregateMetrics(t *testing.T) {
 	}
 }
 
+// Merge must behave exactly like building one histogram from the union
+// of samples — the property the sharded fleet leans on when it folds
+// per-lane partials into a report. The edges worth pinning: merging two
+// empties stays empty (not a zero-valued "sample"), a single-sample
+// histogram merges without disturbing Min/Max, and samples clamped into
+// the last bucket re-derive the same quantiles after the merge as
+// before it.
+func TestHistogramMergeEdges(t *testing.T) {
+	t.Run("empty-empty", func(t *testing.T) {
+		var a, b Histogram
+		a.Merge(b)
+		if a.Count != 0 || a.Sum != 0 || a.Min != 0 || a.Max != 0 {
+			t.Errorf("empty⊕empty is not empty: %+v", a)
+		}
+		if got := a.Quantile(0.99); got != 0 {
+			t.Errorf("quantile of empty merge = %v, want 0", got)
+		}
+	})
+	t.Run("empty-into-populated", func(t *testing.T) {
+		var a, b Histogram
+		a.Add(Duration(3e6))
+		want := a
+		a.Merge(b)
+		if a != want {
+			t.Errorf("merging an empty histogram changed the target:\n got %+v\nwant %+v", a, want)
+		}
+	})
+	t.Run("single-sample", func(t *testing.T) {
+		var a, b Histogram
+		a.Add(Duration(7e6)) // 7 µs
+		b.Add(Duration(2e6)) // 2 µs
+		a.Merge(b)
+		if a.Count != 2 || a.Sum != Duration(9e6) {
+			t.Errorf("count/sum after merge: %+v", a)
+		}
+		// The smaller sample arrived via Merge, so Min must come from the
+		// merged side even though the target was non-empty.
+		if a.Min != Duration(2e6) || a.Max != Duration(7e6) {
+			t.Errorf("min/max after merge: min %v max %v", a.Min, a.Max)
+		}
+		// And the other direction: a single-sample target absorbing a
+		// larger population keeps its own extreme when it is the true one.
+		var c, d Histogram
+		c.Add(Duration(50e6))
+		for i := 0; i < 10; i++ {
+			d.Add(Duration(1e6))
+		}
+		c.Merge(d)
+		if c.Min != Duration(1e6) || c.Max != Duration(50e6) || c.Count != 11 {
+			t.Errorf("single-sample target merge: %+v", c)
+		}
+	})
+	t.Run("clamped-quantile-rederivation", func(t *testing.T) {
+		// Durations ≥ 2^(HistBuckets-1) µs land clamped in the last
+		// bucket. Quantiles re-derived after a merge of two clamped
+		// partials must match the histogram built from the union — the
+		// clamp must not leak samples into a phantom bucket.
+		huge := Duration(1e6) * (Duration(1) << (HistBuckets + 2))
+		var a, b, union Histogram
+		for i := 0; i < 5; i++ {
+			a.Add(huge)
+			union.Add(huge)
+		}
+		for i := 0; i < 5; i++ {
+			b.Add(huge + Duration(1e6))
+			union.Add(huge + Duration(1e6))
+		}
+		a.Merge(b)
+		if a != union {
+			t.Fatalf("merged clamped histograms differ from the union:\n got %+v\nwant %+v", a, union)
+		}
+		if a.Buckets[HistBuckets-1] != 10 {
+			t.Errorf("clamped samples in last bucket = %d, want 10", a.Buckets[HistBuckets-1])
+		}
+		for _, q := range []float64{0.5, 0.99, 1.0} {
+			if got, want := a.Quantile(q), union.Quantile(q); got != want {
+				t.Errorf("Quantile(%v) = %v after merge, union says %v", q, got, want)
+			}
+		}
+		// Every rank resolves inside the (clamped) last bucket, so the
+		// estimate saturates at that bucket's 2^(HistBuckets-1) µs bound —
+		// deliberately below Max, which stays exact.
+		bound := Duration(uint64(1)<<(HistBuckets-1)) * 1e6
+		if got := a.Quantile(1.0); got != bound {
+			t.Errorf("clamped p100 = %v, want bucket bound %v", got, bound)
+		}
+		if a.Max != huge+Duration(1e6) {
+			t.Errorf("Max %v lost exactness under clamping", a.Max)
+		}
+	})
+}
+
 func TestHistogramQuantiles(t *testing.T) {
 	var h Histogram
 	for i := 0; i < 99; i++ {

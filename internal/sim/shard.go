@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+
+	"dmx/internal/obs"
+)
+
+// Conservative-parallel sharded execution.
+//
+// A ShardGroup partitions one simulation across K lane engines that run
+// concurrently inside lookahead-bounded time windows. The model places
+// each component on a lane (host h on lane 1+h%(K-1), cross-host glue
+// on lane 0 is the cluster convention) and crosses lanes only through
+// Engine.Send with delay ≥ the group's lookahead — the classic
+// conservative-DES condition: a window [T0, T0+L) can run every lane to
+// completion in isolation, because any cross-lane message created
+// inside it arrives at T0+L or later.
+//
+// The contract is byte-identity: traces, reports, and metrics are
+// identical at any lane count, including K=1 ≡ the plain Engine. The
+// mechanism is a canonical global ordinal carried in event.seq. A plain
+// engine's seq is its allocation counter, and the queue fires same-time
+// events in seq order — so "the order a single engine would realize" is
+// exactly "creation order, restricted to each timestamp". A group
+// reproduces that order without serializing execution:
+//
+//   - Setup (before Run): single-threaded; ordinals come straight off
+//     the group counter in call order.
+//   - Inside a window: a creation gets a provisional key ordRaw|i (i =
+//     the lane's creation-log index) and a log entry recording its
+//     firing time, its creating event's key, and its scheduled time.
+//   - At the window barrier: creations from all lanes are materialized
+//     in the order (schedTime, parentFireTime, parentOrd, logIdx) — the
+//     single-engine creation order restricted to each schedTime (two
+//     creations at one timestamp fire in the order their parents fired,
+//     parents fire in (time, ordinal) order, and calls within one
+//     callback keep call order). Each gets the next group ordinal;
+//     pending events are renumbered in place (which preserves queue
+//     sort order: provisional keys already sort same-lane creations at
+//     one timestamp correctly, and all pre-window ordinals are smaller
+//     than any ordinal this barrier assigns).
+//
+// Cross-lane ties in that materialization order are impossible: equal
+// (parentFireTime, parentOrd) means the same parent event, and a parent
+// fires on exactly one lane. Parent resolution at the barrier always
+// terminates, because a parent's materialization key is strictly
+// smaller than any of its children's.
+type ShardGroup struct {
+	lanes     []*Engine
+	lookahead Duration
+	mode      groupMode
+	ordC      uint64 // next materialized global ordinal (0 = "no parent")
+
+	// Windowed-run scratch (window.go).
+	masters  []*obs.Recorder // each lane's real sink, swapped out per run
+	laneRec  []*obs.Recorder // per-lane capture recorders
+	flowMaps []map[uint64]uint64
+	heap     []mergeItem // materialization heap scratch
+	kidHead  [][]int32   // per-lane child-list heads (raw-parent entries)
+	kidNext  [][]int32   // per-lane child-list links
+	cursors  []int       // per-lane elog merge cursors
+	start    []chan Time // per-lane worker dispatch
+	done     chan struct{}
+}
+
+type groupMode uint8
+
+const (
+	// gmSeq is the sequential fallback: one plain engine behind the
+	// group API, running literally the classic single-threaded code
+	// path (the engine's grp pointer stays nil).
+	gmSeq groupMode = iota
+	// gmSetup is a parallel group outside windowed execution:
+	// single-threaded, ordinals materialize immediately in call order.
+	gmSetup
+	// gmWindow is a parallel group inside a window: lanes run
+	// concurrently, creations take provisional keys.
+	gmWindow
+)
+
+// ordRaw marks a provisional in-window ordering key; the low bits hold
+// the lane-local creation-log index. Raw keys sort after every
+// materialized ordinal, which is also the correct canonical order
+// (in-window creations come after everything created earlier).
+const ordRaw = uint64(1) << 63
+
+// crec records one event creation inside a window, in creation-call
+// order. The barrier materializes its canonical ordinal into ord and
+// renumbers the pending event (skipped when the event already fired or
+// was canceled — the ordinal is still consumed, exactly as a single
+// engine would have consumed a seq for it).
+type crec struct {
+	ev     *event // pending event to renumber (nil for cross-lane sends)
+	gen    uint64 // ev.gen at creation; mismatch ⇒ fired/canceled
+	at     Time   // scheduled firing time
+	pAt    Time   // creating event's firing time
+	parent uint64 // creating event's key (provisional or materialized)
+	ord    uint64 // materialized ordinal, filled by the barrier
+}
+
+// erec fences the trace events one firing emitted into the lane's
+// capture recorder: [lo, hi) in the recorder's stream, tagged with the
+// firing's time and key so the barrier can replay all lanes' emissions
+// in canonical firing order.
+type erec struct {
+	at     Time
+	ord    uint64
+	lo, hi int
+}
+
+// crossMsg is a buffered cross-lane send: deliver fn on lane `lane` at
+// absolute time at, under the ordinal materialized for creation-log
+// entry ci of the sending lane.
+type crossMsg struct {
+	lane int
+	at   Time
+	ci   int
+	fn   func()
+}
+
+// mergeItem is one ready creation in the barrier's materialization
+// heap, its parent key already resolved to a materialized ordinal.
+type mergeItem struct {
+	at, pAt Time
+	parent  uint64
+	lane    int
+	idx     int32
+}
+
+// before is the canonical materialization order. Cross-lane ties are
+// impossible before idx (equal (pAt, parent) ⇒ same parent ⇒ same
+// lane), so idx is a pure same-lane call-order tiebreak.
+func (a mergeItem) before(b mergeItem) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pAt != b.pAt {
+		return a.pAt < b.pAt
+	}
+	if a.parent != b.parent {
+		return a.parent < b.parent
+	}
+	return a.idx < b.idx
+}
+
+// NewShardGroup builds a group of `lanes` engines with the given
+// lookahead (the minimum cross-lane send delay). lanes ≤ 1 or a
+// non-positive lookahead yields the sequential fallback: one plain
+// engine behind the same API — Engine(i) returns it for every i and
+// Run is the classic single-threaded loop, byte-identical to using an
+// Engine directly.
+func NewShardGroup(lanes int, lookahead Duration) *ShardGroup {
+	if lanes <= 1 || lookahead <= 0 {
+		return &ShardGroup{lanes: []*Engine{NewEngine()}, lookahead: lookahead, mode: gmSeq}
+	}
+	g := &ShardGroup{lookahead: lookahead, mode: gmSetup, ordC: 1}
+	g.lanes = make([]*Engine, lanes)
+	for i := range g.lanes {
+		e := NewEngine()
+		e.grp = g
+		e.lane = i
+		g.lanes[i] = e
+	}
+	return g
+}
+
+// Lanes reports the number of lane engines (1 for the sequential
+// fallback regardless of the requested shard count).
+func (g *ShardGroup) Lanes() int { return len(g.lanes) }
+
+// Lookahead reports the group's minimum cross-lane send delay.
+func (g *ShardGroup) Lookahead() Duration { return g.lookahead }
+
+// Engine returns lane i's engine. The sequential fallback returns its
+// single engine for every i, which is what lets model code compute a
+// lane assignment once and stay shard-count-agnostic.
+func (g *ShardGroup) Engine(i int) *Engine {
+	if g.mode == gmSeq {
+		return g.lanes[0]
+	}
+	return g.lanes[i]
+}
+
+// Now reports the group's clock: the latest lane clock, i.e. the time
+// of the last event fired anywhere in the group. On a drained group
+// this is the simulation makespan, matching Engine.Now after Run.
+func (g *ShardGroup) Now() Time {
+	t := g.lanes[0].Now()
+	for _, e := range g.lanes[1:] {
+		if n := e.Now(); n > t {
+			t = n
+		}
+	}
+	return t
+}
+
+// Fired sums executed events across lanes.
+func (g *ShardGroup) Fired() uint64 {
+	var n uint64
+	for _, e := range g.lanes {
+		n += e.Fired()
+	}
+	return n
+}
+
+// Pending sums live scheduled events across lanes.
+func (g *ShardGroup) Pending() int {
+	n := 0
+	for _, e := range g.lanes {
+		n += e.Pending()
+	}
+	return n
+}
+
+// Send arranges for fn to run on engine `to` after delay, measured on
+// e's clock. On the same engine (which includes every Send in a
+// sequential-fallback group) it is exactly Schedule. Across lanes of a
+// parallel group, delay must be at least the group's lookahead; the
+// send is buffered and delivered at the window barrier under its
+// canonical ordinal, so the receiving lane sees it before any window
+// that could fire it. Send is how models cross lanes — scheduling
+// directly on another lane's engine from inside a window is a data
+// race by construction.
+func (e *Engine) Send(to *Engine, delay Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	if to == e {
+		e.At(e.now.Add(delay), fn)
+		return
+	}
+	g := e.grp
+	if g == nil || to.grp != g {
+		panic("sim: Send between engines of different groups")
+	}
+	t := e.now.Add(delay)
+	if g.mode != gmWindow {
+		// Setup is single-threaded: deliver directly; the target's At
+		// draws a materialized ordinal in call order. Lane clocks are
+		// aligned outside windows only at time zero, so anchor the
+		// target explicitly if the sender's clock ran ahead.
+		if t < to.now {
+			panic(fmt.Sprintf("sim: cross-lane send into the past (%v < %v)", t, to.now))
+		}
+		ord := g.ordC
+		g.ordC++
+		to.inject(t, ord, fn)
+		return
+	}
+	if delay < g.lookahead {
+		panic(fmt.Sprintf("sim: cross-lane send delay %v below group lookahead %v", delay, g.lookahead))
+	}
+	e.clog = append(e.clog, crec{at: t, pAt: e.now, parent: e.curOrd})
+	e.cross = append(e.cross, crossMsg{lane: to.lane, at: t, ci: len(e.clog) - 1, fn: fn})
+}

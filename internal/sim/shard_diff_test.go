@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"dmx/internal/obs"
+)
+
+// This file extends the differential harness to the sharded engine:
+// the same lane-agnostic workload runs on ShardGroups of several lane
+// counts (including the K=1 sequential fallback, which is literally
+// the plain Engine), and every observable output — the master trace
+// stream byte for byte (timestamps, sequence numbers, flow ids),
+// per-host model state, the group clock, drained queues — must be
+// identical at every K, with windows executed inline and on worker
+// goroutines.
+
+// shardWorkload is one deterministic workload instantiated against a
+// given lane count. Hosts are the lane-agnostic unit of placement:
+// host h lives on lane 1+h%(K-1) (lane 0 is the "global" lane), so
+// any K from 1 to hosts+1 partitions the same model differently.
+type shardWorkload struct {
+	g         *ShardGroup
+	rec       *obs.Recorder
+	hosts     int
+	lookahead Duration
+	state     []uint64     // per-host order-sensitive accumulator
+	refs      [][]EventRef // per-host live cancelable handles
+}
+
+func newShardWorkload(k, hosts int, lookahead Duration) *shardWorkload {
+	s := &shardWorkload{
+		g:         NewShardGroup(k, lookahead),
+		rec:       obs.New(),
+		hosts:     hosts,
+		lookahead: lookahead,
+		state:     make([]uint64, hosts),
+		refs:      make([][]EventRef, hosts),
+	}
+	for i := 0; i < s.g.Lanes(); i++ {
+		s.g.Engine(i).Obs = s.rec
+	}
+	return s
+}
+
+// eng is host h's engine under this workload's partitioning.
+func (s *shardWorkload) eng(h int) *Engine {
+	if k := s.g.Lanes(); k > 1 {
+		return s.g.Engine(1 + h%(k-1))
+	}
+	return s.g.Engine(0)
+}
+
+// fire builds the callback for event id on host h. Behavior is a pure
+// function of (h, id, depth): a per-id RNG decides chaining,
+// cross-host sends, cancels, reschedules, batches, and flow emission,
+// so every lane count replays the identical causal program.
+func (s *shardWorkload) fire(h, id, depth int) func() {
+	return func() {
+		e := s.eng(h)
+		rng := benchRNG(uint64(id)*0x9e3779b97f4a7c15 + uint64(h) + 1)
+		s.state[h] = s.state[h]*1099511628211 + uint64(id)
+		now := e.Now()
+		e.Obs.Instant(obs.Time(now), obs.TypeRoute, 0,
+			fmt.Sprintf("h%d", h), "", "app", fmt.Sprintf("ev%d", id), int64(id))
+		if depth >= 4 {
+			return
+		}
+		r := rng.next()
+		if r%3 == 0 {
+			// Same-host chain, including zero-delay: the raw-parent
+			// genealogy the barrier must materialize.
+			d := Duration(rng.next()%uint64(s.lookahead/2)) * (Duration(r>>8) % 2)
+			e.Schedule(d, s.fire(h, id*8+1, depth+1))
+		}
+		if r%5 == 0 {
+			// Cross-host send at (lookahead + spread).
+			th := int(rng.next() % uint64(s.hosts))
+			if th != h {
+				d := s.lookahead + Duration(rng.next()%1000)*Nanosecond
+				e.Send(s.eng(th), d, s.fire(th, id*8+2, depth+1))
+			}
+		}
+		if r%4 == 0 {
+			ref := e.Schedule(Duration(rng.next()%5000)*Nanosecond, s.fire(h, id*8+3, depth+1))
+			s.refs[h] = append(s.refs[h], ref)
+		}
+		if r%7 == 0 && len(s.refs[h]) > 0 {
+			s.refs[h][int(rng.next()%uint64(len(s.refs[h])))].Cancel()
+		}
+		if r%11 == 0 && len(s.refs[h]) > 0 {
+			i := int(rng.next() % uint64(len(s.refs[h])))
+			s.refs[h][i] = e.Reschedule(s.refs[h][i],
+				Duration(rng.next()%3000)*Nanosecond, s.fire(h, id*8+4, depth+1))
+		}
+		if r%13 == 0 {
+			n := int(rng.next()%3) + 2
+			fns := make([]func(), n)
+			for j := range fns {
+				fns[j] = s.fire(h, id*64+16+j, depth+1)
+			}
+			e.ScheduleBatch(Duration(rng.next()%700)*Nanosecond, fns)
+		}
+		if r%6 == 0 {
+			// A flow hop: begin here, land after a bandwidth-ish delay.
+			d := Duration(rng.next()%2000) * Nanosecond
+			e.Obs.FlowPair(obs.Time(now), obs.Time(now.Add(d)), obs.TypeP2PDMA,
+				fmt.Sprintf("h%d", h), fmt.Sprintf("h%d/sink", h), "app",
+				fmt.Sprintf("dma%d", id), int64(id)*64)
+		}
+	}
+}
+
+// seed interprets the byte stream as setup-time scheduling (the fuzz
+// surface); all in-window behavior then derives from fire's per-id RNG.
+func (s *shardWorkload) seed(data []byte) {
+	i := 0
+	next := func() byte {
+		if i >= len(data) {
+			return 0
+		}
+		b := data[i]
+		i++
+		return b
+	}
+	id := 1
+	for i < len(data) {
+		op := next()
+		h := int(next()) % s.hosts
+		switch op % 5 {
+		case 0, 1:
+			d := Duration(next())*87*Nanosecond + Duration(next())*Picosecond
+			s.eng(h).Schedule(d, s.fire(h, id, 0))
+		case 2:
+			d := Duration(next()) * 11 * Nanosecond
+			s.refs[h] = append(s.refs[h], s.eng(h).Schedule(d, s.fire(h, id, 0)))
+		case 3:
+			n := int(next()%4) + 1
+			fns := make([]func(), n)
+			for j := range fns {
+				fns[j] = s.fire(h, id*64+j, 0)
+			}
+			s.eng(h).ScheduleBatch(Duration(next())*13*Nanosecond, fns)
+		case 4:
+			// Setup-time cross send from the global lane to a host.
+			d := Duration(next()) * 29 * Nanosecond
+			s.g.Engine(0).Send(s.eng(h), d, s.fire(h, id, 0))
+		}
+		id++
+	}
+}
+
+// shardOutcome is everything a workload may observe.
+type shardOutcome struct {
+	events []obs.Event
+	state  []uint64
+	now    Time
+	fired  uint64
+}
+
+func runShardWorkload(t *testing.T, k, hosts int, lookahead Duration, data []byte) shardOutcome {
+	t.Helper()
+	s := newShardWorkload(k, hosts, lookahead)
+	s.seed(data)
+	s.g.Run()
+	if p := s.g.Pending(); p != 0 {
+		t.Fatalf("K=%d: %d events still pending after Run", k, p)
+	}
+	return shardOutcome{events: s.rec.Events(), state: s.state, now: s.g.Now(), fired: s.g.Fired()}
+}
+
+// diffShardOutcomes fails on the first divergence between the
+// sequential reference and a sharded run.
+func diffShardOutcomes(t *testing.T, k int, ref, got shardOutcome) {
+	t.Helper()
+	if got.now != ref.now {
+		t.Errorf("K=%d: clock %v, sequential %v", k, got.now, ref.now)
+	}
+	if got.fired != ref.fired {
+		t.Errorf("K=%d: fired %d events, sequential %d", k, got.fired, ref.fired)
+	}
+	for h := range ref.state {
+		if got.state[h] != ref.state[h] {
+			t.Errorf("K=%d: host %d state %#x, sequential %#x (same-host firing order diverged)",
+				k, h, got.state[h], ref.state[h])
+		}
+	}
+	if len(got.events) != len(ref.events) {
+		t.Fatalf("K=%d: %d trace events, sequential %d", k, len(got.events), len(ref.events))
+	}
+	for i := range ref.events {
+		if got.events[i] != ref.events[i] {
+			t.Fatalf("K=%d: trace event %d diverged:\n sharded:    %+v\n sequential: %+v",
+				k, i, got.events[i], ref.events[i])
+		}
+	}
+}
+
+// applyShardOps is the shared driver for the fuzz target and the
+// seeded corpus: one byte stream, one sequential reference, sharded
+// replays at several lane counts × {inline, worker} window execution.
+func applyShardOps(t *testing.T, data []byte) {
+	const lookahead = 2 * Microsecond
+	hosts := 2
+	if len(data) > 0 {
+		hosts = int(data[0]%6) + 2
+	}
+	ref := runShardWorkload(t, 1, hosts, lookahead, data)
+	for _, k := range []int{2, 3, hosts + 1} {
+		for _, workers := range []bool{false, true} {
+			prev := forceParallelWindows
+			forceParallelWindows = workers
+			got := runShardWorkload(t, k, hosts, lookahead, data)
+			forceParallelWindows = prev
+			diffShardOutcomes(t, k, ref, got)
+		}
+	}
+}
+
+// FuzzShardedVsSequential drives the sharded engine and the sequential
+// fallback side by side; any divergence in trace bytes, per-host state,
+// or clocks is a crash. Seeds double as the regression corpus for
+// plain `go test`.
+func FuzzShardedVsSequential(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 50, 0, 1, 100})
+	f.Add([]byte{0, 2, 1, 0, 2, 2, 30, 4, 0, 60, 4, 1, 90, 3, 0, 2, 7})
+	f.Add([]byte{5, 0, 0, 255, 255, 1, 1, 12, 2, 2, 9, 3, 3, 3, 40, 4, 4, 80})
+	f.Add([]byte{1, 4, 2, 200, 4, 0, 0, 4, 1, 0, 2, 0, 1, 2, 1, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			t.Skip("bounded workload size")
+		}
+		applyShardOps(t, data)
+	})
+}
+
+// TestShardedVsSequentialRandom gives the sharded differential harness
+// broad deterministic coverage in ordinary `go test` runs: long random
+// setup streams whose in-window behavior fans out through chains,
+// cross-host sends, cancels, reschedules, batches, and flows.
+func TestShardedVsSequentialRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := benchRNG(seed * 0xbf58476d1ce4e5b9)
+			n := 40 + int(rng.next()%300)
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = byte(rng.next())
+			}
+			applyShardOps(t, data)
+		})
+	}
+}
+
+// TestShardGroupSequentialFallback pins the fallback contract: one
+// lane, or any lane count with zero lookahead, yields a single plain
+// engine behind the group API.
+func TestShardGroupSequentialFallback(t *testing.T) {
+	for _, tc := range []struct {
+		k         int
+		lookahead Duration
+	}{{1, Microsecond}, {0, Microsecond}, {4, 0}, {8, -Microsecond}} {
+		g := NewShardGroup(tc.k, tc.lookahead)
+		if g.Lanes() != 1 {
+			t.Errorf("NewShardGroup(%d, %v).Lanes() = %d, want 1", tc.k, tc.lookahead, g.Lanes())
+		}
+		e := g.Engine(0)
+		if e.grp != nil {
+			t.Errorf("NewShardGroup(%d, %v): fallback engine carries group state", tc.k, tc.lookahead)
+		}
+		if g.Engine(3) != e {
+			t.Errorf("NewShardGroup(%d, %v): Engine(i) must alias the single lane for every i", tc.k, tc.lookahead)
+		}
+		fired := 0
+		e.Schedule(Microsecond, func() { fired++ })
+		g.Run()
+		if fired != 1 || g.Now() != Time(0).Add(Microsecond) {
+			t.Errorf("fallback Run: fired=%d now=%v", fired, g.Now())
+		}
+	}
+}
+
+// TestShardGroupSendValidation pins the conservative contract: a
+// cross-lane send below the lookahead panics (it could land inside the
+// window the lanes are already executing), and sends between unrelated
+// engines panic.
+func TestShardGroupSendValidation(t *testing.T) {
+	g := NewShardGroup(3, Microsecond)
+	e1, e2 := g.Engine(1), g.Engine(2)
+	e1.Schedule(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-lane send below lookahead did not panic")
+			}
+		}()
+		e1.Send(e2, Microsecond/2, func() {})
+	})
+	ok := false
+	e1.Schedule(0, func() {
+		// At exactly the lookahead it must be accepted.
+		e1.Send(e2, Microsecond, func() { ok = true })
+	})
+	g.Run()
+	if !ok {
+		t.Error("cross-lane send at exactly the lookahead never delivered")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("send between unrelated engines did not panic")
+		}
+	}()
+	NewEngine().Send(NewEngine(), Microsecond, func() {})
+}
+
+// TestShardGroupCrossWindowFlow pins flow-id rebasing across windows: a
+// flow that begins in one window and ends many windows later must keep
+// one id in the master stream, and ids must match the sequential run.
+func TestShardGroupCrossWindowFlow(t *testing.T) {
+	const lookahead = Microsecond
+	run := func(k int) []obs.Event {
+		s := newShardWorkload(k, 2, lookahead)
+		e0 := s.eng(0)
+		e0.Schedule(0, func() {
+			now := obs.Time(e0.Now())
+			// End lands 10 windows out.
+			e0.Obs.FlowPair(now, now+10*obs.Time(lookahead), obs.TypeP2PDMA,
+				"h0", "h1", "app", "long", 4096)
+			e0.Obs.FlowPair(now, now+obs.Time(lookahead)/2, obs.TypeP2PDMA,
+				"h0", "h0/sink", "app", "short", 128)
+		})
+		e1 := s.eng(1)
+		e1.Schedule(5*lookahead, func() {
+			now := obs.Time(e1.Now())
+			e1.Obs.FlowPair(now, now+obs.Time(lookahead), obs.TypeP2PDMA,
+				"h1", "h0", "app", "mid", 256)
+		})
+		s.g.Run()
+		return s.rec.Events()
+	}
+	ref := run(1)
+	got := run(3)
+	if len(ref) != len(got) {
+		t.Fatalf("event count: K=3 %d, K=1 %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("event %d diverged:\n K=3: %+v\n K=1: %+v", i, got[i], ref[i])
+		}
+	}
+}

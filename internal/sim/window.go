@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"runtime"
+
+	"dmx/internal/obs"
+)
+
+// forceParallelWindows makes windowed Runs dispatch to worker
+// goroutines even on a single-CPU process. Tests set it to cover the
+// worker machinery (and give the race detector something to check)
+// regardless of the host's core count; the contract is that the inline
+// and worker paths produce identical output.
+var forceParallelWindows = false
+
+// Run drains the group. The sequential fallback is the classic
+// single-threaded loop; a parallel group advances through lookahead
+// windows: each window [T0, T0+L) — T0 the earliest pending event
+// anywhere, L the lookahead — runs every lane to completion in
+// isolation (conservatively safe: cross-lane sends carry delay ≥ L, so
+// nothing created this window can fire in it), then a barrier
+// materializes canonical ordinals for the window's creations, replays
+// captured trace emissions into the master recorders in canonical
+// firing order, and delivers buffered cross-lane sends. Lanes run on
+// worker goroutines when the process has more than one CPU; with
+// GOMAXPROCS=1 the same windows run inline on the caller's goroutine —
+// the output is identical either way, only wall-clock differs.
+func (g *ShardGroup) Run() {
+	if g.mode == gmSeq {
+		g.lanes[0].Run()
+		return
+	}
+	g.beginCapture()
+	defer g.endCapture()
+	par := runtime.GOMAXPROCS(0) > 1 || forceParallelWindows
+	if par {
+		g.startWorkers()
+		defer g.stopWorkers()
+	}
+	for {
+		t0, ok := g.nextTime()
+		if !ok {
+			return
+		}
+		limit := t0.Add(g.lookahead)
+		g.mode = gmWindow
+		if par {
+			n := 0
+			for i, e := range g.lanes {
+				if t, ok := e.peekTime(); ok && t < limit {
+					g.start[i] <- limit
+					n++
+				}
+			}
+			for ; n > 0; n-- {
+				<-g.done
+			}
+		} else {
+			for _, e := range g.lanes {
+				e.runBefore(limit)
+			}
+		}
+		g.mode = gmSetup
+		g.barrier()
+	}
+}
+
+// nextTime reports the earliest pending event time across lanes.
+func (g *ShardGroup) nextTime() (Time, bool) {
+	var t0 Time
+	found := false
+	for _, e := range g.lanes {
+		if t, ok := e.peekTime(); ok && (!found || t < t0) {
+			t0, found = t, true
+		}
+	}
+	return t0, found
+}
+
+// barrier is the deterministic synchronization point between windows:
+// ordinal materialization, trace graft, cross-lane delivery, log reset
+// — strictly in that order (the graft and the deliveries both consume
+// the ordinals the materialization assigns).
+func (g *ShardGroup) barrier() {
+	g.materialize()
+	g.graft()
+	for _, e := range g.lanes {
+		for i := range e.cross {
+			m := &e.cross[i]
+			g.lanes[m.lane].inject(m.at, e.clog[m.ci].ord, m.fn)
+			m.fn = nil
+		}
+		e.cross = e.cross[:0]
+		for i := range e.clog {
+			e.clog[i] = crec{}
+		}
+		e.clog = e.clog[:0]
+	}
+}
+
+// materialize assigns canonical global ordinals to every creation
+// logged this window, across all lanes, in (schedTime, parentFireTime,
+// parentOrd, callIdx) order — the single-engine creation order
+// restricted to each timestamp. Entries whose parent was itself created
+// this window wait on per-lane child lists until the parent's ordinal
+// exists; a parent's key is strictly smaller than its children's, so
+// the smallest unmaterialized entry is always ready and the heap order
+// equals the true total order. Pending events are renumbered in place;
+// fired or canceled creations still consume their ordinal (a single
+// engine would have consumed the seq) but skip the event patch.
+func (g *ShardGroup) materialize() {
+	h := g.heap[:0]
+	if g.kidHead == nil {
+		g.kidHead = make([][]int32, len(g.lanes))
+		g.kidNext = make([][]int32, len(g.lanes))
+	}
+	for l, e := range g.lanes {
+		n := len(e.clog)
+		kh, kn := g.kidHead[l], g.kidNext[l]
+		if cap(kh) < n {
+			kh = make([]int32, n)
+			kn = make([]int32, n)
+		}
+		kh, kn = kh[:n], kn[:n]
+		for i := range kh {
+			kh[i] = -1
+		}
+		g.kidHead[l], g.kidNext[l] = kh, kn
+		for i := 0; i < n; i++ {
+			c := &e.clog[i]
+			if c.parent&ordRaw != 0 {
+				p := int32(c.parent &^ ordRaw)
+				kn[i] = kh[p]
+				kh[p] = int32(i)
+			} else {
+				h = heapPush(h, mergeItem{at: c.at, pAt: c.pAt, parent: c.parent, lane: l, idx: int32(i)})
+			}
+		}
+	}
+	for len(h) > 0 {
+		var it mergeItem
+		it, h = heapPop(h)
+		e := g.lanes[it.lane]
+		c := &e.clog[it.idx]
+		c.ord = g.ordC
+		g.ordC++
+		if c.ev != nil && c.ev.gen == c.gen {
+			// In-place renumber preserves the lane queue's sort order:
+			// provisional keys already realize the canonical same-time
+			// order within a lane, and every pre-window ordinal is
+			// smaller than anything assigned at this barrier.
+			c.ev.seq = c.ord
+		}
+		// Children who waited on this parent become ready. Child lists
+		// are built in reverse call order, but the heap restores the
+		// canonical order via idx before any tie could matter.
+		for k := g.kidHead[it.lane][it.idx]; k >= 0; k = g.kidNext[it.lane][k] {
+			kc := &e.clog[k]
+			h = heapPush(h, mergeItem{at: kc.at, pAt: kc.pAt, parent: c.ord, lane: it.lane, idx: k})
+		}
+	}
+	g.heap = h[:0]
+}
+
+// graft replays the window's captured trace emissions into the master
+// recorders in canonical firing order: per-lane emission fences are
+// already sorted by (time, firing ordinal) — lane execution order —
+// so a K-way cursor merge visits firings exactly as a single engine
+// would have, and EmitRebased reassigns master sequence numbers and
+// flow ids in that order.
+func (g *ShardGroup) graft() {
+	any := false
+	for _, e := range g.lanes {
+		for i := range e.elog {
+			er := &e.elog[i]
+			if er.ord&ordRaw != 0 {
+				er.ord = e.clog[er.ord&^ordRaw].ord
+			}
+		}
+		if len(e.elog) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	if g.cursors == nil {
+		g.cursors = make([]int, len(g.lanes))
+	}
+	for l := range g.cursors {
+		g.cursors[l] = 0
+	}
+	for {
+		best := -1
+		var bestEr erec
+		for l, e := range g.lanes {
+			if g.cursors[l] >= len(e.elog) {
+				continue
+			}
+			er := e.elog[g.cursors[l]]
+			if best < 0 || er.at < bestEr.at || (er.at == bestEr.at && er.ord < bestEr.ord) {
+				best, bestEr = l, er
+			}
+		}
+		if best < 0 {
+			break
+		}
+		g.cursors[best]++
+		evs := g.laneRec[best].Events()[bestEr.lo:bestEr.hi]
+		for _, ev := range evs {
+			g.masters[best].EmitRebased(ev, g.flowMaps[best])
+		}
+	}
+	for _, e := range g.lanes {
+		e.elog = e.elog[:0]
+	}
+	for _, r := range g.laneRec {
+		r.Clear()
+	}
+}
+
+// beginCapture swaps every traced lane's recorder for a private capture
+// buffer for the duration of the windowed run; endCapture restores the
+// real sinks. Lane flow-id maps persist across barriers (a flow can
+// begin in one window and end many windows later) and across Run calls.
+func (g *ShardGroup) beginCapture() {
+	if g.masters == nil {
+		g.masters = make([]*obs.Recorder, len(g.lanes))
+		g.laneRec = make([]*obs.Recorder, len(g.lanes))
+		g.flowMaps = make([]map[uint64]uint64, len(g.lanes))
+	}
+	for i, e := range g.lanes {
+		g.masters[i] = e.Obs
+		if e.Obs != nil {
+			if g.laneRec[i] == nil {
+				g.laneRec[i] = obs.New()
+				g.flowMaps[i] = make(map[uint64]uint64)
+			}
+			e.Obs = g.laneRec[i]
+			e.wtrace = true
+		}
+	}
+}
+
+func (g *ShardGroup) endCapture() {
+	for i, e := range g.lanes {
+		e.Obs = g.masters[i]
+		e.wtrace = false
+	}
+}
+
+// startWorkers launches one goroutine per lane for the duration of a
+// Run call. Dispatch is a window limit on the lane's channel; the lane
+// answers on the shared done channel. Channel synchronization gives
+// the barrier exclusive access to lane state between windows.
+func (g *ShardGroup) startWorkers() {
+	g.start = make([]chan Time, len(g.lanes))
+	g.done = make(chan struct{}, len(g.lanes))
+	for i := range g.start {
+		g.start[i] = make(chan Time)
+	}
+	for i, e := range g.lanes {
+		ch := g.start[i]
+		e := e
+		go func() {
+			for limit := range ch {
+				e.runBefore(limit)
+				g.done <- struct{}{}
+			}
+		}()
+	}
+}
+
+func (g *ShardGroup) stopWorkers() {
+	for i := range g.start {
+		close(g.start[i])
+	}
+	g.start = nil
+	g.done = nil
+}
+
+// heapPush and heapPop maintain g.heap as a binary min-heap under
+// mergeItem.before without interface indirection.
+func heapPush(h []mergeItem, it mergeItem) []mergeItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []mergeItem) (mergeItem, []mergeItem) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && h[l].before(h[s]) {
+			s = l
+		}
+		if r < n && h[r].before(h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return top, h
+}
