@@ -7,6 +7,8 @@
 //	dmxbench -list           # list experiment ids
 //	dmxbench -j 4            # cap the sweep worker pool at 4
 //	dmxbench -exp cluster -shards 8   # shard each fleet across event lanes
+//	dmxbench -exp tune               # autotune the stock serving scenario
+//	dmxbench -exp tune -spec my.json # autotune a custom experiment Spec
 //
 // Output is the text rendering of each experiment — the same rows and
 // series the paper reports, regenerated from the simulation. Experiments
@@ -49,7 +51,14 @@ func run() int {
 	shards := flag.Int("shards", 1, "event lanes per cluster-experiment fleet (output is byte-identical at any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	spec := flag.String("spec", "", "experiment Spec (JSON) to tune instead of the stock scenario (only with -exp tune)")
 	flag.Parse()
+
+	if *spec != "" && !strings.EqualFold(*exp, "tune") {
+		fmt.Fprintf(os.Stderr, "dmxbench: -spec is only meaningful with -exp tune (got -exp %q)\n", *exp)
+		return 1
+	}
+	tuneSpecPath = *spec
 
 	sweep.SetWorkers(*jobs)
 	experiments.SetClusterShards(*shards)

@@ -54,5 +54,6 @@ func registry() []experiment {
 		{"cluster", "serving: fleet scaling — throughput vs host count", func() (renderer, error) {
 			return experiments.Cluster()
 		}},
+		{"tune", "serving: placement/fusion autotuner over the cost model (accepts -spec)", runTune},
 	}
 }

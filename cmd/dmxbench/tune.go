@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"dmx"
+)
+
+// tuneSpecPath is the -spec override for the tune experiment (empty =
+// the stock scenario). Set once in main before the registry runs.
+var tuneSpecPath string
+
+// defaultTuneBase is the stock tuning scenario: a two-app test-scale
+// mix driven well past single-host capacity under a tight SLO, so the
+// tuned configuration must combine placement, admission, and
+// scheduling moves rather than win on any one knob.
+func defaultTuneBase() dmx.Spec {
+	return dmx.Spec{
+		Apps:     []string{"personal-info-redaction", "sound-detection"},
+		Scale:    "test",
+		Arrival:  "poisson",
+		Rate:     150000,
+		Requests: 32,
+		Seed:     11,
+		SLO:      "100us",
+	}
+}
+
+// tuneReport couples the search result with the winner-replay check so
+// the rendering itself certifies the replay contract.
+type tuneReport struct {
+	res           dmx.TuneResult
+	winnerJSON    string
+	replayGoodput float64
+	replayP99     dmx.Duration
+}
+
+func (r tuneReport) Render() string {
+	var b strings.Builder
+	b.WriteString("== tune: placement/fusion autotuner over the serving cost model ==\n")
+	b.WriteString(r.res.String())
+	exact := r.replayGoodput == r.res.Goodput && r.replayP99 == r.res.P99
+	fmt.Fprintf(&b, "replay: goodput %.1f req/s p99 %v (exact match: %v)\n",
+		r.replayGoodput, r.replayP99, exact)
+	b.WriteString("winner spec:\n")
+	b.WriteString(r.winnerJSON)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// runTune executes the autotuner and replays the winner document, so
+// the rendered report carries both the ranking and the proof that the
+// emitted Spec reproduces the tuned numbers.
+func runTune() (renderer, error) {
+	ts := dmx.TuneSpec{
+		Base:       defaultTuneBase(),
+		Placements: []string{"multiaxl", "integrated", "standalone", "pcie", "bump"},
+		MaxRounds:  3,
+	}
+	if tuneSpecPath != "" {
+		doc, err := os.ReadFile(tuneSpecPath)
+		if err != nil {
+			return nil, fmt.Errorf("-spec: %w", err)
+		}
+		base, err := dmx.UnmarshalSpec(doc)
+		if err != nil {
+			return nil, fmt.Errorf("-spec: %w", err)
+		}
+		ts.Base = base
+	}
+	res, err := dmx.Tune(ts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := res.Winner.Simulate()
+	if err != nil {
+		return nil, fmt.Errorf("replaying winner: %w", err)
+	}
+	completed, missed := 0, 0
+	var p99 dmx.Duration
+	for _, a := range rep.PerApp {
+		completed += a.Completed
+		missed += a.Missed
+		if a.P99 > p99 {
+			p99 = a.P99
+		}
+	}
+	var goodput float64
+	if sec := rep.Makespan.Seconds(); sec > 0 {
+		goodput = float64(completed-missed) / sec
+	}
+	doc, err := dmx.MarshalSpec(res.Winner)
+	if err != nil {
+		return nil, err
+	}
+	return tuneReport{res: res, winnerJSON: string(doc), replayGoodput: goodput, replayP99: p99}, nil
+}

@@ -67,6 +67,19 @@
 // fleet without a network latency falls back to sequential execution.
 // The cluster-only flags (-shards, -net-*, -host-admit, -drain) are
 // rejected with -hosts 1 rather than silently ignored.
+//
+// -spec file.json loads a serialized experiment document (dmx.Spec —
+// the format the autotuner emits as TuneResult.Winner) as the base
+// configuration. Every field the document sets becomes the new default;
+// flags given explicitly on the command line still override it:
+//
+//	dmxsim -spec tuned.json              # replay the document as-is
+//	dmxsim -spec tuned.json -requests 64 # same experiment, longer run
+//
+// Unknown fields in the document are rejected, and spec-only fields
+// with no flag equivalent (scale, fuse_hops) apply directly. A document
+// selecting multiple apps is rejected — dmxsim runs one benchmark name
+// or 'all'; replay multi-app specs with dmxbench -exp tune.
 package main
 
 import (
@@ -78,6 +91,7 @@ import (
 	"sort"
 	"strings"
 
+	"dmx"
 	"dmx/internal/cluster"
 	"dmx/internal/dmxsys"
 	"dmx/internal/faults"
@@ -109,6 +123,12 @@ type options struct {
 	trace     bool
 	stats     bool
 	traceOut  string
+
+	// Spec-only knobs: carried from a -spec document, no flag of their
+	// own. scale selects workload geometry ("" = paper); fuse lists the
+	// fused hop pairs.
+	scale string
+	fuse  []dmxsys.FusePair
 
 	// Load-generation mode (empty arrival = classic one-shot run).
 	arrival    string
@@ -172,7 +192,28 @@ func main() {
 	flag.Float64Var(&o.netNIC, "net-nic", 0, "per-host NIC bandwidth in bytes/s per direction (0 = unmodeled)")
 	flag.StringVar(&o.netLat, "net-lat", "", "one-way network propagation latency, e.g. '2us' (empty = none)")
 	flag.IntVar(&o.shards, "shards", 1, "event lanes for conservative-parallel fleet execution (needs -net-lat; output is byte-identical at any value)")
+	specPath := flag.String("spec", "", "load a JSON experiment Spec (dmx.Spec) as the base configuration; explicitly set flags override its fields")
 	flag.Parse()
+
+	if *specPath != "" {
+		doc, err := os.ReadFile(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmxsim: -spec: %v\n", err)
+			os.Exit(1)
+		}
+		s, err := dmx.UnmarshalSpec(doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmxsim: -spec: %v\n", err)
+			os.Exit(1)
+		}
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		o, err = applySpec(s, o, explicit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmxsim: -spec: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	// One buffered writer carries everything — the event trace, the
 	// report, and the energy line — so output order is exactly emission
@@ -186,6 +227,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dmxsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// applySpec merges a Spec document under the parsed flags: every spec
+// field becomes the new base value unless the corresponding flag was
+// given explicitly on the command line (explicit[name]), in which case
+// the flag wins. Zero-valued spec fields leave the flag defaults alone,
+// so a sparse document overrides only what it mentions.
+func applySpec(s dmx.Spec, o options, explicit map[string]bool) (options, error) {
+	if len(s.Apps) > 0 && !explicit["app"] {
+		if len(s.Apps) > 1 {
+			return o, fmt.Errorf("spec selects %d apps; dmxsim runs one benchmark (or 'all') — use dmxbench -exp tune for multi-app specs", len(s.Apps))
+		}
+		o.app = s.Apps[0]
+	}
+	if s.Scale != "" {
+		switch s.Scale {
+		case "paper", "test":
+			o.scale = s.Scale
+		default:
+			return o, fmt.Errorf("spec scale %q (want \"paper\" or \"test\")", s.Scale)
+		}
+	}
+	o.fuse = append([]dmxsys.FusePair(nil), s.FuseHops...)
+	type merge struct {
+		flag  string
+		apply func()
+		skip  bool
+	}
+	for _, m := range []merge{
+		{"apps", func() { o.napps = s.Copies }, s.Copies == 0},
+		{"placement", func() { o.placement = s.Placement }, s.Placement == ""},
+		{"gen", func() { o.gen = s.Gen }, s.Gen == 0},
+		{"lanes", func() { o.lanes = s.Lanes }, s.Lanes == 0},
+		{"discipline", func() { o.discipline = s.Discipline }, s.Discipline == ""},
+		{"batch-window", func() { o.batchWindow = s.BatchWindow }, s.BatchWindow == ""},
+		{"batch-max", func() { o.batchMax = s.BatchMax }, s.BatchMax == 0},
+		{"admit", func() { o.admit = s.Admit }, s.Admit == 0},
+		{"faults", func() { o.faults = s.Faults }, s.Faults == ""},
+		{"fault-seed", func() { o.faultSeed = s.FaultSeed }, s.FaultSeed == 0},
+		{"retry", func() { o.retry = s.Retry }, s.Retry == 0},
+		{"deadline", func() { o.deadline = s.Deadline }, s.Deadline == ""},
+		{"arrival", func() { o.arrival = s.Arrival }, s.Arrival == ""},
+		{"rate", func() { o.rate = s.Rate }, s.Rate == 0},
+		{"requests", func() { o.requests = s.Requests }, s.Requests == 0},
+		{"seed", func() { o.seed = s.Seed }, s.Seed == 0},
+		{"slo", func() { o.slo = s.SLO }, s.SLO == ""},
+		{"hosts", func() { o.hosts = s.Hosts }, s.Hosts == 0},
+		{"router", func() { o.router = s.Router }, s.Router == ""},
+		{"host-admit", func() { o.hostAdmit = s.HostAdmit }, s.HostAdmit == 0},
+		{"net-core", func() { o.netCore = s.NetCore }, s.NetCore == 0},
+		{"net-nic", func() { o.netNIC = s.NetNIC }, s.NetNIC == 0},
+		{"net-lat", func() { o.netLat = s.NetLat }, s.NetLat == ""},
+		{"shards", func() { o.shards = s.Shards }, s.Shards == 0},
+	} {
+		if m.skip || explicit[m.flag] {
+			continue
+		}
+		m.apply()
+	}
+	return o, nil
 }
 
 func run(o options, out io.Writer) error {
@@ -227,6 +328,9 @@ func run(o options, out io.Writer) error {
 	}
 	cfg.BatchMax = o.batchMax
 	cfg.AdmitLimit = o.admit
+	if len(o.fuse) > 0 {
+		cfg.FuseHops = append([]dmxsys.FusePair(nil), o.fuse...)
+	}
 	if o.trace {
 		cfg.Trace = func(at sim.Time, app, event string) {
 			fmt.Fprintf(out, "  [%12v] %-24s %s\n", at, app, event)
@@ -236,7 +340,11 @@ func run(o options, out io.Writer) error {
 		cfg.Obs = obs.New()
 	}
 
-	benches, err := selectBenchmarks(o.app)
+	scale := workload.PaperScale
+	if o.scale == "test" {
+		scale = workload.TestScale
+	}
+	benches, err := selectBenchmarks(o.app, scale)
 	if err != nil {
 		return err
 	}
@@ -500,25 +608,25 @@ func writeTraceFile(o options, cfg dmxsys.Config, out io.Writer) error {
 	return nil
 }
 
-func selectBenchmarks(name string) ([]*workload.Benchmark, error) {
+func selectBenchmarks(name string, sc workload.Scale) ([]*workload.Benchmark, error) {
 	if name == "all" {
-		return workload.Suite(workload.PaperScale)
+		return workload.Suite(sc)
 	}
 	if name == "pir-ner" {
-		b, err := workload.PIRWithNER(workload.PaperScale)
+		b, err := workload.PIRWithNER(sc)
 		if err != nil {
 			return nil, err
 		}
 		return []*workload.Benchmark{b}, nil
 	}
 	if name == "genai-rag" {
-		b, err := workload.GenAIRAG(workload.PaperScale)
+		b, err := workload.GenAIRAG(sc)
 		if err != nil {
 			return nil, err
 		}
 		return []*workload.Benchmark{b}, nil
 	}
-	suite, err := workload.Suite(workload.PaperScale)
+	suite, err := workload.Suite(sc)
 	if err != nil {
 		return nil, err
 	}

@@ -89,6 +89,29 @@ func (p *Plan) appCapacity(i int, pa *planApp) Capacity {
 		if cfg.Placement.UsesDRX() {
 			hop = p.drxTimes[h.Kernel.Signature()]
 		}
+		if pa.fusion != nil {
+			// Fusion changes what the DRX unit is charged: the leader hop
+			// occupies it for the whole fused program plus the residency
+			// gap while the intermediate stage runs (the unit is held, not
+			// free), and the follower hop charges nothing. The gap here is
+			// an uncontended estimate — transfer legs at line rate plus the
+			// intermediate accelerator's service — so fused capacity is a
+			// seeding bound, not the exact measured-occupancy identity the
+			// unfused placements keep.
+			switch pa.fusion[k].role {
+			case fuseLeader:
+				next := pipe.Stages[k+1]
+				bw := upBW
+				if cfg.Placement != Integrated {
+					bw = accelBW
+				}
+				gap := DMASetupLatency + sim.BytesAt(h.OutBytes, bw) +
+					next.Accel.Latency(next.InBytes) + sim.BytesAt(pipe.Hops[k+1].InBytes, bw)
+				hop = pa.fusion[k].part + gap + pa.fusion[k+1].part
+			case fuseFollower:
+				hop = 0
+			}
+		}
 		switch cfg.Placement {
 		case MultiAxl:
 			devToRoot(dev(k), h.InBytes)

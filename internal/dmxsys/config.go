@@ -212,6 +212,28 @@ type Config struct {
 	// immediately instead of deepening the backlog, and counts in
 	// LoadReport as Rejected. Zero disables admission control.
 	AdmitLimit int
+	// FuseHops selects adjacent DRX hop pairs to fuse: for each entry,
+	// hop Hop and hop Hop+1 of app App's pipeline compile into one DRX
+	// program that pays one driver/launch round trip. The fused program
+	// runs its first half at the leading hop, stays resident on the DRX
+	// unit while the intermediate accelerator stage executes, and resumes
+	// its second half when the trailing hop arrives — so the trailing hop
+	// skips driver and DMA-descriptor setup entirely, at the cost of the
+	// unit being held (unavailable to other work) across the gap. Legal
+	// only under placements where adjacent hops share one DRX unit
+	// (Integrated, Standalone, PCIe-Integrated) and only when the two
+	// kernels chain (restructure.Fuse accepts them). Mutually exclusive
+	// with BatchWindow: batches re-plan hop payloads per batch, which a
+	// resident half-executed program cannot express. Empty preserves the
+	// unfused flow bit-for-bit.
+	FuseHops []FusePair
+}
+
+// FusePair names one fused hop pair: hops Hop and Hop+1 of the pipeline
+// at index App fuse into a single DRX program.
+type FusePair struct {
+	App int `json:"app"`
+	Hop int `json:"hop"`
 }
 
 // DefaultConfig mirrors the paper's testbed: PCIe Gen3, x16 device
@@ -274,6 +296,29 @@ func (c Config) Validate() error {
 	}
 	if c.AdmitLimit < 0 {
 		return fmt.Errorf("dmxsys: negative admission limit %d", c.AdmitLimit)
+	}
+	if len(c.FuseHops) > 0 {
+		if c.BatchWindow > 0 {
+			return fmt.Errorf("dmxsys: hop fusion and batching are mutually exclusive")
+		}
+		switch c.Placement {
+		case Integrated, Standalone, PCIeIntegrated:
+		default:
+			return fmt.Errorf("dmxsys: hop fusion needs a shared DRX unit (placement %v has none)", c.Placement)
+		}
+		seen := make(map[FusePair]bool, len(c.FuseHops))
+		for _, fp := range c.FuseHops {
+			if fp.App < 0 || fp.Hop < 0 {
+				return fmt.Errorf("dmxsys: negative fuse pair app=%d hop=%d", fp.App, fp.Hop)
+			}
+			if seen[fp] {
+				return fmt.Errorf("dmxsys: duplicate fuse pair app=%d hop=%d", fp.App, fp.Hop)
+			}
+			seen[fp] = true
+			if seen[FusePair{App: fp.App, Hop: fp.Hop - 1}] || seen[FusePair{App: fp.App, Hop: fp.Hop + 1}] {
+				return fmt.Errorf("dmxsys: overlapping fuse pairs at app=%d hop=%d", fp.App, fp.Hop)
+			}
+		}
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err

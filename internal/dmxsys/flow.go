@@ -113,6 +113,12 @@ type request struct {
 	watchdog sim.EventRef
 	wdArmed  bool
 
+	// hold is the DRX slot a fused leader hop retained (nil otherwise);
+	// holdAt is the instant the hold was delivered. The follower hop
+	// resumes the resident program on it, or degradation releases it.
+	hold   *sim.Hold
+	holdAt sim.Time
+
 	// done retires the request (nil once failed or retired).
 	done func(*request)
 }
@@ -183,6 +189,17 @@ func (r *request) releaseQueues() {
 	}
 }
 
+// releaseHold returns a fused leader's retained DRX slot (no-op when
+// none is held). Every path that diverts a request off the fused flow —
+// abandon, degradation — must call it, or the held slot would starve
+// every other request of the unit.
+func (r *request) releaseHold() {
+	if r.hold != nil {
+		r.hold.Release()
+		r.hold = nil
+	}
+}
+
 // abandon retires the request unfinished after its retry budget is
 // exhausted. It still retires through done so the drive loop's
 // outstanding count drains and the run completes.
@@ -190,6 +207,7 @@ func (r *request) abandon() {
 	r.disarm()
 	r.epoch++ // drop any completion still in flight
 	r.releaseQueues()
+	r.releaseHold()
 	r.outcome = traffic.OutcomeAbandoned
 	r.s.obsInstant(r.a, obs.TypeAbandon, 0, r.track, "", "", 0)
 	r.finish()
@@ -527,6 +545,18 @@ func (r *request) cpuRestructured() {
 	r.stepCPUKernel()
 }
 
+// hopEntryDelay is the driver cost to enter hop k: a full driver
+// round-trip plus DMA-descriptor programming normally, zero when the
+// fused program from the previous hop still holds the DRX unit — the
+// resident program chained the follower's descriptors when it loaded, so
+// no interrupt is taken and no descriptor is programmed.
+func (r *request) hopEntryDelay() sim.Duration {
+	if r.hold != nil {
+		return 0
+	}
+	return r.s.driverDelay() + DMASetupLatency
+}
+
 // stepHop executes the data motion between stage k and k+1 under the
 // system's placement.
 func (r *request) stepHop() {
@@ -550,7 +580,7 @@ func (r *request) hopHostIn() {
 	h := a.pipe.Hops[k]
 	from := a.accelDev[k]
 	s.occupyPath(a, from, pcie.Root, h.InBytes)
-	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+	s.Eng.Schedule(r.hopEntryDelay(), func() {
 		s.obsInstant(a, obs.TypeHostDMA, 0, from, pcie.Root, "", h.InBytes)
 		r.legBegin = s.Eng.Now()
 		r.transfer(from, pcie.Root, h.InBytes, r.hopHostArrived)
@@ -595,7 +625,7 @@ func (r *request) hopCardIn() {
 	h := a.pipe.Hops[k]
 	from := a.accelDev[k]
 	s.occupyPath(a, from, a.sdrxDev, h.InBytes)
-	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+	s.Eng.Schedule(r.hopEntryDelay(), func() {
 		s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, a.sdrxDev, "", h.InBytes)
 		r.legBegin = s.Eng.Now()
 		r.transfer(from, a.sdrxDev, h.InBytes, r.hopCardArrived)
@@ -642,7 +672,7 @@ func (r *request) hopSwitchIn() {
 	if l, err := s.Fabric.UpLink(from); err == nil {
 		a.occupy(l.Name, sim.BytesAt(h.InBytes, l.Bandwidth))
 	}
-	s.Eng.Schedule(s.driverDelay()+DMASetupLatency, func() {
+	s.Eng.Schedule(r.hopEntryDelay(), func() {
 		s.obsInstant(a, obs.TypeP2PDMA, obs.StepRXDMA, from, drxTrack, "", h.InBytes)
 		r.legBegin = s.Eng.Now()
 		arrived := r.guard(r.hopSwitchArrived)
@@ -809,6 +839,19 @@ func (r *request) restructureAttempt(done func()) {
 	}
 	s.obsInstant(a, obs.TypeRestructure, obs.StepRestructure,
 		unit, "", kern.Name, a.pipe.Hops[k].InBytes)
+	switch f := a.fusionAt(k); f.role {
+	case fuseLeader:
+		r.fusedLeader(f, done)
+		return
+	case fuseFollower:
+		if r.hold != nil {
+			r.fusedResume(f, done)
+			return
+		}
+		// No resident program (the leader degraded, or a transient retry
+		// released the hold): fall through to the standalone submit of
+		// this hop's unfused kernel.
+	}
 	d, err := s.drxServiceTime(kern)
 	if err != nil {
 		// Cache warmed in New; reachable only on a mutated config.
@@ -820,6 +863,62 @@ func (r *request) restructureAttempt(done func()) {
 	a.drxServer[k].SubmitKeyed(a.id, r.hopKey(), d, r.guard(func() {
 		r.disarm()
 		if s.hazardous && s.inj.TransientFault(unit) {
+			r.retryRestructure(done)
+			return
+		}
+		done()
+	}))
+}
+
+// fusedLeader submits the fused program's first segment and retains the
+// DRX slot when it completes: the merged program stays loaded (resident
+// context) while the intermediate accelerator stage runs, and the
+// follower hop resumes its second segment without re-arbitrating.
+func (r *request) fusedLeader(f hopFusion, done func()) {
+	s, a, k := r.s, r.a, r.k
+	unit := a.drxServer[k].Name()
+	a.occupyServer(a.drxServer[k], f.part)
+	r.arm(unit, r.degradeHop)
+	// The hold callback bypasses guard: a guarded drop (watchdog fired,
+	// request retired) would leak the retained slot and wedge the unit,
+	// so staleness must release it explicitly.
+	e := r.epoch
+	a.drxServer[k].SubmitKeyedHold(a.id, r.hopKey(), f.part, func(h *sim.Hold) {
+		if r.done == nil || r.epoch != e {
+			h.Release()
+			return
+		}
+		r.disarm()
+		if s.hazardous && s.inj.TransientFault(unit) {
+			// The fused program faulted in its first half: drop residency
+			// and rejoin the standard transient-retry path (the retry
+			// reloads and resubmits the program as a leader again).
+			h.Release()
+			r.retryRestructure(done)
+			return
+		}
+		r.hold = h
+		r.holdAt = s.Eng.Now()
+		done()
+	})
+}
+
+// fusedResume runs the fused program's second segment on the slot the
+// leader hop retained. The unit was held (occupied but idle) across the
+// gap; the request charges that residency plus the segment, which is
+// exactly what the station's slot could not serve others for.
+func (r *request) fusedResume(f hopFusion, done func()) {
+	s, a, k := r.s, r.a, r.k
+	unit := a.drxServer[k].Name()
+	hold := r.hold
+	r.hold = nil
+	a.occupyServer(a.drxServer[k], s.Eng.Now().Sub(r.holdAt)+f.part)
+	r.arm(unit, r.degradeHop)
+	hold.Resume(f.part, r.guard(func() {
+		r.disarm()
+		if s.hazardous && s.inj.TransientFault(unit) {
+			// The resident context is spent; the retry resubmits this
+			// hop's unfused kernel standalone.
 			r.retryRestructure(done)
 			return
 		}
@@ -875,6 +974,7 @@ func (r *request) degradeHop() {
 		r.outcome = traffic.OutcomeDegraded
 	}
 	r.releaseQueues()
+	r.releaseHold()
 	s.obsInstant(a, obs.TypeDegrade, 0, r.track, "", a.drxServer[k].Name(), h.InBytes)
 	// Time burned on the failed DRX attempts counts as restructuring.
 	r.lap(phaseRestructure)

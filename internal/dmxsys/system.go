@@ -138,6 +138,11 @@ type appInstance struct {
 	remAtKernel []sim.Duration
 	remAtHop    []sim.Duration
 
+	// fusion[k] is hop k's role in a fused pair (nil when Config.FuseHops
+	// is empty — the unfused flow, bit-for-bit). Plan state, shared
+	// read-only across replicas.
+	fusion []hopFusion
+
 	// occ accumulates, per shared resource (server, link, or host
 	// channel), the exclusive occupancy the app's requests charged it.
 	// Divided by the request count it is the per-request occupancy whose
@@ -230,8 +235,39 @@ type planApp struct {
 	remAtKernel []sim.Duration
 	remAtHop    []sim.Duration
 	maxBatch    int
+	fusion      []hopFusion
 
 	cap Capacity
+}
+
+// fuseRole tags a hop's part in a fused pair.
+type fuseRole uint8
+
+const (
+	fuseNone fuseRole = iota
+	// fuseLeader runs the fused program's first segment, then holds the
+	// DRX unit (resident context) until its follower resumes.
+	fuseLeader
+	// fuseFollower resumes the fused program's second segment on the
+	// held unit, skipping driver and DMA-descriptor setup.
+	fuseFollower
+)
+
+// hopFusion is one hop's role and service segment under fusion. The
+// fused program's total service splits across the pair proportionally to
+// the two unfused times, so each hop's segment reflects its share of the
+// merged program's work.
+type hopFusion struct {
+	role fuseRole
+	part sim.Duration
+}
+
+// fusionAt reports hop k's fusion role (fuseNone when fusion is off).
+func (a *appInstance) fusionAt(k int) hopFusion {
+	if a.fusion == nil {
+		return hopFusion{}
+	}
+	return a.fusion[k]
 }
 
 // Config returns the plan's configuration.
@@ -254,6 +290,11 @@ func NewPlan(cfg Config, pipelines []*Pipeline) (*Plan, error) {
 		return nil, fmt.Errorf("dmxsys: no pipelines")
 	}
 	p := &Plan{cfg: cfg, pipes: pipelines, drxTimes: make(map[string]sim.Duration)}
+	for _, fp := range cfg.FuseHops {
+		if fp.App >= len(pipelines) {
+			return nil, fmt.Errorf("dmxsys: fuse pair app=%d hop=%d: only %d pipelines", fp.App, fp.Hop, len(pipelines))
+		}
+	}
 	if cfg.Placement == Integrated {
 		p.nDRX = 1
 	}
@@ -330,6 +371,39 @@ func NewPlan(cfg Config, pipelines []*Pipeline) (*Plan, error) {
 			}
 		}
 
+		// Resolve this app's fused pairs: compile the merged program, time
+		// it, and split its service across the pair proportionally to the
+		// unfused times. Must precede the SRS tables and the capacity
+		// bound, which both consume the split.
+		for _, fp := range cfg.FuseHops {
+			if fp.App != i {
+				continue
+			}
+			if fp.Hop+1 >= len(pipe.Hops) {
+				return nil, fmt.Errorf("dmxsys: fuse pair app=%d hop=%d: %s has %d hops (need an adjacent pair)",
+					fp.App, fp.Hop, pipe.Name, len(pipe.Hops))
+			}
+			k1, k2 := pipe.Hops[fp.Hop].Kernel, pipe.Hops[fp.Hop+1].Kernel
+			fused, err := drxc.FusedKernel(k1, k2)
+			if err != nil {
+				return nil, fmt.Errorf("dmxsys: fuse pair app=%d hop=%d: %w", fp.App, fp.Hop, err)
+			}
+			ft, err := p.drxTime(fused)
+			if err != nil {
+				return nil, fmt.Errorf("dmxsys: fuse pair app=%d hop=%d: %w", fp.App, fp.Hop, err)
+			}
+			if pa.fusion == nil {
+				pa.fusion = make([]hopFusion, len(pipe.Hops))
+			}
+			t1, t2 := p.drxTimes[k1.Signature()], p.drxTimes[k2.Signature()]
+			part1 := ft / 2
+			if t1+t2 > 0 {
+				part1 = sim.Duration(float64(ft) * float64(t1) / float64(t1+t2))
+			}
+			pa.fusion[fp.Hop] = hopFusion{role: fuseLeader, part: part1}
+			pa.fusion[fp.Hop+1] = hopFusion{role: fuseFollower, part: ft - part1}
+		}
+
 		// Remaining-service tables (the SchedSRS keys): walk the pipeline
 		// backwards accumulating each station's precomputed service
 		// demand. MultiAxl hops restructure on the uncontended CPU
@@ -344,6 +418,11 @@ func NewPlan(cfg Config, pipelines []*Pipeline) (*Plan, error) {
 					hop := sim.Duration(0)
 					if cfg.Placement.UsesDRX() {
 						hop = p.drxTimes[pipe.Hops[k].Kernel.Signature()]
+						if pa.fusion != nil && pa.fusion[k].role != fuseNone {
+							// A fused hop's station demand is its segment of
+							// the merged program.
+							hop = pa.fusion[k].part
+						}
 					}
 					pa.remAtHop[k] = hop + pa.remAtKernel[k+1]
 					pa.remAtKernel[k] = svc + pa.remAtHop[k]
@@ -539,11 +618,12 @@ func (p *Plan) Instantiate(eng *sim.Engine, opts HostOpts) (*System, error) {
 			}
 		}
 
-		// The scheduling tables and batch ceiling are plan state: shared
-		// read-only across replicas.
+		// The scheduling tables, batch ceiling, and fusion table are plan
+		// state: shared read-only across replicas.
 		a.remAtKernel = pa.remAtKernel
 		a.remAtHop = pa.remAtHop
 		a.maxBatch = pa.maxBatch
+		a.fusion = pa.fusion
 
 		// Preallocated window-expiry closure: arming the batch window in
 		// steady state reuses it instead of allocating per window.
@@ -603,6 +683,71 @@ func (p *Plan) drxTime(k *restructure.Kernel) (sim.Duration, error) {
 		return 0, err
 	}
 	p.drxTimes[k.Signature()] = d
+	drxTimeCache.Store(key, d)
+	return d, nil
+}
+
+// FusionCandidate is one legal adjacent-hop fusion under the plan's
+// placement, with the analytic DRX service times a search seeds from:
+// fusing trades (Unfused − Fused) of execution plus one saved driver
+// round trip against holding the unit across the intermediate stage.
+type FusionCandidate struct {
+	App, Hop int
+	// Unfused is the pair's summed standalone DRX service.
+	Unfused sim.Duration
+	// Fused is the merged program's single DRX service.
+	Fused sim.Duration
+}
+
+// FusionCandidates enumerates every adjacent hop pair that could legally
+// fuse under the plan's placement: the placement shares one DRX unit
+// across adjacent hops, the two kernels chain (restructure.Fuse accepts
+// them), and the merged program compiles. Illegal or infusible pairs are
+// silently skipped — the enumeration answers "what could a search try",
+// not "what did the user ask for" (NewPlan errors on explicit FuseHops
+// that do not apply). Safe after NewPlan: timings resolve through the
+// process-wide cache, never by mutating shared plan state.
+func (p *Plan) FusionCandidates() []FusionCandidate {
+	switch p.cfg.Placement {
+	case Integrated, Standalone, PCIeIntegrated:
+	default:
+		return nil
+	}
+	var out []FusionCandidate
+	for i, pipe := range p.pipes {
+		for k := 0; k+1 < len(pipe.Hops); k++ {
+			k1, k2 := pipe.Hops[k].Kernel, pipe.Hops[k+1].Kernel
+			fused, err := drxc.FusedKernel(k1, k2)
+			if err != nil {
+				continue
+			}
+			ft, err := drxTimeShared(p.cfg.DRX, fused)
+			if err != nil {
+				continue
+			}
+			out = append(out, FusionCandidate{
+				App:     i,
+				Hop:     k,
+				Unfused: p.drxTimes[k1.Signature()] + p.drxTimes[k2.Signature()],
+				Fused:   ft,
+			})
+		}
+	}
+	return out
+}
+
+// drxTimeShared resolves a kernel's DRX duration through the
+// process-wide cache only, never touching plan-local state — the
+// post-NewPlan-safe path (plan maps are shared read-only by replicas).
+func drxTimeShared(dcfg drx.Config, k *restructure.Kernel) (sim.Duration, error) {
+	key := drxTimeKey{sig: k.Signature(), cfg: dcfg}
+	if d, ok := drxTimeCache.Load(key); ok {
+		return d.(sim.Duration), nil
+	}
+	d, err := drxTimeFor(dcfg, k)
+	if err != nil {
+		return 0, err
+	}
 	drxTimeCache.Store(key, d)
 	return d, nil
 }

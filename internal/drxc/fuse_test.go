@@ -1,0 +1,65 @@
+package drxc
+
+import (
+	"testing"
+
+	"dmx/internal/drx"
+	"dmx/internal/restructure"
+)
+
+func TestFusedKernelCanonical(t *testing.T) {
+	// Separately constructed but structurally identical pairs must yield
+	// the same *Kernel, so every plan shares one fingerprint memo and one
+	// compile-cache entry.
+	f1, err := FusedKernel(restructure.RecordFrame(8, 16), restructure.NERPrep(8, 16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := FusedKernel(restructure.RecordFrame(8, 16), restructure.NERPrep(8, 16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Fatal("FusedKernel returned distinct kernels for an identical pair")
+	}
+}
+
+func TestCompileFusedSharesCache(t *testing.T) {
+	cfg := drx.DefaultConfig()
+	c1, err := CompileFused(restructure.RecordFrame(4, 8), restructure.NERPrep(4, 8, 16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CompileFused(restructure.RecordFrame(4, 8), restructure.NERPrep(4, 8, 16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("repeat CompileFused of an identical pair returned a distinct compilation")
+	}
+}
+
+func TestCompileFusedPaperScale(t *testing.T) {
+	// The stock fusible pair at the paper's 10 MB PIR batch geometry
+	// (pir-ner's two hops) must actually compile — the tuner's fusion
+	// axis depends on it.
+	if testing.Short() {
+		t.Skip("paper-scale compile")
+	}
+	_, err := CompileFused(
+		restructure.RecordFrame(40960, 256),
+		restructure.NERPrep(40960, 256, 128),
+		drx.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileFusedRejectsInfusible(t *testing.T) {
+	// Mismatched geometry between the chained params must surface as an
+	// error, not a cache entry.
+	if _, err := CompileFused(restructure.RecordFrame(4, 8), restructure.NERPrep(4, 16, 16),
+		drx.DefaultConfig()); err == nil {
+		t.Fatal("infusible pair compiled")
+	}
+}

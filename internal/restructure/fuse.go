@@ -1,0 +1,58 @@
+package restructure
+
+import "fmt"
+
+// Fuse merges two restructuring kernels into a single program that runs
+// k1's stages followed by k2's. The fused kernel models DRX hop fusion:
+// two adjacent restructuring hops compiled and dispatched as one DRX
+// program, paying one driver/launch round-trip instead of two.
+//
+// Parameter tables merge by name. A k2 parameter whose name collides
+// with a k1 parameter must agree exactly in dtype and shape, and the
+// collision is only legal when k2 reads the tensor k1 produced (or both
+// sides consume the same input):
+//
+//   - k2 In vs k1 Out/Temp: the chained intermediate. k1's stages write
+//     it, k2's stages read it; the fused program keeps k1's declaration
+//     (the tensor never leaves the DRX unit).
+//   - k2 In vs k1 In: both programs consume the same upstream tensor;
+//     share one declaration.
+//   - k2 Out/Temp colliding with anything of k1's: an error — the fused
+//     program would overwrite state the first half still owns.
+//
+// The caller is responsible for hop-level legality (shared DRX unit,
+// adjacency); Fuse only checks program-level structure and validates the
+// merged kernel.
+func Fuse(k1, k2 *Kernel) (*Kernel, error) {
+	if k1 == nil || k2 == nil {
+		return nil, fmt.Errorf("restructure: fuse: nil kernel")
+	}
+	f := &Kernel{Name: k1.Name + "+" + k2.Name}
+	f.Params = append(f.Params, k1.Params...)
+	for i := range k2.Params {
+		p := k2.Params[i]
+		prev, ok := f.Param(p.Name)
+		if !ok {
+			f.Params = append(f.Params, p)
+			continue
+		}
+		if p.Dir != In {
+			return nil, fmt.Errorf("restructure: fuse %s: %s parameter %q of %s collides with a parameter of %s",
+				f.Name, p.Dir, p.Name, k2.Name, k1.Name)
+		}
+		if prev.DType != p.DType || !shapeEq(prev.Shape, p.Shape) {
+			return nil, fmt.Errorf("restructure: fuse %s: parameter %q geometry mismatch: %v%v vs %v%v",
+				f.Name, p.Name, prev.DType, prev.Shape, p.DType, p.Shape)
+		}
+		// Chained intermediate (k1 Out/Temp read by k2) or shared input:
+		// keep k1's declaration. An Out written by the first half and
+		// read by the second is exactly the fused dataflow; Validate
+		// accepts the read because the write precedes it.
+	}
+	f.Stages = append(f.Stages, k1.Stages...)
+	f.Stages = append(f.Stages, k2.Stages...)
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("restructure: fuse %s: %w", f.Name, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,106 @@
+package restructure
+
+import (
+	"strings"
+	"testing"
+
+	"dmx/internal/tensor"
+)
+
+// The canonical fusible pair: RecordFrame's Out "records" is NERPrep's
+// In "records" with identical geometry — the chained intermediate stays
+// resident on the DRX unit.
+func TestFuseChainedIntermediate(t *testing.T) {
+	nrec, reclen, seqlen := 8, 16, 32
+	k1 := RecordFrame(nrec, reclen)
+	k2 := NERPrep(nrec, reclen, seqlen)
+	f, err := Fuse(k1, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "record-frame+ner-prep" {
+		t.Errorf("fused name %q", f.Name)
+	}
+	// "records" keeps k1's Out declaration; it appears exactly once.
+	var n int
+	for i := range f.Params {
+		if f.Params[i].Name == "records" {
+			n++
+			if f.Params[i].Dir != Out {
+				t.Errorf("records dir = %v, want out", f.Params[i].Dir)
+			}
+		}
+	}
+	if n != 1 {
+		t.Errorf("records declared %d times, want 1", n)
+	}
+	if got := len(f.Stages); got != len(k1.Stages)+len(k2.Stages) {
+		t.Errorf("fused stage count %d", got)
+	}
+	// Only "plain" remains an input: the intermediate never leaves the unit.
+	ins := f.Inputs()
+	if len(ins) != 1 || ins[0].Name != "plain" {
+		t.Fatalf("fused inputs %v", ins)
+	}
+
+	// Functional ground truth: fused == k1 then k2.
+	plain := tensor.New(tensor.Uint8, nrec*reclen)
+	for i := 0; i < nrec*reclen; i++ {
+		plain.Set(float64(i%251), i)
+	}
+	mid, err := Run(k1, map[string]*tensor.Tensor{"plain": plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(k2, map[string]*tensor.Tensor{"records": mid["records"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(f, map[string]*tensor.Tensor{"plain": plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, wantTok := got["tokens"], want["tokens"]
+	if tok == nil {
+		t.Fatal("fused kernel lost the downstream output")
+	}
+	for i := 0; i < tok.Dim(0); i++ {
+		for j := 0; j < tok.Dim(1); j++ {
+			if tok.At(i, j) != wantTok.At(i, j) {
+				t.Fatalf("tokens[%d,%d] = %v, want %v", i, j, tok.At(i, j), wantTok.At(i, j))
+			}
+		}
+	}
+}
+
+func TestFuseRejectsIllegalCollisions(t *testing.T) {
+	nrec, reclen := 8, 16
+	base := RecordFrame(nrec, reclen)
+
+	// Geometry mismatch on the shared name.
+	if _, err := Fuse(base, NERPrep(nrec, reclen*2, 32)); err == nil ||
+		!strings.Contains(err.Error(), "geometry mismatch") {
+		t.Errorf("geometry mismatch not rejected: %v", err)
+	}
+
+	// A second kernel that *writes* a name the first half owns.
+	clobber := &Kernel{
+		Name: "clobber",
+		Params: []Param{
+			{Name: "x", DType: tensor.Uint8, Shape: []int{nrec, reclen}, Dir: In},
+			{Name: "records", DType: tensor.Uint8, Shape: []int{nrec, reclen}, Dir: Out},
+		},
+		Stages: []Stage{&ReshapeStage{Out: "records", In: "x"}},
+	}
+	if err := clobber.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fuse(base, clobber); err == nil ||
+		!strings.Contains(err.Error(), "collides") {
+		t.Errorf("output collision not rejected: %v", err)
+	}
+
+	if _, err := Fuse(nil, base); err == nil {
+		t.Error("nil kernel not rejected")
+	}
+}

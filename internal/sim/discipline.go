@@ -24,6 +24,7 @@ type Job struct {
 	// Service is the job's precomputed service time.
 	Service  Duration
 	done     func()
+	holdDone func(*Hold) // non-nil for SubmitKeyedHold jobs: slot stays occupied
 	enqueued Time
 	seq      uint64
 }

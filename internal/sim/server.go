@@ -130,6 +130,78 @@ func (s *Server) SubmitKeyed(class int, key int64, service Duration, done func()
 	s.sampleQueue()
 }
 
+// SubmitKeyedHold enqueues a job like SubmitKeyed, but when the job
+// completes its slot is NOT freed: done receives a Hold representing the
+// still-occupied slot, and the caller decides when the slot's tenancy
+// ends — either Resume (a follow-on service segment on the same slot,
+// skipping the queue) or Release. This models a resident context: a
+// fused DRX program that runs its first half, stays loaded while the
+// intermediate result is consumed elsewhere, and finishes its second
+// half without re-arbitrating for the unit. The gap between the two
+// segments occupies the slot but accrues no BusyTime (the unit is
+// resident, not executing).
+func (s *Server) SubmitKeyedHold(class int, key int64, service Duration, done func(*Hold)) {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: negative service time %v", service))
+	}
+	j := Job{Class: class, Key: key, Service: service, holdDone: done, enqueued: s.eng.Now(), seq: s.seq}
+	s.seq++
+	if s.busy < s.slots {
+		s.start(j)
+		return
+	}
+	s.disc.Push(j)
+	if n := s.disc.Len(); n > s.MaxQueue {
+		s.MaxQueue = n
+	}
+	s.sampleQueue()
+}
+
+// Hold is a service slot retained past job completion by
+// SubmitKeyedHold. Exactly one of Resume or Release must eventually be
+// called, or the slot leaks (and a single-slot server deadlocks).
+type Hold struct {
+	s    *Server
+	slot int
+	live bool
+}
+
+// Resume schedules a follow-on service segment on the held slot,
+// bypassing the queue (the slot never became free). The segment
+// completes like any job: it accrues BusyTime, emits a service span, and
+// then frees the slot normally. A Hold can be resumed once.
+func (h *Hold) Resume(service Duration, done func()) {
+	if !h.live {
+		panic("sim: Resume on a spent hold")
+	}
+	if service < 0 {
+		panic(fmt.Sprintf("sim: negative service time %v", service))
+	}
+	h.live = false
+	s := h.s
+	j := Job{Service: service, done: done, enqueued: s.eng.Now(), seq: s.seq}
+	s.seq++
+	s.job[h.slot] = j
+	s.begin[h.slot] = s.eng.Now()
+	s.eng.Schedule(service, s.fire[h.slot])
+}
+
+// Release frees the held slot without further service, pulling the next
+// queued job into service as a normal completion would.
+func (h *Hold) Release() {
+	if !h.live {
+		panic("sim: Release on a spent hold")
+	}
+	h.live = false
+	s := h.s
+	s.busy--
+	s.free = append(s.free, h.slot)
+	if next, ok := s.disc.Pop(); ok {
+		s.sampleQueue()
+		s.start(next)
+	}
+}
+
 // SubmitBatch enqueues one job per callback in dones, all under one
 // tenant class with one service time: the completion-storm shape a
 // batched admission produces (a coalesced request batch dispatched to a
@@ -195,14 +267,20 @@ func (s *Server) start(j Job) {
 func (s *Server) complete(slot int) {
 	j := s.job[slot]
 	s.job[slot] = Job{} // release the done closure
-	s.busy--
 	s.Jobs++
 	s.BusyTime += j.Service
-	s.free = append(s.free, slot)
 	// Occupancy span: one job in service on this slot's track.
 	// The nil-recorder path is a single branch (no allocation).
 	s.eng.Obs.Span(obs.Time(s.begin[slot]), obs.Duration(j.Service),
 		obs.TypeService, obs.PhaseNone, 0, s.tracks[slot], "", s.name, 0)
+	if j.holdDone != nil {
+		// The job asked to retain its slot: hand the caller the tenancy
+		// instead of freeing it. No queue pop — the slot is still busy.
+		j.holdDone(&Hold{s: s, slot: slot, live: true})
+		return
+	}
+	s.busy--
+	s.free = append(s.free, slot)
 	// Release the slot before the callback so that work triggered by
 	// the completion can enter service at the same instant.
 	if next, ok := s.disc.Pop(); ok {

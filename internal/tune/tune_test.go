@@ -1,0 +1,174 @@
+package tune
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmx/internal/cluster"
+	"dmx/internal/dmxsys"
+	"dmx/internal/sim"
+	"dmx/internal/sweep"
+	"dmx/internal/traffic"
+	"dmx/internal/workload"
+)
+
+func TestAxesKeyCanonicalizesFuse(t *testing.T) {
+	a := Axes{Fuse: []dmxsys.FusePair{{App: 1, Hop: 2}, {App: 0, Hop: 0}}}
+	b := Axes{Fuse: []dmxsys.FusePair{{App: 0, Hop: 0}, {App: 1, Hop: 2}}}
+	if a.Key() != b.Key() {
+		t.Errorf("permuted fusion sets got distinct keys:\n%s\n%s", a.Key(), b.Key())
+	}
+	if a.Key() == (Axes{}).Key() {
+		t.Error("fused and unfused axes share a key")
+	}
+}
+
+func TestNeighborsRepairConflicts(t *testing.T) {
+	fusible := map[dmxsys.Placement][]dmxsys.FusePair{
+		dmxsys.Integrated: {{App: 0, Hop: 0}},
+	}
+	cur := Axes{Placement: dmxsys.Integrated, Fuse: []dmxsys.FusePair{{App: 0, Hop: 0}}}
+	for _, n := range neighbors(cur, allPlacements, fusible) {
+		if n.BatchWindow > 0 && len(n.Fuse) > 0 {
+			t.Errorf("neighbor %s mixes batching and fusion", n.Key())
+		}
+		if !fusionLegal(n.Placement) && len(n.Fuse) > 0 {
+			t.Errorf("neighbor %s fuses on a placement without a shared DRX", n.Key())
+		}
+		if n.BatchWindow == 0 && n.BatchMax != 0 {
+			t.Errorf("neighbor %s caps a closed window", n.Key())
+		}
+	}
+	// The fusion toggle must generate the unfused twin.
+	found := false
+	for _, n := range neighbors(cur, allPlacements, fusible) {
+		if n.Placement == dmxsys.Integrated && len(n.Fuse) == 0 && n.BatchWindow == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no neighbor unfuses the current fusion pair")
+	}
+}
+
+func TestNeighborsDeterministic(t *testing.T) {
+	fusible := map[dmxsys.Placement][]dmxsys.FusePair{dmxsys.Standalone: {{App: 0, Hop: 1}}}
+	cur := Axes{Placement: dmxsys.Standalone, BatchWindow: 100 * sim.Microsecond, BatchMax: 4}
+	a, b := neighbors(cur, allPlacements, fusible), neighbors(cur, allPlacements, fusible)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("neighbor generation is not deterministic")
+	}
+}
+
+func TestRankOrdersFeasibleFirst(t *testing.T) {
+	cands := []Candidate{
+		{Axes: Axes{Admit: 1}, Err: "boom"},
+		{Axes: Axes{Admit: 2}, OK: true, Score: Score{Goodput: 10, P99: 5}},
+		{Axes: Axes{Admit: 3}, OK: true, Score: Score{Goodput: 20, P99: 9}},
+		{Axes: Axes{Admit: 4}, OK: true, Score: Score{Goodput: 10, P99: 3}},
+	}
+	rank(cands)
+	want := []int{3, 4, 2, 1}
+	for i, admit := range want {
+		if cands[i].Axes.Admit != admit {
+			t.Fatalf("rank[%d].Admit = %d, want %d (order %+v)", i, cands[i].Axes.Admit, admit, cands)
+		}
+	}
+}
+
+// tuneInput builds a minimal real search input: one test-scale app,
+// axes materialized straight onto a one-host fleet.
+func tuneInput(t *testing.T) Input {
+	t.Helper()
+	b, err := workload.PersonalInfoRedaction(workload.TestScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipes := []*dmxsys.Pipeline{b.Pipeline}
+	return Input{
+		Materialize: func(a Axes) (cluster.FleetConfig, error) {
+			cfg := dmxsys.DefaultConfig(a.Placement)
+			cfg.Sched = a.Sched
+			if cfg.Sched == dmxsys.SchedPriority {
+				cfg.AppPriority = []int{0}
+			}
+			cfg.BatchWindow = a.BatchWindow
+			cfg.BatchMax = a.BatchMax
+			cfg.AdmitLimit = a.Admit
+			cfg.FuseHops = append([]dmxsys.FusePair(nil), a.Fuse...)
+			if err := cfg.Validate(); err != nil {
+				return cluster.FleetConfig{}, err
+			}
+			return cluster.FleetConfig{Hosts: 1, Base: cfg}, nil
+		},
+		Traffic:    traffic.Spec{Arrival: traffic.Poisson, Rate: 3000, Requests: 12, Seed: 5, Deadline: 40 * sim.Millisecond},
+		Pipes:      pipes,
+		Placements: []dmxsys.Placement{dmxsys.MultiAxl, dmxsys.Integrated},
+		MaxRounds:  1,
+	}
+}
+
+func TestRunFindsFeasibleWinner(t *testing.T) {
+	res, err := Run(tuneInput(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score.Goodput <= 0 {
+		t.Errorf("winner goodput %v", res.Score.Goodput)
+	}
+	if res.Evaluations != len(res.Candidates) {
+		t.Errorf("evaluations %d != candidates %d", res.Evaluations, len(res.Candidates))
+	}
+	if res.SeedCapacity <= 0 {
+		t.Errorf("seed capacity %v", res.SeedCapacity)
+	}
+	// The ranked list leads with the winner.
+	top := res.Candidates[0]
+	if !top.OK || top.Axes.Key() != res.Winner.Key() {
+		t.Errorf("candidates[0] %+v is not the winner %s", top, res.Winner.Key())
+	}
+	// The winner is at least as good as the seed.
+	for _, c := range res.Candidates {
+		if c.Round == 0 && c.OK && better(c.Score, c.Axes.Key(), res.Score, res.Winner.Key()) {
+			t.Error("seed outranks the winner")
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var base Result
+	for i, workers := range []int{1, 2, 8} {
+		prev := sweep.SetWorkers(workers)
+		res, err := Run(tuneInput(t))
+		sweep.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Fatalf("result at %d workers diverges from 1 worker", workers)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(Input{}); err == nil || !strings.Contains(err.Error(), "Materialize") {
+		t.Errorf("no materialize: %v", err)
+	}
+	in := tuneInput(t)
+	in.Pipes = nil
+	if _, err := Run(in); err == nil || !strings.Contains(err.Error(), "pipelines") {
+		t.Errorf("no pipelines: %v", err)
+	}
+	in = tuneInput(t)
+	in.Materialize = func(Axes) (cluster.FleetConfig, error) {
+		return cluster.FleetConfig{}, nil // Hosts 0: every candidate infeasible
+	}
+	if _, err := Run(in); err == nil {
+		t.Error("infeasible seed did not error")
+	}
+}

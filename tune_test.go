@@ -1,0 +1,182 @@
+package dmx
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmx/internal/sweep"
+)
+
+// tuneBase is the pinned tuning scenario the contract tests share: a
+// two-app test-scale mix driven past single-host capacity with a tight
+// SLO, so goodput rewards coordinated moves (placement + shedding /
+// scheduling), not any one knob alone.
+func tuneBase() Spec {
+	return Spec{
+		Apps:     []string{"personal-info-redaction", "sound-detection"},
+		Scale:    "test",
+		Arrival:  "poisson",
+		Rate:     150000,
+		Requests: 32,
+		Seed:     11,
+		SLO:      "100us",
+	}
+}
+
+func tuneSpec() TuneSpec {
+	return TuneSpec{
+		Base:       tuneBase(),
+		Placements: []string{"multiaxl", "integrated", "standalone", "pcie", "bump"},
+		MaxRounds:  3,
+	}
+}
+
+// scoreReport recomputes the tuner's objective from a replayed report —
+// the same arithmetic tune.scoreOf applies, duplicated here so the
+// replay-identity test cannot pass vacuously.
+func scoreReport(rep LoadReport) (goodput float64, p99 Duration) {
+	completed, missed := 0, 0
+	for _, a := range rep.PerApp {
+		completed += a.Completed
+		missed += a.Missed
+		if a.P99 > p99 {
+			p99 = a.P99
+		}
+	}
+	if sec := rep.Makespan.Seconds(); sec > 0 {
+		goodput = float64(completed-missed) / sec
+	}
+	return goodput, p99
+}
+
+func TestTuneDeterministicAcrossWorkers(t *testing.T) {
+	var base TuneResult
+	for i, workers := range []int{1, 2, 8} {
+		prev := sweep.SetWorkers(workers)
+		res, err := Tune(tuneSpec())
+		sweep.SetWorkers(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+			if res.Evaluations < 10 {
+				t.Fatalf("only %d evaluations; the search barely ran", res.Evaluations)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res, base) {
+			t.Fatalf("TuneResult at %d workers diverges from 1 worker:\n%s\nvs\n%s",
+				workers, res, base)
+		}
+	}
+}
+
+func TestTuneWinnerReplayExact(t *testing.T) {
+	res, err := Tune(tuneSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := res.Winner.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodput, p99 := scoreReport(rep)
+	if goodput != res.Goodput || p99 != res.P99 {
+		t.Fatalf("replay diverges: goodput %v vs %v, p99 %v vs %v",
+			goodput, res.Goodput, p99, res.P99)
+	}
+	// The winner document itself must round-trip.
+	b, err := MarshalSpec(res.Winner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSpec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, res.Winner) {
+		t.Fatal("winner spec does not round-trip through JSON")
+	}
+}
+
+// TestTunedBeatsSingleAxisGrid pins the scenario where coordinate
+// descent earns its keep: the tuned configuration must strictly beat
+// every single-axis deviation from the base — the best any grid sweep
+// over one knob could find.
+func TestTunedBeatsSingleAxisGrid(t *testing.T) {
+	ts := tuneSpec()
+	res, err := Tune(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evalSpec := func(s Spec) (float64, bool) {
+		rep, err := s.Simulate()
+		if err != nil {
+			return 0, false
+		}
+		g, _ := scoreReport(rep)
+		return g, true
+	}
+	var grid []Spec
+	base := ts.Base
+	grid = append(grid, base)
+	for _, p := range ts.Placements {
+		s := base
+		s.Placement = p
+		grid = append(grid, s)
+	}
+	for _, d := range []string{"fifo", "priority", "wfq", "edf", "srs"} {
+		s := base
+		s.Discipline = d
+		grid = append(grid, s)
+	}
+	for _, w := range []string{"50us", "100us", "200us", "500us", "1ms"} {
+		s := base
+		s.BatchWindow = w
+		grid = append(grid, s)
+	}
+	for _, a := range []int{8, 16, 32, 64} {
+		s := base
+		s.Admit = a
+		grid = append(grid, s)
+	}
+	for _, r := range []int{2, 4} {
+		s := base
+		s.Retry = r
+		grid = append(grid, s)
+	}
+
+	bestGrid, bestAt := -1.0, ""
+	for _, s := range grid {
+		if g, ok := evalSpec(s); ok && g > bestGrid {
+			bestGrid, bestAt = g, specAxesLine(s)
+		}
+	}
+	t.Logf("tuned %.2f req/s (%s) vs best single-axis %.2f req/s (%s), %d evaluations",
+		res.Goodput, specAxesLine(res.Winner), bestGrid, bestAt, res.Evaluations)
+	if res.Goodput <= bestGrid {
+		t.Fatalf("tuned goodput %.2f does not beat the best single-axis grid point %.2f (%s)",
+			res.Goodput, bestGrid, bestAt)
+	}
+}
+
+func TestTuneRejectsBadSpecs(t *testing.T) {
+	ts := tuneSpec()
+	ts.Base.Arrival = ""
+	if _, err := Tune(ts); err == nil || !strings.Contains(err.Error(), "arrival") {
+		t.Errorf("base without arrival: %v", err)
+	}
+	ts = tuneSpec()
+	ts.Placements = []string{"fpga"}
+	if _, err := Tune(ts); err == nil || !strings.Contains(err.Error(), "fpga") {
+		t.Errorf("bad placement token: %v", err)
+	}
+	ts = tuneSpec()
+	ts.Base.Placement = "warp"
+	if _, err := Tune(ts); err == nil || !strings.Contains(err.Error(), "placement") {
+		t.Errorf("bad base placement: %v", err)
+	}
+}
